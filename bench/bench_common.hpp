@@ -1,0 +1,82 @@
+// Shared helpers for the figure-reproduction benches: tiny argument
+// parsing (--quick / --full / --seed N), table printing.
+//
+// Figure benches are plain executables (not google-benchmark binaries):
+// each one runs a simulation campaign and prints the same rows/series the
+// paper's figure reports, so `for b in build/bench/*; do $b; done`
+// regenerates the whole evaluation section.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace spider::bench {
+
+struct BenchArgs {
+  /// 0 = quick smoke, 1 = default, 2 = full paper scale.
+  int scale = 1;
+  std::uint64_t seed = 42;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) args.scale = 0;
+    if (std::strcmp(argv[i], "--full") == 0) args.scale = 2;
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[i + 1], nullptr, 10);
+      ++i;
+    }
+  }
+  return args;
+}
+
+/// Fixed-width table printer for figure output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        std::printf(" %-*s |", int(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace spider::bench

@@ -1,0 +1,81 @@
+// Figure 10 — "Service session setup time in wide-area networks."
+//
+// Paper setup (§6.2): 102 PlanetLab hosts across the US and Europe, >500
+// requests, composite requests of 2–6 functions; the bar chart stacks
+// decentralized service discovery time on top of composition time
+// (probing + session initialization), totalling a few seconds per session.
+//
+// We drive the same flow over the synthetic PlanetLab delay model: per
+// request, BCP reports the critical-path discovery share, probing time
+// and the ack/confirm leg.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/bcp.hpp"
+#include "util/stats.hpp"
+#include "workload/scenario.hpp"
+
+using namespace spider;
+using namespace spider::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+
+  workload::PlanetLabScenarioConfig scenario;
+  scenario.seed = args.seed;
+  const std::size_t requests_per_k = args.scale == 0 ? 40
+                                     : args.scale == 2 ? 200
+                                                       : 100;
+
+  auto s = workload::build_planetlab_scenario(scenario);
+  core::BcpConfig bcp_config;
+  bcp_config.probing_budget = 60;
+  bcp_config.probe_timeout_ms = 60000.0;
+  core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim,
+                      bcp_config);
+
+  std::printf("Figure 10: service session setup time (synthetic PlanetLab, "
+              "%zu hosts)\n", scenario.hosts);
+  std::printf("%zu requests per function count, seed=%llu\n\n", requests_per_k,
+              (unsigned long long)args.seed);
+
+  Table table({"functions", "discovery (ms)", "composition (ms)",
+               "total setup (ms)", "success"});
+
+  for (std::size_t k = 2; k <= 6; ++k) {
+    SampleStats discovery, composition, total;
+    RatioCounter success;
+    for (std::size_t i = 0; i < requests_per_k; ++i) {
+      // k distinct functions out of the six multimedia ones.
+      std::vector<service::FunctionId> fns;
+      for (std::size_t idx : s->rng.sample_indices(6, k)) {
+        fns.push_back(service::FunctionId(idx));
+      }
+      service::CompositeRequest req;
+      req.graph = service::make_linear_graph(fns);
+      req.qos_req = service::Qos::delay_loss(60000.0, 1.0);
+      req.bandwidth_kbps = 100.0;
+      req.source = overlay::PeerId(s->rng.next_below(scenario.hosts));
+      do {
+        req.dest = overlay::PeerId(s->rng.next_below(scenario.hosts));
+      } while (req.dest == req.source);
+
+      core::ComposeResult r = bcp.compose(req, s->rng);
+      success.record(r.success);
+      if (!r.success) continue;
+      for (core::HoldId h : r.best_holds) s->alloc->release_hold(h);
+      discovery.add(r.stats.discovery_time_ms);
+      composition.add(r.stats.setup_time_ms - r.stats.discovery_time_ms);
+      total.add(r.stats.setup_time_ms);
+    }
+    table.add_row({std::to_string(k), fmt(discovery.mean(), 0),
+                   fmt(composition.mean(), 0), fmt(total.mean(), 0),
+                   fmt(success.ratio(), 2)});
+  }
+  table.print();
+  std::printf(
+      "\npaper shape: setup time grows with the function number and stays "
+      "within a few seconds; discovery contributes a significant, roughly "
+      "constant-per-function share.\n");
+  return 0;
+}

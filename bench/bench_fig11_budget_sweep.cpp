@@ -1,0 +1,108 @@
+// Figure 11 — "Performance comparison among random, SpiderNet, and optimal
+// algorithms."
+//
+// Paper setup (§6.2): 102 PlanetLab hosts, six functions with ~17 replicas
+// each, requests composing three different functions, objective = minimum
+// end-to-end service delay. The optimal algorithm floods all 17^3 = 4913
+// candidate graphs; SpiderNet sweeps the probing budget from 10 to 1000
+// and its average delay falls toward the optimal, reaching near-optimal
+// around budget ≈ 200 (4% of optimal's probes); very low budgets
+// degenerate into the random algorithm.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/bcp.hpp"
+#include "util/stats.hpp"
+#include "workload/scenario.hpp"
+
+using namespace spider;
+using namespace spider::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+
+  workload::PlanetLabScenarioConfig scenario;
+  scenario.seed = args.seed;
+  const std::size_t requests = args.scale == 0 ? 30
+                               : args.scale == 2 ? 200
+                                                 : 80;
+  const std::vector<int> budgets = {1, 10, 100, 200, 300, 400, 500, 1000};
+
+  auto s = workload::build_planetlab_scenario(scenario);
+  core::BcpConfig bcp_config;
+  bcp_config.objective = core::SelectionObjective::kMinDelay;
+  bcp_config.probe_timeout_ms = 60000.0;
+  bcp_config.max_quota = 17;  // allow wide fanout at large budgets
+  bcp_config.quota_base = 17;
+  bcp_config.max_candidates = 8192;
+  core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim,
+                      bcp_config);
+  core::OptimalComposer optimal(*s->deployment, *s->alloc, *s->evaluator);
+  core::RandomComposer random_composer(*s->deployment, *s->evaluator);
+
+  // Pre-generate the request set so every algorithm sees identical work.
+  struct Case {
+    service::CompositeRequest req;
+  };
+  std::vector<Case> cases;
+  for (std::size_t i = 0; i < requests; ++i) {
+    std::vector<service::FunctionId> fns;
+    for (std::size_t idx : s->rng.sample_indices(6, 3)) {
+      fns.push_back(service::FunctionId(idx));
+    }
+    Case c;
+    c.req.graph = service::make_linear_graph(fns);
+    c.req.qos_req = service::Qos::delay_loss(60000.0, 1.0);
+    c.req.bandwidth_kbps = 0.0;  // pure delay study, as in the paper
+    c.req.source = overlay::PeerId(s->rng.next_below(scenario.hosts));
+    do {
+      c.req.dest = overlay::PeerId(s->rng.next_below(scenario.hosts));
+    } while (c.req.dest == c.req.source);
+    cases.push_back(std::move(c));
+  }
+
+  // Baselines once.
+  SampleStats random_delay, optimal_delay, optimal_probes;
+  for (const Case& c : cases) {
+    core::BaselineResult rr = random_composer.compose(c.req, s->rng);
+    if (rr.success) random_delay.add(rr.best.qos.delay_ms());
+    core::BaselineResult ro =
+        optimal.compose(c.req, core::Objective::kMinDelay);
+    if (ro.success) {
+      optimal_delay.add(ro.best.qos.delay_ms());
+      optimal_probes.add(double(ro.messages));
+    }
+  }
+
+  std::printf("Figure 11: average end-to-end delay vs probing budget\n");
+  std::printf("hosts=%zu, 3 functions/request, %zu requests, seed=%llu\n",
+              scenario.hosts, requests, (unsigned long long)args.seed);
+  std::printf("optimal explores on average %.0f candidate graphs "
+              "(paper: 17^3 = 4913)\n\n", optimal_probes.mean());
+
+  Table table({"probing budget", "SpiderNet delay (ms)", "random (ms)",
+               "optimal (ms)", "probes used"});
+  for (int budget : budgets) {
+    SampleStats delay, probes;
+    core::BcpConfig per = bcp_config;
+    per.probing_budget = budget;
+    bcp.set_config(per);
+    for (const Case& c : cases) {
+      core::ComposeResult r = bcp.compose(c.req, s->rng);
+      if (!r.success) continue;
+      for (core::HoldId h : r.best_holds) s->alloc->release_hold(h);
+      delay.add(r.best.qos.delay_ms());
+      probes.add(double(r.stats.probes_spawned));
+    }
+    table.add_row({std::to_string(budget), fmt(delay.mean(), 0),
+                   fmt(random_delay.mean(), 0), fmt(optimal_delay.mean(), 0),
+                   fmt(probes.mean(), 0)});
+  }
+  table.print();
+  std::printf(
+      "\npaper shape: SpiderNet's delay falls steeply with budget and "
+      "approaches the optimal near budget ~200 (~4%% of the flooding "
+      "cost); tiny budgets degenerate toward the random algorithm.\n");
+  return 0;
+}

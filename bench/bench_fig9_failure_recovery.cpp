@@ -1,0 +1,193 @@
+// Figure 9 — "Failure frequency comparison in a dynamic P2P network."
+//
+// Paper setup (§6.1): 1% of peers randomly fail during each time unit over
+// a 60-minute run; the proactive scheme maintains an average of ~2.74
+// backup service graphs per session and "can recover almost all the
+// failures."  We plot failures per time unit for two runs over identical
+// churn: without recovery (every break of an active graph is a service
+// failure) and with proactive recovery (only breaks that no backup could
+// absorb count — reactive re-composition still interrupts the stream).
+//
+// Failed peers rejoin after an exponential downtime so the system stays
+// populated, and lost/completed sessions are replaced to keep the number
+// of at-risk sessions constant.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/session.hpp"
+#include "util/stats.hpp"
+#include "workload/scenario.hpp"
+
+using namespace spider;
+using namespace spider::bench;
+
+namespace {
+
+struct Fig9Config {
+  workload::SimScenarioConfig scenario;
+  std::size_t minutes = 60;
+  double time_unit_ms = 1000.0;
+  double fail_fraction = 0.01;     ///< peers failing per time unit
+  double mean_downtime_units = 10; ///< rejoin delay
+  std::size_t target_sessions = 40;
+  int probing_budget = 96;
+};
+
+struct Fig9Result {
+  TimeSeriesCounter failures;
+  double avg_backups = 0.0;
+  std::uint64_t breaks = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t reactive = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t maintenance_messages = 0;
+
+  explicit Fig9Result(std::size_t buckets) : failures(buckets) {}
+};
+
+Fig9Result run_fig9(const Fig9Config& config, bool proactive) {
+  auto s = workload::build_sim_scenario(config.scenario);
+  auto& sim = s->sim;
+
+  core::BcpConfig bcp_config;
+  bcp_config.probing_budget = config.probing_budget;
+  core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, sim,
+                      bcp_config);
+  core::RecoveryConfig rec;
+  rec.proactive = proactive;
+  // Eq. 2's absolute value depends on how tight the workload's QoS margins
+  // are; U is calibrated so the average backup count lands near the
+  // paper's 2.74 (see EXPERIMENTS.md).
+  rec.backup_aggressiveness = 3.0;
+  core::SessionManager manager(*s->deployment, *s->alloc, *s->evaluator, bcp,
+                               sim, rec);
+
+  workload::RequestProfile profile;
+  profile.min_functions = 2;
+  profile.max_functions = 3;
+  profile.mean_session_duration = 1e9;  // long-lived streaming sessions
+
+  Fig9Result result(config.minutes);
+
+  auto top_up_sessions = [&] {
+    std::size_t guard = 0;
+    while (manager.active_sessions() < config.target_sessions &&
+           guard++ < config.target_sessions * 4) {
+      auto gen = workload::sample_request(*s, profile);
+      core::ComposeResult r = bcp.compose(gen.request, s->rng);
+      if (!r.success) continue;
+      manager.establish(gen.request, std::move(r));
+    }
+  };
+  top_up_sessions();
+
+  // Churn + accounting per time unit.
+  for (std::size_t unit = 0; unit < config.minutes; ++unit) {
+    const double at = double(unit + 1) * config.time_unit_ms;
+    sim.schedule_at(at, [&, unit] {
+      // Rejoin first: dead peers whose downtime elapsed come back.
+      // (Downtime is sampled at failure time via a scheduled revive.)
+      const auto live = s->deployment->live_peers();
+      const auto kill_count = std::max<std::size_t>(
+          1, std::size_t(double(live.size()) * config.fail_fraction));
+      for (std::size_t k = 0; k < kill_count; ++k) {
+        const auto survivors = s->deployment->live_peers();
+        if (survivors.size() <= 2) break;
+        const overlay::PeerId victim =
+            survivors[s->rng.next_below(survivors.size())];
+        s->deployment->kill_peer(victim);
+        for (core::RecoveryOutcome outcome :
+             manager.on_peer_failed(victim, s->rng)) {
+          const bool service_failure =
+              proactive ? (outcome == core::RecoveryOutcome::kLost ||
+                           outcome == core::RecoveryOutcome::kReactiveRecovered)
+                        : (outcome != core::RecoveryOutcome::kNotAffected);
+          if (service_failure) result.failures.add(unit);
+        }
+        const double downtime =
+            s->rng.next_exponential(config.mean_downtime_units) *
+            config.time_unit_ms;
+        sim.schedule_after(downtime, [&, victim] {
+          s->deployment->revive_peer(victim);
+        });
+      }
+      manager.run_maintenance();
+      top_up_sessions();
+    });
+  }
+  sim.run_until(double(config.minutes + 1) * config.time_unit_ms);
+
+  const auto& stats = manager.stats();
+  result.avg_backups = stats.avg_backups();
+  result.breaks = stats.breaks;
+  result.switches = stats.backup_switches;
+  result.reactive = stats.reactive_recoveries;
+  result.losses = stats.losses;
+  result.maintenance_messages = stats.maintenance_messages;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+
+  Fig9Config config;
+  config.scenario.seed = args.seed;
+  switch (args.scale) {
+    case 0:
+      config.scenario.ip_nodes = 600;
+      config.scenario.peers = 100;
+      config.scenario.function_count = 30;
+      config.minutes = 15;
+      config.target_sessions = 20;
+      break;
+    case 2:
+      config.scenario.ip_nodes = 10000;
+      config.scenario.peers = 1000;
+      config.scenario.function_count = 200;
+      config.minutes = 60;
+      config.target_sessions = 80;
+      break;
+    default:
+      config.scenario.ip_nodes = 2000;
+      config.scenario.peers = 300;
+      config.scenario.function_count = 80;
+      config.minutes = 60;
+      config.target_sessions = 40;
+      break;
+  }
+
+  std::printf("Figure 9: failure frequency, 1%% peer churn per time unit\n");
+  std::printf("scenario: peers=%zu sessions=%zu minutes=%zu seed=%llu\n\n",
+              config.scenario.peers, config.target_sessions, config.minutes,
+              (unsigned long long)args.seed);
+
+  const Fig9Result without = run_fig9(config, /*proactive=*/false);
+  const Fig9Result with = run_fig9(config, /*proactive=*/true);
+
+  Table table({"minute", "without recovery", "with proactive recovery"});
+  for (std::size_t m = 0; m < config.minutes; ++m) {
+    table.add_row({std::to_string(m + 1), std::to_string(without.failures.at(m)),
+                   std::to_string(with.failures.at(m))});
+  }
+  table.print();
+
+  std::printf("\nwithout recovery: %llu service failures total\n",
+              (unsigned long long)without.failures.total());
+  std::printf("with proactive : %llu service failures total "
+              "(breaks=%llu switched=%llu reactive=%llu lost=%llu)\n",
+              (unsigned long long)with.failures.total(),
+              (unsigned long long)with.breaks,
+              (unsigned long long)with.switches,
+              (unsigned long long)with.reactive,
+              (unsigned long long)with.losses);
+  std::printf("avg backup graphs per session: %.2f (paper: 2.74)\n",
+              with.avg_backups);
+  std::printf("backup maintenance messages : %llu\n",
+              (unsigned long long)with.maintenance_messages);
+  std::printf(
+      "\npaper shape: without recovery tracks the churn rate; with "
+      "proactive recovery the failure frequency stays near zero.\n");
+  return 0;
+}

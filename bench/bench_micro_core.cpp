@@ -1,0 +1,95 @@
+// Microbenchmarks for the composition path: topology generation, Dijkstra
+// routing, pattern enumeration, one full BCP compose, and the exhaustive
+// optimal compose it is compared against.
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.hpp"
+#include "core/bcp.hpp"
+#include "net/generator.hpp"
+#include "workload/scenario.hpp"
+
+using namespace spider;
+
+namespace {
+
+void BM_PowerLawTopology(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = std::size_t(state.range(0));
+  for (auto _ : state) {
+    net::Topology t = net::power_law(n, 2, rng);
+    benchmark::DoNotOptimize(t.link_count());
+  }
+}
+BENCHMARK(BM_PowerLawTopology)->Arg(1000)->Arg(10000);
+
+void BM_Dijkstra(benchmark::State& state) {
+  Rng rng(5);
+  net::Topology t = net::power_law(std::size_t(state.range(0)), 2, rng);
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    net::SingleSourcePaths paths(t, src % net::NodeIdx(t.node_count()));
+    benchmark::DoNotOptimize(paths.delay_to(net::NodeIdx(t.node_count() - 1)));
+    ++src;
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(1000)->Arg(10000);
+
+void BM_PatternEnumeration(benchmark::State& state) {
+  service::FunctionGraph g = service::make_linear_graph({1, 2, 3, 4, 5});
+  for (service::FnNode i = 0; i + 1 < 5; ++i) g.add_commutation(i, i + 1);
+  for (auto _ : state) {
+    auto patterns = g.patterns(std::size_t(state.range(0)));
+    benchmark::DoNotOptimize(patterns.size());
+  }
+}
+BENCHMARK(BM_PatternEnumeration)->Arg(4)->Arg(16);
+
+struct ComposeFixture {
+  std::unique_ptr<workload::Scenario> scenario;
+  std::unique_ptr<core::BcpEngine> bcp;
+  std::unique_ptr<core::OptimalComposer> optimal;
+  workload::RequestProfile profile;
+
+  ComposeFixture() {
+    workload::SimScenarioConfig config;
+    config.ip_nodes = 1000;
+    config.peers = 150;
+    config.function_count = 40;
+    scenario = workload::build_sim_scenario(config);
+    core::BcpConfig bcp_config;
+    bcp_config.probing_budget = 64;
+    bcp = std::make_unique<core::BcpEngine>(*scenario->deployment,
+                                            *scenario->alloc,
+                                            *scenario->evaluator,
+                                            scenario->sim, bcp_config);
+    optimal = std::make_unique<core::OptimalComposer>(
+        *scenario->deployment, *scenario->alloc, *scenario->evaluator);
+    profile.min_functions = 3;
+    profile.max_functions = 3;
+  }
+};
+
+void BM_BcpCompose(benchmark::State& state) {
+  ComposeFixture fx;
+  for (auto _ : state) {
+    auto gen = workload::sample_request(*fx.scenario, fx.profile);
+    core::ComposeResult r = fx.bcp->compose(gen.request, fx.scenario->rng);
+    for (core::HoldId h : r.best_holds) fx.scenario->alloc->release_hold(h);
+    benchmark::DoNotOptimize(r.success);
+  }
+}
+BENCHMARK(BM_BcpCompose);
+
+void BM_OptimalCompose(benchmark::State& state) {
+  ComposeFixture fx;
+  for (auto _ : state) {
+    auto gen = workload::sample_request(*fx.scenario, fx.profile);
+    core::BaselineResult r = fx.optimal->compose(gen.request);
+    benchmark::DoNotOptimize(r.success);
+  }
+}
+BENCHMARK(BM_OptimalCompose);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Microbenchmarks: Pastry DHT routing and storage, plus the O(log N) hop
+// scaling check that underpins the discovery-latency model.
+#include <benchmark/benchmark.h>
+
+#include "dht/pastry.hpp"
+#include "util/rng.hpp"
+
+using namespace spider;
+using namespace spider::dht;
+
+namespace {
+
+PastryNetwork build_network(std::size_t n, Rng& rng) {
+  PastryNetwork net(16, 3);
+  net.bootstrap(0, NodeId::random(rng));
+  for (PeerId p = 1; p < n; ++p) {
+    net.join(p, NodeId::random(rng), PeerId(rng.next_below(p)));
+  }
+  return net;
+}
+
+void BM_DhtRoute(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = std::size_t(state.range(0));
+  PastryNetwork net = build_network(n, rng);
+  std::uint64_t total_hops = 0, lookups = 0;
+  for (auto _ : state) {
+    const RouteResult r =
+        net.route(PeerId(rng.next_below(n)), NodeId::random(rng));
+    benchmark::DoNotOptimize(r.target());
+    total_hops += r.hops();
+    ++lookups;
+  }
+  state.counters["hops/lookup"] =
+      benchmark::Counter(double(total_hops) / double(lookups));
+}
+BENCHMARK(BM_DhtRoute)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DhtPutGet(benchmark::State& state) {
+  Rng rng(11);
+  const auto n = std::size_t(state.range(0));
+  PastryNetwork net = build_network(n, rng);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const NodeId key = NodeId::hash_of("svc/" + std::to_string(i % 128));
+    net.put(PeerId(rng.next_below(n)), key, "meta-" + std::to_string(i));
+    const GetResult got = net.get(PeerId(rng.next_below(n)), key);
+    benchmark::DoNotOptimize(got.found);
+    ++i;
+  }
+}
+BENCHMARK(BM_DhtPutGet)->Arg(256);
+
+void BM_DhtJoin(benchmark::State& state) {
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PastryNetwork net = build_network(128, rng);
+    state.ResumeTiming();
+    net.join(10000, NodeId::random(rng), 0);
+    benchmark::DoNotOptimize(net.live_count());
+  }
+}
+BENCHMARK(BM_DhtJoin);
+
+void BM_NodeIdPrefix(benchmark::State& state) {
+  Rng rng(17);
+  const NodeId a = NodeId::random(rng);
+  const NodeId b = NodeId::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.shared_prefix(b));
+  }
+}
+BENCHMARK(BM_NodeIdPrefix);
+
+}  // namespace
+
+BENCHMARK_MAIN();

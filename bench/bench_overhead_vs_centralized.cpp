@@ -1,0 +1,100 @@
+// Overhead table — the paper's ">10× less overhead than the centralized
+// global-view scheme" claim (§1, §6.1).
+//
+// Two forces define the comparison:
+//  * the centralized scheme's maintenance traffic is peers × refresh rate,
+//    paid whether or not anyone composes; BCP's probing traffic is paid
+//    per request only;
+//  * stale snapshots admit compositions that no longer fit (the busy
+//    column), so the centralized scheme cannot simply refresh slowly —
+//    matching BCP's quality under load forces the fast-refresh rates
+//    whose per-request cost exceeds BCP's by an order of magnitude in the
+//    light-demand regime P2P overlays actually operate in.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fig_driver.hpp"
+
+using namespace spider;
+using namespace spider::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+
+  CampaignConfig config;
+  config.scenario.seed = args.seed;
+  double light = 5.0, busy = 300.0;
+  switch (args.scale) {
+    case 0:
+      config.scenario.ip_nodes = 1000;
+      config.scenario.peers = 200;
+      config.scenario.function_count = 60;
+      config.measure_units = 12;
+      light = 2.0;
+      busy = 100.0;
+      break;
+    case 2:
+      config.scenario.ip_nodes = 10000;
+      config.scenario.peers = 1000;
+      config.scenario.function_count = 200;
+      config.measure_units = 40;
+      light = 10.0;
+      busy = 700.0;
+      break;
+    default:
+      config.scenario.ip_nodes = 4000;
+      config.scenario.peers = 600;
+      config.scenario.function_count = 150;
+      config.measure_units = 20;
+      break;
+  }
+  config.warmup_units = 2;
+  config.budget_fraction = 0.1;
+  config.profile.min_functions = 2;
+  config.profile.max_functions = 3;
+  config.profile.mean_session_duration = 5.0;
+
+  std::printf("Overhead: SpiderNet BCP vs centralized global-view scheme\n");
+  std::printf("peers=%zu, light=%.0f req/unit, busy=%.0f req/unit, seed=%llu\n\n",
+              config.scenario.peers, light, busy,
+              (unsigned long long)args.seed);
+
+  struct Cell {
+    double per_req = 0.0;
+    double success = 0.0;
+  };
+  auto run_cell = [&](Algo algo, double refresh, double workload) {
+    CampaignConfig cell = config;
+    cell.centralized_refresh_units = refresh;
+    const CampaignResult r = run_campaign(cell, algo, workload);
+    Cell out;
+    out.per_req = r.requests ? double(r.messages) / double(r.requests) : 0.0;
+    out.success = r.success.ratio();
+    return out;
+  };
+
+  const Cell bcp_light = run_cell(Algo::kProbing, 1.0, light);
+  const Cell bcp_busy = run_cell(Algo::kProbing, 1.0, busy);
+
+  Table table({"scheme", "refresh", "light msgs/req", "light success",
+               "busy msgs/req", "busy success", "light overhead ratio"});
+  table.add_row({"SpiderNet BCP", "-", fmt(bcp_light.per_req, 1),
+                 fmt(bcp_light.success, 3), fmt(bcp_busy.per_req, 1),
+                 fmt(bcp_busy.success, 3), "1.0"});
+  for (double refresh : {0.1, 0.5, 1.0, 4.0}) {
+    const Cell cl = run_cell(Algo::kCentralized, refresh, light);
+    const Cell cb = run_cell(Algo::kCentralized, refresh, busy);
+    table.add_row({"centralized", fmt(refresh, 1) + " units",
+                   fmt(cl.per_req, 1), fmt(cl.success, 3), fmt(cb.per_req, 1),
+                   fmt(cb.success, 3),
+                   fmt(cl.per_req / std::max(bcp_light.per_req, 1e-9), 1)});
+  }
+  table.print();
+  std::printf(
+      "\npaper claim: under load, slow refreshes degrade the centralized "
+      "scheme's success (stale admissions), so matching BCP's quality "
+      "requires fast refresh — and at fast refresh its per-request "
+      "overhead in the light-demand regime exceeds BCP's by more than an "
+      "order of magnitude.\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "core/allocator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace spider::core {
+
+void AllocationManager::purge_expired_peer(PeerState& state) {
+  const sim::Time now = sim_->now();
+  for (auto it = state.soft.begin(); it != state.soft.end();) {
+    if (it->second.expire_at <= now) {
+      holds_.erase(it->first);
+      it = state.soft.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AllocationManager::purge_expired_link(LinkState& state) {
+  const sim::Time now = sim_->now();
+  for (auto it = state.soft.begin(); it != state.soft.end();) {
+    if (it->second.expire_at <= now) {
+      // The owning Hold may span several links; it is erased from holds_
+      // when its peer/first-link purge discovers it — erasing here too is
+      // safe because erase by key is idempotent.
+      holds_.erase(it->first);
+      it = state.soft.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+service::Resources AllocationManager::peer_available(PeerId peer) {
+  SPIDER_REQUIRE(peer < peer_state_.size());
+  PeerState& state = peer_state_[peer];
+  purge_expired_peer(state);
+  service::Resources avail = deployment_->capacity(peer) - state.confirmed;
+  for (const auto& [hold, ph] : state.soft) avail -= ph.amount;
+  return avail;
+}
+
+double AllocationManager::link_available_kbps(overlay::OverlayLinkId link) {
+  SPIDER_REQUIRE(link < link_state_.size());
+  LinkState& state = link_state_[link];
+  purge_expired_link(state);
+  double avail =
+      deployment_->overlay().link(link).capacity_kbps - state.confirmed_kbps;
+  for (const auto& [hold, lh] : state.soft) avail -= lh.kbps;
+  return avail;
+}
+
+std::optional<HoldId> AllocationManager::soft_reserve_peer(
+    PeerId peer, const service::Resources& amount, sim::Time expire_at) {
+  SPIDER_REQUIRE(amount.non_negative());
+  if (!amount.fits_within(peer_available(peer))) return std::nullopt;
+  const HoldId id = next_hold_id_++;
+  peer_state_[peer].soft.emplace(id, PeerHold{amount, expire_at});
+  Hold hold;
+  hold.peer = peer;
+  hold.peer_amount = amount;
+  hold.expire_at = expire_at;
+  holds_.emplace(id, std::move(hold));
+  return id;
+}
+
+std::optional<HoldId> AllocationManager::soft_reserve_path(
+    const overlay::OverlayPath& path, double kbps, sim::Time expire_at) {
+  SPIDER_REQUIRE(kbps >= 0.0);
+  for (overlay::OverlayLinkId link : path.links) {
+    if (link_available_kbps(link) < kbps) return std::nullopt;
+  }
+  const HoldId id = next_hold_id_++;
+  for (overlay::OverlayLinkId link : path.links) {
+    link_state_[link].soft.emplace(id, LinkHold{kbps, expire_at});
+  }
+  Hold hold;
+  hold.links = path.links;
+  hold.kbps = kbps;
+  hold.expire_at = expire_at;
+  holds_.emplace(id, std::move(hold));
+  return id;
+}
+
+bool AllocationManager::confirm(HoldId hold_id, SessionId session) {
+  auto it = holds_.find(hold_id);
+  if (it == holds_.end()) return false;
+  const Hold& hold = it->second;
+  if (hold.expire_at <= sim_->now()) {
+    release_hold(hold_id);
+    return false;
+  }
+  Grant grant;
+  grant.session = session;
+  if (hold.peer != overlay::kInvalidPeer) {
+    grant.peer = hold.peer;
+    grant.peer_amount = hold.peer_amount;
+    peer_state_[hold.peer].confirmed += hold.peer_amount;
+    peer_state_[hold.peer].soft.erase(hold_id);
+  }
+  if (!hold.links.empty()) {
+    grant.links = hold.links;
+    grant.kbps = hold.kbps;
+    for (overlay::OverlayLinkId link : hold.links) {
+      link_state_[link].confirmed_kbps += hold.kbps;
+      link_state_[link].soft.erase(hold_id);
+    }
+  }
+  grants_[session].push_back(std::move(grant));
+  holds_.erase(it);
+  return true;
+}
+
+void AllocationManager::release_hold(HoldId hold_id) {
+  auto it = holds_.find(hold_id);
+  if (it == holds_.end()) return;
+  const Hold& hold = it->second;
+  if (hold.peer != overlay::kInvalidPeer) {
+    peer_state_[hold.peer].soft.erase(hold_id);
+  }
+  for (overlay::OverlayLinkId link : hold.links) {
+    link_state_[link].soft.erase(hold_id);
+  }
+  holds_.erase(it);
+}
+
+void AllocationManager::release_session(SessionId session) {
+  auto it = grants_.find(session);
+  if (it == grants_.end()) return;
+  for (const Grant& grant : it->second) {
+    if (grant.peer != overlay::kInvalidPeer) {
+      peer_state_[grant.peer].confirmed -= grant.peer_amount;
+    }
+    for (overlay::OverlayLinkId link : grant.links) {
+      link_state_[link].confirmed_kbps -= grant.kbps;
+    }
+  }
+  grants_.erase(it);
+}
+
+bool AllocationManager::grant_direct(
+    SessionId session,
+    const std::vector<std::pair<PeerId, service::Resources>>& peer_demands,
+    const std::vector<std::pair<overlay::OverlayLinkId, double>>& link_demands) {
+  // Aggregate duplicate peers/links first so the feasibility check is
+  // exact when a graph places several components on one peer.
+  std::unordered_map<PeerId, service::Resources> per_peer;
+  for (const auto& [peer, amount] : peer_demands) {
+    auto [it, inserted] = per_peer.emplace(peer, amount);
+    if (!inserted) it->second += amount;
+  }
+  std::unordered_map<overlay::OverlayLinkId, double> per_link;
+  for (const auto& [link, kbps] : link_demands) {
+    per_link[link] += kbps;
+  }
+  for (const auto& [peer, amount] : per_peer) {
+    if (!amount.fits_within(peer_available(peer))) return false;
+  }
+  for (const auto& [link, kbps] : per_link) {
+    if (link_available_kbps(link) < kbps) return false;
+  }
+  auto& grant_list = grants_[session];
+  for (const auto& [peer, amount] : per_peer) {
+    Grant g;
+    g.session = session;
+    g.peer = peer;
+    g.peer_amount = amount;
+    peer_state_[peer].confirmed += amount;
+    grant_list.push_back(std::move(g));
+  }
+  for (const auto& [link, kbps] : per_link) {
+    Grant g;
+    g.session = session;
+    g.links = {link};
+    g.kbps = kbps;
+    link_state_[link].confirmed_kbps += kbps;
+    grant_list.push_back(std::move(g));
+  }
+  return true;
+}
+
+}  // namespace spider::core

@@ -1,0 +1,157 @@
+// Resource allocation with soft (probe-time) and confirmed (session-time)
+// reservations.
+//
+// BCP step 2.1 requires each probed peer to *temporarily* allocate the
+// resources a probe asks for, so that concurrent probes cannot jointly
+// admit sessions beyond capacity; the allocation is cancelled after a
+// timeout unless a confirmation message arrives (§4.2).  This manager
+// implements that protocol state for both end-system resources (per peer)
+// and bandwidth (per overlay link):
+//
+//   soft_reserve_*()  -> HoldId      (expires at `expire_at` unless...)
+//   confirm(hold, session)           (...converted to a session grant)
+//   release_hold(hold)               (explicit early cancel)
+//   release_session(session)         (teardown / failure)
+//
+// Expiry is lazy: expired holds are purged whenever availability for the
+// same peer/link is inspected, so no simulator events are needed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "service/qos.hpp"
+#include "sim/simulator.hpp"
+
+namespace spider::core {
+
+using HoldId = std::uint64_t;
+using SessionId = std::uint64_t;
+constexpr HoldId kInvalidHold = 0;
+constexpr SessionId kInvalidSession = 0;
+
+/// Read interface over resource availability. The live implementation is
+/// AllocationManager; the centralized baseline evaluates against a stale
+/// snapshot implementing the same interface (that staleness is exactly the
+/// imprecision the paper's §1 critique of global-state schemes describes).
+class AvailabilityView {
+ public:
+  virtual ~AvailabilityView() = default;
+  virtual service::Resources peer_available(PeerId peer) = 0;
+  virtual double link_available_kbps(overlay::OverlayLinkId link) = 0;
+
+  /// Min available bandwidth along a path's links (infinity for empty).
+  double path_available_kbps(const overlay::OverlayPath& path) {
+    double avail = std::numeric_limits<double>::infinity();
+    for (overlay::OverlayLinkId link : path.links) {
+      avail = std::min(avail, link_available_kbps(link));
+    }
+    return avail;
+  }
+};
+
+class AllocationManager : public AvailabilityView {
+ public:
+  AllocationManager(Deployment& deployment, sim::Simulator& simulator)
+      : deployment_(&deployment),
+        sim_(&simulator),
+        peer_state_(deployment.peer_count()),
+        link_state_(deployment.overlay().link_count()) {}
+
+  // ----- availability -----
+
+  /// Peer resources not held or granted (soft holds that expired are
+  /// purged first).
+  service::Resources peer_available(PeerId peer) override;
+  /// Overlay link bandwidth not held or granted.
+  double link_available_kbps(overlay::OverlayLinkId link) override;
+
+  // ----- soft holds (probe-time) -----
+
+  /// Reserves `amount` on `peer` until `expire_at`; fails (nullopt) if it
+  /// does not fit the current availability.
+  std::optional<HoldId> soft_reserve_peer(PeerId peer,
+                                          const service::Resources& amount,
+                                          sim::Time expire_at);
+  /// Reserves `kbps` on every link of `path` until `expire_at`; all-or-
+  /// nothing.
+  std::optional<HoldId> soft_reserve_path(const overlay::OverlayPath& path,
+                                          double kbps, sim::Time expire_at);
+
+  /// Converts a pending hold into a grant owned by `session`. Returns
+  /// false if the hold already expired or was released.
+  bool confirm(HoldId hold, SessionId session);
+  /// Cancels a pending hold early (no-op if gone).
+  void release_hold(HoldId hold);
+
+  // ----- sessions -----
+
+  SessionId new_session_id() { return next_session_id_++; }
+  /// Frees everything granted to `session`.
+  void release_session(SessionId session);
+
+  /// Direct session grant without a prior hold (used by the baselines,
+  /// which have no probing phase). All-or-nothing across the peer demands
+  /// and link demands given. Returns false and changes nothing on failure.
+  bool grant_direct(SessionId session,
+                    const std::vector<std::pair<PeerId, service::Resources>>&
+                        peer_demands,
+                    const std::vector<std::pair<overlay::OverlayLinkId, double>>&
+                        link_demands);
+
+  // ----- introspection -----
+
+  std::size_t active_holds() const { return holds_.size(); }
+  std::size_t active_grants() const { return grants_.size(); }
+
+ private:
+  struct PeerHold {
+    service::Resources amount;
+    sim::Time expire_at;
+  };
+  struct LinkHold {
+    double kbps;
+    sim::Time expire_at;
+  };
+  struct Hold {
+    PeerId peer = overlay::kInvalidPeer;  // valid if peer hold
+    service::Resources peer_amount;
+    std::vector<overlay::OverlayLinkId> links;  // valid if path hold
+    double kbps = 0.0;
+    sim::Time expire_at = 0.0;
+  };
+  struct Grant {
+    SessionId session;
+    PeerId peer = overlay::kInvalidPeer;
+    service::Resources peer_amount;
+    std::vector<overlay::OverlayLinkId> links;
+    double kbps = 0.0;
+  };
+  struct PeerState {
+    service::Resources confirmed;  // sum of grants
+    std::unordered_map<HoldId, PeerHold> soft;
+  };
+  struct LinkState {
+    double confirmed_kbps = 0.0;
+    std::unordered_map<HoldId, LinkHold> soft;
+  };
+
+  void purge_expired_peer(PeerState& state);
+  void purge_expired_link(LinkState& state);
+
+  Deployment* deployment_;
+  sim::Simulator* sim_;
+  std::vector<PeerState> peer_state_;
+  std::vector<LinkState> link_state_;
+  std::unordered_map<HoldId, Hold> holds_;
+  std::unordered_map<SessionId, std::vector<Grant>> grants_;
+  HoldId next_hold_id_ = 1;
+  SessionId next_session_id_ = 1;
+};
+
+}  // namespace spider::core

@@ -1,0 +1,182 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace spider::core {
+
+using service::ComponentMetadata;
+using service::FnNode;
+using service::ServiceGraph;
+
+namespace {
+
+/// Live replicas of a function per the global-view oracle.
+std::vector<ComponentMetadata> live_replicas(const Deployment& deployment,
+                                             service::FunctionId fn) {
+  std::vector<ComponentMetadata> out;
+  for (service::ComponentId id : deployment.replicas_oracle(fn)) {
+    if (deployment.component_alive(id)) {
+      out.push_back(ComponentMetadata::from(deployment.component(id)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BaselineResult OptimalComposer::compose(
+    const service::CompositeRequest& request, Objective objective,
+    AvailabilityView* view, std::size_t max_backups) {
+  BaselineResult result;
+  std::vector<service::FunctionGraph> patterns =
+      use_commutation_ ? request.graph.patterns(max_patterns_)
+                       : std::vector<service::FunctionGraph>{request.graph};
+
+  struct Scored {
+    ServiceGraph graph;
+    double key;
+  };
+  std::vector<Scored> qualified;
+
+  for (const service::FunctionGraph& pattern : patterns) {
+    const std::size_t n = pattern.node_count();
+    // Replica lists per node; empty list means the pattern is infeasible.
+    std::vector<std::vector<ComponentMetadata>> options(n);
+    bool feasible = true;
+    for (FnNode node = 0; node < n; ++node) {
+      options[node] = live_replicas(*deployment_, pattern.function(node));
+      if (options[node].empty()) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    // Exhaustive cross product; each full assignment is one candidate
+    // service graph ("probe" of the flooding scheme).
+    std::vector<std::size_t> pick(n, 0);
+    for (;;) {
+      if (result.candidates_examined >= max_candidates_) {
+        result.truncated = true;
+        break;
+      }
+      ++result.candidates_examined;
+      ++result.messages;  // the probe this graph would have cost
+
+      ServiceGraph graph;
+      graph.pattern = pattern;
+      graph.source = request.source;
+      graph.dest = request.dest;
+      graph.mapping.reserve(n);
+      for (FnNode node = 0; node < n; ++node) {
+        graph.mapping.push_back(options[node][pick[node]]);
+      }
+      if (evaluator_->levels_compatible(graph, request) &&
+          evaluator_->resolve(graph)) {
+        evaluator_->evaluate(graph, request, view);
+        if (evaluator_->qos_qualified(graph, request) &&
+            evaluator_->resource_feasible(graph, request, view)) {
+          const double key = objective == Objective::kMinPsi
+                                 ? graph.psi_cost
+                                 : graph.qos.delay_ms();
+          qualified.push_back(Scored{std::move(graph), key});
+        }
+      }
+
+      // Odometer increment.
+      std::size_t i = 0;
+      while (i < n && ++pick[i] == options[i].size()) {
+        pick[i] = 0;
+        ++i;
+      }
+      if (i == n) break;
+    }
+  }
+
+  if (qualified.empty()) return result;
+  std::stable_sort(qualified.begin(), qualified.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.key < b.key;
+                   });
+  result.success = true;
+  result.best = std::move(qualified.front().graph);
+  for (std::size_t i = 1; i < qualified.size() && result.backups.size() < max_backups;
+       ++i) {
+    result.backups.push_back(std::move(qualified[i].graph));
+  }
+  return result;
+}
+
+BaselineResult RandomComposer::compose(const service::CompositeRequest& request,
+                                       Rng& rng) {
+  BaselineResult result;
+  const service::FunctionGraph& pattern = request.graph;
+  ServiceGraph graph;
+  graph.pattern = pattern;
+  graph.source = request.source;
+  graph.dest = request.dest;
+  for (FnNode node = 0; node < pattern.node_count(); ++node) {
+    std::vector<ComponentMetadata> options =
+        live_replicas(*deployment_, pattern.function(node));
+    if (options.empty()) return result;
+    graph.mapping.push_back(
+        options[rng.next_below(options.size())]);
+    ++result.messages;  // one lookup per function
+  }
+  if (!evaluator_->resolve(graph)) return result;
+  evaluator_->evaluate(graph, request);
+  result.success = true;  // "success" = produced a graph; callers apply the
+                          // QoS-success definition themselves
+  result.best = std::move(graph);
+  return result;
+}
+
+BaselineResult StaticComposer::compose(const service::CompositeRequest& request) {
+  BaselineResult result;
+  const service::FunctionGraph& pattern = request.graph;
+  ServiceGraph graph;
+  graph.pattern = pattern;
+  graph.source = request.source;
+  graph.dest = request.dest;
+  for (FnNode node = 0; node < pattern.node_count(); ++node) {
+    // Pre-defined choice: lowest component id overall; if its peer is
+    // dead the static scheme simply fails (it is not failure-aware).
+    const auto& replicas = deployment_->replicas_oracle(pattern.function(node));
+    if (replicas.empty()) return result;
+    const service::ComponentId chosen =
+        *std::min_element(replicas.begin(), replicas.end());
+    if (!deployment_->component_alive(chosen)) return result;
+    graph.mapping.push_back(
+        ComponentMetadata::from(deployment_->component(chosen)));
+    ++result.messages;
+  }
+  if (!evaluator_->resolve(graph)) return result;
+  evaluator_->evaluate(graph, request);
+  result.success = true;
+  result.best = std::move(graph);
+  return result;
+}
+
+void CentralizedComposer::refresh() {
+  const std::size_t peers = deployment_->peer_count();
+  for (PeerId p = 0; p < peers; ++p) {
+    if (!deployment_->peer_alive(p)) continue;
+    snapshot_.peer[p] = alloc_->peer_available(p);
+    ++maintenance_messages_;  // one state-update message per live peer
+  }
+  for (overlay::OverlayLinkId l = 0; l < deployment_->overlay().link_count();
+       ++l) {
+    snapshot_.link[l] = alloc_->link_available_kbps(l);
+  }
+  refreshed_once_ = true;
+}
+
+BaselineResult CentralizedComposer::compose(
+    const service::CompositeRequest& request, Objective objective) {
+  SPIDER_REQUIRE_MSG(refreshed_once_, "call refresh() before composing");
+  return optimal_.compose(request, objective, &snapshot_);
+}
+
+}  // namespace spider::core

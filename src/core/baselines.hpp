@@ -1,0 +1,143 @@
+// Comparison composers from the paper's evaluation (§6.1):
+//
+//  * OptimalComposer — "unbounded network flooding, which exhaustively
+//    searches all candidate service graphs to find the best qualified
+//    service graph."  Implemented as an exhaustive global-view enumeration
+//    over patterns × replica choices; its message cost is the number of
+//    candidate graphs it would have probed (17³ = 4913 in Fig 11's setup).
+//  * RandomComposer — "randomly selects a functionally qualified service
+//    component for each function node", ignoring QoS/resources.
+//  * StaticComposer — "selects pre-defined service component for each
+//    function node" (the lowest-id replica here), ignoring QoS/resources.
+//  * CentralizedComposer — a global-view scheme with *periodically
+//    refreshed* state: composition decisions are optimal against the last
+//    snapshot; admission still runs against reality, so stale decisions
+//    can fail.  Refreshes cost one update message per peer, which is the
+//    ">10× overhead" the paper attributes to global-state maintenance.
+#pragma once
+
+#include <cstdint>
+
+#include "core/allocator.hpp"
+#include "core/deployment.hpp"
+#include "core/evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace spider::core {
+
+struct BaselineResult {
+  bool success = false;
+  service::ServiceGraph best;
+  std::vector<service::ServiceGraph> backups;  ///< other qualified, ψ-ascending
+  std::uint64_t messages = 0;
+  std::size_t candidates_examined = 0;
+  /// True if the exhaustive search hit its candidate cap (the result is
+  /// then best-of-examined, not a true global optimum).
+  bool truncated = false;
+};
+
+/// Objective for exhaustive selection.
+enum class Objective {
+  kMinPsi,   ///< load balancing (Fig 8's success-ratio runs)
+  kMinDelay  ///< end-to-end delay (Fig 11's delay-vs-budget runs)
+};
+
+class OptimalComposer {
+ public:
+  OptimalComposer(Deployment& deployment, AllocationManager& alloc,
+                  GraphEvaluator& evaluator, bool use_commutation = true,
+                  std::size_t max_patterns = 8,
+                  std::size_t max_candidates = 2'000'000)
+      : deployment_(&deployment),
+        alloc_(&alloc),
+        evaluator_(&evaluator),
+        use_commutation_(use_commutation),
+        max_patterns_(max_patterns),
+        max_candidates_(max_candidates) {}
+
+  /// Exhaustive search; `view` overrides the availability used for ranking
+  /// and feasibility (the centralized baseline passes its snapshot).
+  BaselineResult compose(const service::CompositeRequest& request,
+                         Objective objective = Objective::kMinPsi,
+                         AvailabilityView* view = nullptr,
+                         std::size_t max_backups = 16);
+
+ private:
+  Deployment* deployment_;
+  AllocationManager* alloc_;
+  GraphEvaluator* evaluator_;
+  bool use_commutation_;
+  std::size_t max_patterns_;
+  std::size_t max_candidates_;
+};
+
+class RandomComposer {
+ public:
+  RandomComposer(Deployment& deployment, GraphEvaluator& evaluator)
+      : deployment_(&deployment), evaluator_(&evaluator) {}
+
+  /// Random replica per function node; no QoS/resource awareness in the
+  /// choice. The returned graph is resolved + evaluated so callers can
+  /// measure what the blind choice achieved.
+  BaselineResult compose(const service::CompositeRequest& request, Rng& rng);
+
+ private:
+  Deployment* deployment_;
+  GraphEvaluator* evaluator_;
+};
+
+class StaticComposer {
+ public:
+  StaticComposer(Deployment& deployment, GraphEvaluator& evaluator)
+      : deployment_(&deployment), evaluator_(&evaluator) {}
+
+  /// Pre-defined (lowest component id, i.e. first deployed live) replica
+  /// per function node.
+  BaselineResult compose(const service::CompositeRequest& request);
+
+ private:
+  Deployment* deployment_;
+  GraphEvaluator* evaluator_;
+};
+
+/// Global-view composer operating on a periodically refreshed snapshot.
+class CentralizedComposer {
+ public:
+  CentralizedComposer(Deployment& deployment, AllocationManager& alloc,
+                      GraphEvaluator& evaluator)
+      : deployment_(&deployment),
+        alloc_(&alloc),
+        optimal_(deployment, alloc, evaluator),
+        snapshot_(deployment.peer_count(),
+                  deployment.overlay().link_count()) {}
+
+  /// Pulls fresh availability from every live peer (and link); costs one
+  /// update message per live peer. Call on the maintenance period.
+  void refresh();
+
+  BaselineResult compose(const service::CompositeRequest& request,
+                         Objective objective = Objective::kMinPsi);
+
+  std::uint64_t maintenance_messages() const { return maintenance_messages_; }
+
+ private:
+  struct Snapshot : public AvailabilityView {
+    Snapshot(std::size_t peers, std::size_t links)
+        : peer(peers), link(links, 0.0) {}
+    service::Resources peer_available(PeerId p) override { return peer[p]; }
+    double link_available_kbps(overlay::OverlayLinkId l) override {
+      return link[l];
+    }
+    std::vector<service::Resources> peer;
+    std::vector<double> link;
+  };
+
+  Deployment* deployment_;
+  AllocationManager* alloc_;
+  OptimalComposer optimal_;
+  Snapshot snapshot_;
+  std::uint64_t maintenance_messages_ = 0;
+  bool refreshed_once_ = false;
+};
+
+}  // namespace spider::core

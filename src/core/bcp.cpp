@@ -1,0 +1,737 @@
+#include "core/bcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace spider::core {
+
+using service::ComponentMetadata;
+using service::FnNode;
+using service::Qos;
+using service::ServiceGraph;
+using service::ServiceLinkHop;
+
+namespace {
+
+/// Key identifying what a soft hold covers, so merged graphs can dedupe
+/// holds made by different branch probes for the same node/edge.
+///  - node hold:  (1<<63) | node
+///  - edge hold:  (from<<32) | to   (kEndpoint sentinels included)
+std::uint64_t node_hold_key(FnNode node) {
+  return (std::uint64_t(1) << 63) | node;
+}
+std::uint64_t edge_hold_key(FnNode from, FnNode to) {
+  return (std::uint64_t(from) << 32) | to;
+}
+
+std::uint64_t shared_peer_key(FnNode node, service::ComponentId comp) {
+  return (std::uint64_t(node) << 48) ^ comp;
+}
+
+/// splitmix64-based hash -> uniform double in [0, 1). The next-hop
+/// metric's noise/jitter terms are derived from a per-request salt and
+/// the (observer peer, candidate) pair, NOT from a shared RNG stream:
+/// an estimate error is a property of who measures whom, and hashing
+/// makes composition results independent of probe processing order (the
+/// synchronous and message-level modes decide identically).
+double unit_hash(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return double(x >> 11) * 0x1.0p-53;
+}
+std::uint64_t shared_path_key(FnNode from, FnNode to, overlay::PeerId a,
+                              overlay::PeerId b) {
+  return (std::uint64_t(from) << 48) ^ (std::uint64_t(to) << 32) ^
+         (std::uint64_t(a) << 16) ^ b;
+}
+
+/// ψ ranking must not be distorted by a request's own soft holds (probes
+/// of the same request would otherwise see each other's temporary
+/// reservations as load). The engine tracks what it reserved and ranks
+/// through this view, which adds it back — the availability a probe
+/// carried in its states before its own allocation (step 2.4).
+struct OwnHoldsView : public AvailabilityView {
+  AllocationManager* base = nullptr;
+  std::unordered_map<overlay::PeerId, service::Resources> peer_extra;
+  std::unordered_map<overlay::OverlayLinkId, double> link_extra;
+
+  service::Resources peer_available(overlay::PeerId peer) override {
+    service::Resources avail = base->peer_available(peer);
+    if (auto it = peer_extra.find(peer); it != peer_extra.end()) {
+      avail += it->second;
+    }
+    return avail;
+  }
+  double link_available_kbps(overlay::OverlayLinkId link) override {
+    double avail = base->link_available_kbps(link);
+    if (auto it = link_extra.find(link); it != link_extra.end()) {
+      avail += it->second;
+    }
+    return avail;
+  }
+};
+
+}  // namespace
+
+struct BcpEngine::Probe {
+  std::size_t pattern_idx = 0;
+  std::size_t branch_idx = 0;
+  PeerId at = overlay::kInvalidPeer;
+  double arrival = 0.0;   ///< ms since request start
+  double disc_acc = 0.0;  ///< discovery share of `arrival`
+  Qos qos_acc = Qos::delay_loss(0.0);
+  std::uint32_t level = 0;  ///< quality level of the stream at this point
+  int budget = 1;
+  std::vector<ComponentMetadata> chosen;  ///< prefix of the branch
+  std::vector<std::pair<std::uint64_t, HoldId>> holds;
+  bool final_leg_done = false;
+};
+
+struct BcpEngine::DiscoveryEntry {
+  std::vector<ComponentMetadata> components;
+  double time_ms = 0.0;
+};
+
+/// Everything one in-flight composition owns. The synchronous path keeps
+/// it on the stack; the message-level path keeps it alive on the heap
+/// until the last event fires.
+struct BcpEngine::ComposeState {
+  service::CompositeRequest request;
+  Rng* rng = nullptr;
+  std::uint64_t noise_salt = 0;  ///< seeds the hashed metric noise/jitter
+  ComposeResult result;
+  sim::Time hold_expiry = 0.0;
+  std::vector<HoldId> all_holds;
+  OwnHoldsView own_view;
+  std::unordered_map<std::uint64_t, HoldId> shared_peer_holds;
+  std::unordered_map<std::uint64_t, HoldId> shared_path_holds;
+  std::vector<service::FunctionGraph> patterns;
+  std::vector<std::vector<std::vector<FnNode>>> branches;
+  std::unordered_map<std::uint64_t, DiscoveryEntry> discovery_cache;
+  std::vector<Probe> seeds;    ///< filled by init_state
+  std::vector<Probe> arrived;  ///< probes that completed their final leg
+};
+
+const BcpEngine::DiscoveryEntry& BcpEngine::discover(ComposeState& state,
+                                                     PeerId peer,
+                                                     service::FunctionId fn) {
+  auto& ov = deployment_->overlay();
+  const std::uint64_t key = (std::uint64_t(peer) << 32) | fn;
+  auto it = state.discovery_cache.find(key);
+  if (it != state.discovery_cache.end()) return it->second;
+  DiscoveryEntry entry;
+  discovery::DiscoveryResult found = deployment_->registry().discover(peer, fn);
+  state.result.stats.discovery_messages += found.hops() + 1;  // lookup + reply
+  // Lookup latency: the DHT route's overlay transit plus the response
+  // straight back to the requester.
+  for (std::size_t i = 0; i + 1 < found.path.size(); ++i) {
+    entry.time_ms += ov.delay_ms(found.path[i], found.path[i + 1]);
+  }
+  if (!found.path.empty()) {
+    entry.time_ms += ov.delay_ms(found.path.back(), peer);
+  }
+  if (found.found) entry.components = std::move(found.components);
+  return state.discovery_cache.emplace(key, std::move(entry)).first->second;
+}
+
+int BcpEngine::quota_for(std::size_t replica_count) const {
+  switch (config_.quota_policy) {
+    case QuotaPolicy::kUniform:
+      return std::min(config_.quota_base, config_.max_quota);
+    case QuotaPolicy::kReplicaProportional:
+      // More replicas -> more probes, half the replica pool, capped.
+      return int(std::clamp<std::size_t>((replica_count + 1) / 2, 1,
+                                         std::size_t(config_.max_quota)));
+  }
+  return 1;
+}
+
+bool BcpEngine::init_state(ComposeState& state,
+                           const service::CompositeRequest& request,
+                           Rng& rng) {
+  auto& ov = deployment_->overlay();
+  SPIDER_REQUIRE(request.graph.node_count() > 0);
+  SPIDER_REQUIRE(request.graph.is_dag());
+  if (!ov.alive(request.source) || !ov.alive(request.dest)) return false;
+
+  state.request = request;
+  state.rng = &rng;
+  state.noise_salt = rng();  // one draw per request; see unit_hash
+  state.hold_expiry = sim_->now() + config_.probe_timeout_ms;
+  state.own_view.base = alloc_;
+
+  // ---- Step 1: patterns, branches, seed probes ------------------------
+  state.patterns =
+      config_.use_commutation
+          ? request.graph.patterns(config_.max_patterns)
+          : std::vector<service::FunctionGraph>{request.graph};
+  state.branches.resize(state.patterns.size());
+  std::size_t total_seeds = 0;
+  for (std::size_t pi = 0; pi < state.patterns.size(); ++pi) {
+    state.branches[pi] = state.patterns[pi].branches();
+    total_seeds += state.branches[pi].size();
+  }
+  SPIDER_REQUIRE(total_seeds > 0);
+  const int seed_budget =
+      std::max(1, config_.probing_budget / int(total_seeds));
+
+  for (std::size_t pi = 0; pi < state.patterns.size(); ++pi) {
+    for (std::size_t bi = 0; bi < state.branches[pi].size(); ++bi) {
+      Probe seed;
+      seed.pattern_idx = pi;
+      seed.branch_idx = bi;
+      seed.at = request.source;
+      seed.budget = seed_budget;
+      seed.qos_acc = Qos(request.qos_req.size());
+      seed.level = request.source_level;
+      state.seeds.push_back(std::move(seed));
+      ++state.result.stats.probes_spawned;
+    }
+  }
+  return true;
+}
+
+void BcpEngine::process_probe(ComposeState& state, Probe probe,
+                              std::vector<Probe>* out_children) {
+  auto& ov = deployment_->overlay();
+  ComposeStats& stats = state.result.stats;
+  const service::CompositeRequest& request = state.request;
+  (void)state.rng;  // metric noise is hashed, not drawn (see unit_hash)
+  const auto& branch = state.branches[probe.pattern_idx][probe.branch_idx];
+  const auto& pattern = state.patterns[probe.pattern_idx];
+
+  if (probe.chosen.size() == branch.size()) {
+    // Final leg: stream exits the last component toward the destination.
+    ++stats.probe_messages;
+    const FnNode last = branch.back();
+    double leg_delay = 0.0;
+    if (probe.at != request.dest) {
+      const overlay::OverlayPath& path = ov.route(probe.at, request.dest);
+      if (!path.valid) {
+        ++stats.probes_dropped_resources;
+        return;
+      }
+      leg_delay = path.delay_ms;
+      if (request.bandwidth_kbps > 0.0 && !path.links.empty()) {
+        if (!config_.soft_allocation) {
+          // Check-only mode (ablation A4): no reservation is made.
+          if (alloc_->path_available_kbps(path) < request.bandwidth_kbps) {
+            ++stats.probes_dropped_resources;
+            return;
+          }
+        } else {
+          const std::uint64_t skey = shared_path_key(
+              last, ServiceLinkHop::kEndpoint, probe.at, request.dest);
+          auto existing = state.shared_path_holds.find(skey);
+          if (existing != state.shared_path_holds.end()) {
+            probe.holds.emplace_back(
+                edge_hold_key(last, ServiceLinkHop::kEndpoint),
+                existing->second);
+          } else {
+            auto hold = alloc_->soft_reserve_path(path, request.bandwidth_kbps,
+                                                  state.hold_expiry);
+            if (!hold.has_value()) {
+              ++stats.probes_dropped_resources;
+              return;
+            }
+            state.all_holds.push_back(*hold);
+            state.shared_path_holds.emplace(skey, *hold);
+            for (auto link : path.links) {
+              state.own_view.link_extra[link] += request.bandwidth_kbps;
+            }
+            probe.holds.emplace_back(
+                edge_hold_key(last, ServiceLinkHop::kEndpoint), *hold);
+          }
+        }
+      }
+    }
+    probe.arrival += config_.per_hop_processing_ms + leg_delay;
+    probe.qos_acc[Qos::kDelay] += leg_delay;
+    if (probe.arrival > config_.probe_timeout_ms) {
+      ++stats.probes_dropped_timeout;
+      return;
+    }
+    if (!probe.qos_acc.within(request.qos_req) ||
+        probe.level < request.min_dest_level) {
+      ++stats.probes_dropped_qos;
+      return;
+    }
+    probe.final_leg_done = true;
+    ++stats.probes_arrived;
+    state.arrived.push_back(std::move(probe));
+    return;
+  }
+
+  // Step 2.2/2.3: next-hop function & replica selection.
+  const FnNode next_node = branch[probe.chosen.size()];
+  const service::FunctionId fn = pattern.function(next_node);
+  const DiscoveryEntry& disc = discover(state, probe.at, fn);
+
+  std::vector<const ComponentMetadata*> candidates;
+  for (const ComponentMetadata& meta : disc.components) {
+    // Liveness + Q_in compatibility (§2.2): the candidate must accept the
+    // stream at its current quality level.
+    if (ov.alive(meta.host) && meta.input_level <= probe.level) {
+      candidates.push_back(&meta);
+    }
+  }
+  if (candidates.empty() || probe.budget < 1) {
+    ++stats.probes_dropped_resources;
+    return;
+  }
+
+  // Composite local selection metric (step 2.3): proximity + component
+  // performance + failure risk + trust; lower is better. Local knowledge
+  // only: the peer knows the measured delay of its own overlay links; for
+  // non-neighbor candidates it falls back to a coarse estimate (2x its
+  // mean neighbor delay) blurred by log-normal noise — the states-
+  // imprecision the paper's decentralization argument rests on. The
+  // *destination* later judges candidates on the states the probes
+  // actually measured en route.
+  const double far_guess = 2.0 * ov.mean_neighbor_delay(probe.at);
+  auto score = [&](const ComponentMetadata& meta) {
+    // Deterministic per-(observer, candidate) noise draws.
+    const std::uint64_t noise_key = state.noise_salt ^
+                                    (std::uint64_t(probe.at) << 40) ^
+                                    meta.id * 0x9e3779b97f4a7c15ULL;
+    double link = 0.0;
+    if (probe.at != meta.host &&
+        !ov.are_neighbors(probe.at, meta.host, &link)) {
+      link = far_guess;
+      if (config_.metric_estimate_sigma > 0.0) {
+        // Log-normal multiplier via Box–Muller over two hashed uniforms.
+        double u1 = unit_hash(noise_key);
+        if (u1 <= 0.0) u1 = 0.5;
+        const double u2 = unit_hash(noise_key + 1);
+        const double normal =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+        link *= std::exp(config_.metric_estimate_sigma * normal);
+      }
+    }
+    double bw_term = 0.0;
+    if (request.bandwidth_kbps > 0.0 && probe.at != meta.host) {
+      const overlay::OverlayPath& path = ov.route(probe.at, meta.host);
+      const double avail =
+          path.valid ? state.own_view.path_available_kbps(path) : 0.0;
+      bw_term = avail >= request.bandwidth_kbps
+                    ? config_.metric_w_bandwidth *
+                          (request.bandwidth_kbps / avail)
+                    : 1e6;  // cannot carry the stream
+    }
+    const double jitter = config_.metric_jitter_ms > 0.0
+                              ? config_.metric_jitter_ms *
+                                    unit_hash(noise_key + 2)
+                              : 0.0;
+    double trust_term = 0.0;
+    if (config_.trust_fn) {
+      trust_term =
+          config_.metric_w_trust * (1.0 - config_.trust_fn(meta.host));
+    }
+    return config_.metric_w_link_delay * link +
+           config_.metric_w_perf_delay * meta.perf.delay_ms() +
+           config_.metric_w_failure * meta.failure_prob + bw_term + jitter +
+           trust_term;
+  };
+  // Score once per candidate (the jitter draw must be stable for the sort
+  // comparator).
+  std::vector<std::pair<double, const ComponentMetadata*>> scored;
+  scored.reserve(candidates.size());
+  for (const ComponentMetadata* meta : candidates) {
+    scored.emplace_back(score(*meta), meta);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     return a.second->id < b.second->id;
+                   });
+  candidates.clear();
+  for (const auto& [sc, meta] : scored) candidates.push_back(meta);
+
+  const std::size_t z = candidates.size();
+  const int alpha = quota_for(z);
+  const int allowed = std::min(probe.budget, alpha);
+  const std::size_t fanout =
+      std::min<std::size_t>(std::size_t(std::max(allowed, 1)), z);
+  const int child_budget =
+      std::max(1, probe.budget / int(fanout >= z ? z : fanout));
+
+  for (std::size_t ci = 0; ci < fanout; ++ci) {
+    const ComponentMetadata& cand = *candidates[ci];
+    Probe child = probe;  // copy: chosen prefix, holds, timing
+    child.budget = child_budget;
+    ++stats.probe_messages;
+
+    double leg_delay = 0.0;
+    const overlay::OverlayPath* leg_path = nullptr;
+    if (probe.at != cand.host) {
+      const overlay::OverlayPath& path = ov.route(probe.at, cand.host);
+      if (!path.valid) {
+        ++stats.probes_dropped_resources;
+        continue;
+      }
+      leg_path = &path;
+      leg_delay = path.delay_ms;
+    }
+    child.arrival += disc.time_ms + config_.per_hop_processing_ms + leg_delay;
+    child.disc_acc += disc.time_ms;
+    if (child.arrival > config_.probe_timeout_ms) {
+      ++stats.probes_dropped_timeout;
+      continue;
+    }
+
+    // Step 2.4 then 2.1 at the receiving peer: accumulate QoS states, drop
+    // on violation, then soft-allocate.
+    child.qos_acc[Qos::kDelay] += leg_delay;
+    child.qos_acc += cand.perf.resized(request.qos_req.size());
+    if (!child.qos_acc.within(request.qos_req)) {
+      ++stats.probes_dropped_qos;
+      continue;
+    }
+
+    const FnNode prev_node = child.chosen.empty()
+                                 ? ServiceLinkHop::kEndpoint
+                                 : branch[child.chosen.size() - 1];
+    if (!config_.soft_allocation) {
+      // Check-only mode (ablation A4): availability verified, nothing
+      // reserved — concurrent requests may later race to admission.
+      if (leg_path != nullptr && request.bandwidth_kbps > 0.0 &&
+          !leg_path->links.empty() &&
+          alloc_->path_available_kbps(*leg_path) < request.bandwidth_kbps) {
+        ++stats.probes_dropped_resources;
+        continue;
+      }
+      if (!cand.required.fits_within(alloc_->peer_available(cand.host))) {
+        ++stats.probes_dropped_resources;
+        continue;
+      }
+    } else {
+      // Bandwidth on the incoming service link (shared per request).
+      std::optional<HoldId> bw_hold;
+      bool bw_hold_fresh = false;
+      if (leg_path != nullptr && request.bandwidth_kbps > 0.0 &&
+          !leg_path->links.empty()) {
+        const std::uint64_t skey =
+            shared_path_key(prev_node, next_node, probe.at, cand.host);
+        if (auto it = state.shared_path_holds.find(skey);
+            it != state.shared_path_holds.end()) {
+          bw_hold = it->second;
+        } else {
+          bw_hold = alloc_->soft_reserve_path(
+              *leg_path, request.bandwidth_kbps, state.hold_expiry);
+          if (!bw_hold.has_value()) {
+            ++stats.probes_dropped_resources;
+            continue;
+          }
+          bw_hold_fresh = true;
+          state.shared_path_holds.emplace(skey, *bw_hold);
+        }
+      }
+      // Component resources on the candidate host (shared per request).
+      std::optional<HoldId> res_hold;
+      const std::uint64_t pkey = shared_peer_key(next_node, cand.id);
+      if (auto it = state.shared_peer_holds.find(pkey);
+          it != state.shared_peer_holds.end()) {
+        res_hold = it->second;
+      } else {
+        res_hold = alloc_->soft_reserve_peer(cand.host, cand.required,
+                                             state.hold_expiry);
+        if (!res_hold.has_value()) {
+          if (bw_hold_fresh) {
+            alloc_->release_hold(*bw_hold);
+            state.shared_path_holds.erase(
+                shared_path_key(prev_node, next_node, probe.at, cand.host));
+          }
+          ++stats.probes_dropped_resources;
+          continue;
+        }
+        state.shared_peer_holds.emplace(pkey, *res_hold);
+        state.all_holds.push_back(*res_hold);
+        state.own_view.peer_extra[cand.host] += cand.required;
+      }
+      if (bw_hold.has_value()) {
+        if (bw_hold_fresh) {
+          state.all_holds.push_back(*bw_hold);
+          for (auto link : leg_path->links) {
+            state.own_view.link_extra[link] += request.bandwidth_kbps;
+          }
+        }
+        child.holds.emplace_back(edge_hold_key(prev_node, next_node),
+                                 *bw_hold);
+      }
+      child.holds.emplace_back(node_hold_key(next_node), *res_hold);
+    }
+
+    child.chosen.push_back(cand);
+    child.at = cand.host;
+    child.level = cand.output_level;
+    ++stats.probes_spawned;
+    out_children->push_back(std::move(child));
+  }
+}
+
+void BcpEngine::finalize(ComposeState& state) {
+  ComposeStats& stats = state.result.stats;
+  ComposeResult& result = state.result;
+  const service::CompositeRequest& request = state.request;
+
+  // ---- Step 3: destination merge + optimal composition selection ------
+  // Group arrived probes by (pattern, branch).
+  std::unordered_map<std::uint64_t, std::vector<const Probe*>> by_pb;
+  double last_arrival = 0.0;
+  double critical_disc = 0.0;
+  for (const Probe& probe : state.arrived) {
+    by_pb[(std::uint64_t(probe.pattern_idx) << 32) | probe.branch_idx]
+        .push_back(&probe);
+    if (probe.arrival > last_arrival) {
+      last_arrival = probe.arrival;
+      critical_disc = probe.disc_acc;
+    }
+  }
+
+  struct Candidate {
+    std::size_t pattern_idx;
+    std::vector<ComponentMetadata> mapping;  // per pattern node
+    std::vector<const Probe*> probes;
+  };
+  std::vector<Candidate> candidates;
+  std::unordered_set<std::string> candidate_sigs;
+
+  for (std::size_t pi = 0; pi < state.patterns.size(); ++pi) {
+    const auto& pattern_branches = state.branches[pi];
+    // All branches must have at least one arrived probe.
+    std::vector<const std::vector<const Probe*>*> lists;
+    bool complete = true;
+    for (std::size_t bi = 0; bi < pattern_branches.size(); ++bi) {
+      auto it = by_pb.find((std::uint64_t(pi) << 32) | bi);
+      if (it == by_pb.end()) {
+        complete = false;
+        break;
+      }
+      lists.push_back(&it->second);
+    }
+    if (!complete) continue;
+
+    // Depth-first join across branches, requiring agreement on shared
+    // function nodes.
+    const std::size_t node_count = state.patterns[pi].node_count();
+    std::vector<ComponentMetadata> mapping(node_count);
+    std::vector<bool> bound(node_count, false);
+    std::vector<const Probe*> used;
+
+    std::function<void(std::size_t)> join = [&](std::size_t bi) {
+      if (candidates.size() >= config_.max_candidates) return;
+      if (bi == lists.size()) {
+        Candidate c;
+        c.pattern_idx = pi;
+        c.mapping = mapping;
+        c.probes = used;
+        // Dedupe identical (pattern, mapping) combinations.
+        std::string sig = std::to_string(pi) + ":";
+        for (const auto& m : c.mapping) sig += std::to_string(m.id) + ",";
+        if (candidate_sigs.insert(sig).second) {
+          candidates.push_back(std::move(c));
+        }
+        return;
+      }
+      const auto& branch = pattern_branches[bi];
+      for (const Probe* probe : *lists[bi]) {
+        bool compatible = true;
+        for (std::size_t k = 0; k < branch.size(); ++k) {
+          if (bound[branch[k]] &&
+              mapping[branch[k]].id != probe->chosen[k].id) {
+            compatible = false;
+            break;
+          }
+        }
+        if (!compatible) continue;
+        std::vector<FnNode> newly_bound;
+        for (std::size_t k = 0; k < branch.size(); ++k) {
+          if (!bound[branch[k]]) {
+            bound[branch[k]] = true;
+            mapping[branch[k]] = probe->chosen[k];
+            newly_bound.push_back(branch[k]);
+          }
+        }
+        used.push_back(probe);
+        join(bi + 1);
+        used.pop_back();
+        for (FnNode n : newly_bound) bound[n] = false;
+      }
+    };
+    join(0);
+  }
+  stats.candidates_merged = candidates.size();
+
+  // Evaluate, filter by QoS, rank by the selection objective.
+  struct Scored {
+    ServiceGraph graph;
+    std::vector<HoldId> holds;
+  };
+  std::vector<Scored> qualified;
+  for (Candidate& cand : candidates) {
+    ServiceGraph graph;
+    graph.pattern = state.patterns[cand.pattern_idx];
+    graph.mapping = std::move(cand.mapping);
+    graph.source = request.source;
+    graph.dest = request.dest;
+    if (!evaluator_->levels_compatible(graph, request)) continue;
+    if (!evaluator_->resolve(graph)) continue;
+    evaluator_->evaluate(graph, request, &state.own_view);
+    if (!evaluator_->qos_qualified(graph, request)) continue;
+
+    // Union of constituent probes' holds, deduped by coverage key.
+    std::unordered_map<std::uint64_t, HoldId> by_key;
+    for (const Probe* probe : cand.probes) {
+      for (const auto& [key, hold] : probe->holds) by_key.emplace(key, hold);
+    }
+    Scored s;
+    s.graph = std::move(graph);
+    s.holds.reserve(by_key.size());
+    for (const auto& [key, hold] : by_key) s.holds.push_back(hold);
+    qualified.push_back(std::move(s));
+  }
+  stats.qualified_found = qualified.size();
+
+  const auto selection_key = [this](const service::ServiceGraph& g) {
+    return config_.objective == SelectionObjective::kMinPsi ? g.psi_cost
+                                                            : g.qos.delay_ms();
+  };
+  std::stable_sort(qualified.begin(), qualified.end(),
+                   [&](const Scored& a, const Scored& b) {
+                     return selection_key(a.graph) < selection_key(b.graph);
+                   });
+
+  stats.probing_time_ms = last_arrival;
+  stats.discovery_time_ms = critical_disc;
+
+  if (!qualified.empty()) {
+    result.success = true;
+    result.best = std::move(qualified.front().graph);
+    result.best_holds = std::move(qualified.front().holds);
+    for (std::size_t i = 1; i < qualified.size() &&
+                            result.backups.size() < config_.max_backups_returned;
+         ++i) {
+      result.backups.push_back(std::move(qualified[i].graph));
+    }
+    // Step 4: the acknowledgement travels the reversed selected graph.
+    stats.probe_messages += result.best.hops.size();
+    stats.setup_time_ms = last_arrival + evaluator_->ack_time_ms(result.best) +
+                          config_.per_hop_processing_ms;
+  } else {
+    stats.setup_time_ms = last_arrival;
+  }
+
+  // Release every hold this request made except those backing the best
+  // graph (the paper's timeout-based cancellation, applied eagerly).
+  std::unordered_set<HoldId> keep(result.best_holds.begin(),
+                                  result.best_holds.end());
+  for (HoldId hold : state.all_holds) {
+    if (keep.count(hold) == 0) alloc_->release_hold(hold);
+  }
+}
+
+ComposeResult BcpEngine::compose(const service::CompositeRequest& request,
+                                 Rng& rng) {
+  ComposeState state;
+  if (!init_state(state, request, rng)) return std::move(state.result);
+
+  std::deque<Probe> queue(std::make_move_iterator(state.seeds.begin()),
+                          std::make_move_iterator(state.seeds.end()));
+  state.seeds.clear();
+  std::vector<Probe> children;
+  while (!queue.empty()) {
+    Probe probe = std::move(queue.front());
+    queue.pop_front();
+    children.clear();
+    process_probe(state, std::move(probe), &children);
+    for (Probe& child : children) queue.push_back(std::move(child));
+  }
+  finalize(state);
+  return std::move(state.result);
+}
+
+void BcpEngine::compose_async(const service::CompositeRequest& request,
+                              Rng& rng,
+                              std::function<void(ComposeResult)> done) {
+  SPIDER_REQUIRE(done != nullptr);
+
+  struct AsyncRun {
+    ComposeState state;
+    std::size_t outstanding = 0;  ///< probes still in flight
+    bool finished = false;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+    std::function<void(ComposeResult)> done;
+  };
+  auto run = std::make_shared<AsyncRun>();
+  run->done = std::move(done);
+
+  if (!init_state(run->state, request, rng)) {
+    // Fail at the earliest possible virtual instant, still asynchronously.
+    sim_->schedule_after(0.0, [this, run] {
+      (void)this;
+      run->done(std::move(run->state.result));
+    });
+    return;
+  }
+
+  const double t0 = sim_->now();
+
+  // Completion: merge/select at the destination, then deliver the result
+  // when the ack (or the failure notice) reaches the source.
+  auto complete = [this, run, t0] {
+    if (run->finished) return;
+    run->finished = true;
+    if (run->timeout_event != sim::kInvalidEvent) {
+      sim_->cancel(run->timeout_event);
+    }
+    finalize(run->state);
+    const double done_at = t0 + run->state.result.stats.setup_time_ms;
+    const double delay = std::max(0.0, done_at - sim_->now());
+    sim_->schedule_after(delay, [run] {
+      run->done(std::move(run->state.result));
+    });
+  };
+
+  // Each probe hop is one event at the probe's arrival time. The
+  // recursion goes through a shared function object so that event lambdas
+  // hold a stable copy (a local std::function would die when
+  // compose_async returns).
+  auto scheduler = std::make_shared<std::function<void(Probe)>>();
+  *scheduler = [this, run, t0, complete, scheduler](Probe probe) {
+    ++run->outstanding;
+    const double at = t0 + probe.arrival;
+    sim_->schedule_at(std::max(at, sim_->now()),
+                      [this, run, complete, scheduler,
+                       probe = std::move(probe)]() mutable {
+                        --run->outstanding;
+                        if (run->finished) return;
+                        std::vector<Probe> children;
+                        process_probe(run->state, std::move(probe), &children);
+                        for (Probe& child : children) {
+                          (*scheduler)(std::move(child));
+                        }
+                        if (run->outstanding == 0) complete();
+                      });
+  };
+
+  // Destination collection timeout (§4.1 step 3).
+  run->timeout_event = sim_->schedule_after(
+      config_.probe_timeout_ms, [run, complete] {
+        run->timeout_event = sim::kInvalidEvent;
+        complete();
+      });
+
+  std::vector<Probe> seeds = std::move(run->state.seeds);
+  run->state.seeds.clear();
+  for (Probe& seed : seeds) (*scheduler)(std::move(seed));
+}
+
+}  // namespace spider::core

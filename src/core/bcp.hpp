@@ -1,0 +1,187 @@
+// Bounded Composition Probing (§4) — SpiderNet's setup-phase protocol.
+//
+// Given a composite request, the source:
+//   1. enumerates composition patterns (commutation exchanges, §2.4) and
+//      decomposes each into branch paths (§4.3);
+//   2. spawns probes carrying a probing budget β, split across
+//      pattern/branch seeds and then hop by hop per §4.2:
+//      I_k = min(β_k, α_k) next-hop components are probed, each child
+//      receiving ⌊β_k/Z_k⌋ (enough budget for all replicas) or ⌊β_k/I_k⌋;
+//   3. per hop, the probed peer checks accumulated QoS against the user's
+//      requirements (drop on violation), soft-allocates the component's
+//      resources and the incoming path's bandwidth (step 2.1), discovers
+//      next-hop replicas via the DHT registry (step 2.3's meta-data
+//      retrieval), and scores candidates with a composite local metric
+//      (network delay + component performance + failure probability);
+//   4. the destination merges per-branch probes into complete service
+//      graphs, keeps the QoS-qualified ones and ranks them by ψ_λ (§4.3);
+//   5. the best graph's soft holds are kept for confirmation; all other
+//      holds created by this request are released (the timeout path).
+//
+// Execution model (DESIGN.md §5): probing runs synchronously with
+// analytically accumulated virtual latency per probe — identical protocol
+// decisions to a message-level run, at the scale Fig 8 requires. Message
+// and timing totals are reported in ComposeStats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/deployment.hpp"
+#include "core/evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace spider::core {
+
+enum class QuotaPolicy {
+  kUniform,             ///< α_k = quota_base for every function
+  kReplicaProportional  ///< α_k grows with the function's replica count
+};
+
+/// What the destination minimizes among qualified graphs (§4.3 uses ψ_λ;
+/// the Fig 11 prototype experiment asks for minimum end-to-end delay).
+enum class SelectionObjective { kMinPsi, kMinDelay };
+
+struct BcpConfig {
+  /// β: total number of probes available to a request.
+  int probing_budget = 64;
+  QuotaPolicy quota_policy = QuotaPolicy::kReplicaProportional;
+  /// Base quota (α for uniform policy; per-replica fraction anchor for the
+  /// proportional policy).
+  int quota_base = 4;
+  /// Hard per-function cap on α_k.
+  int max_quota = 16;
+  /// Explore commutation-derived patterns (ablation A1 turns this off).
+  bool use_commutation = true;
+  std::size_t max_patterns = 8;
+  /// Destination collection timeout; also the soft-hold lifetime.
+  double probe_timeout_ms = 8000.0;
+  /// Per-hop probe processing cost added to the latency model.
+  double per_hop_processing_ms = 2.0;
+  /// Cap on merged candidate graphs evaluated at the destination.
+  std::size_t max_candidates = 256;
+  /// Cap on qualified graphs returned beyond the best (backup pool).
+  std::size_t max_backups_returned = 16;
+  /// Composite next-hop metric weights (step 2.3): lower score is better.
+  double metric_w_link_delay = 1.0;
+  double metric_w_perf_delay = 1.0;
+  double metric_w_failure = 2000.0;  ///< ms-equivalent per unit probability
+  /// Weight of the bandwidth-headroom term (ms-equivalent when the stream
+  /// would consume the path's entire remaining bandwidth). Candidates on
+  /// paths that cannot carry the stream sort last.
+  double metric_w_bandwidth = 100.0;
+  /// Uniform per-candidate jitter added to the selection metric. Without
+  /// it every request ranks replicas identically and herds onto the same
+  /// hosts, defeating load balancing; jitter decorrelates exploration
+  /// while keeping good candidates likely (deterministic per request via
+  /// the caller's Rng).
+  double metric_jitter_ms = 40.0;
+  /// Log-normal sigma of the peer's *estimate* of network delay to a
+  /// candidate. Peers do not have precise global state (the paper's core
+  /// premise, §1); their local delay estimates are off by a multiplicative
+  /// factor exp(N(0, σ)). Larger budgets compensate by probing more
+  /// candidates and letting the destination judge measured state.
+  double metric_estimate_sigma = 0.5;
+  SelectionObjective objective = SelectionObjective::kMinPsi;
+  /// Soft resource allocation during probing (step 2.1). Turning it off
+  /// (ablation A4) keeps the availability *check* but makes no
+  /// reservation, so concurrent requests can race to admission.
+  bool soft_allocation = true;
+  /// Optional trust hook (the §8 future-work extension, implemented in
+  /// src/trust): returns a score in (0, 1] for a candidate's host peer.
+  /// Low-trust candidates are penalized by metric_w_trust · (1 − trust)
+  /// in the next-hop metric. Null disables trust awareness.
+  std::function<double(overlay::PeerId)> trust_fn;
+  double metric_w_trust = 400.0;  ///< ms-equivalent at zero trust
+};
+
+struct ComposeStats {
+  std::uint64_t probes_spawned = 0;
+  std::uint64_t probes_dropped_qos = 0;
+  std::uint64_t probes_dropped_resources = 0;
+  std::uint64_t probes_dropped_timeout = 0;
+  std::uint64_t probes_arrived = 0;
+  std::uint64_t probe_messages = 0;      ///< probe + ack transmissions
+  std::uint64_t discovery_messages = 0;  ///< DHT lookup hops
+  double discovery_time_ms = 0.0;        ///< critical-path discovery share
+  double probing_time_ms = 0.0;          ///< arrival of last useful probe
+  double setup_time_ms = 0.0;            ///< probing + ack/confirm leg
+  std::size_t candidates_merged = 0;
+  std::size_t qualified_found = 0;
+};
+
+struct ComposeResult {
+  bool success = false;
+  service::ServiceGraph best;
+  /// Other qualified graphs, ascending ψ — the backup pool for §5.
+  std::vector<service::ServiceGraph> backups;
+  /// Soft holds backing `best` (confirm with AllocationManager to admit).
+  std::vector<HoldId> best_holds;
+  ComposeStats stats;
+};
+
+class BcpEngine {
+ public:
+  BcpEngine(Deployment& deployment, AllocationManager& alloc,
+            GraphEvaluator& evaluator, sim::Simulator& simulator,
+            BcpConfig config = {})
+      : deployment_(&deployment),
+        alloc_(&alloc),
+        evaluator_(&evaluator),
+        sim_(&simulator),
+        config_(config) {}
+
+  /// Runs the full BCP flow for one request synchronously (probe latency
+  /// is accumulated analytically; see DESIGN.md §5b). On success the best
+  /// graph's holds are alive (expire at now + probe_timeout_ms unless
+  /// confirmed); every other hold created here has been released.
+  ComposeResult compose(const service::CompositeRequest& request, Rng& rng);
+
+  /// Message-level execution of the same protocol: every probe hop is a
+  /// simulator event fired at its arrival time, the destination collects
+  /// until its timeout (or until the last outstanding probe lands), and
+  /// `done` is invoked at the virtual time the setup acknowledgement
+  /// returns. Decision logic is byte-for-byte the one compose() uses —
+  /// only the execution order differs (probes interleave by arrival time,
+  /// so under contention the two modes may reserve in different orders).
+  /// `rng` must stay valid until `done` runs.
+  void compose_async(const service::CompositeRequest& request, Rng& rng,
+                     std::function<void(ComposeResult)> done);
+
+  const BcpConfig& config() const { return config_; }
+  void set_config(const BcpConfig& config) { config_ = config; }
+
+ private:
+  struct Probe;
+  struct DiscoveryEntry;
+  struct ComposeState;
+
+  /// Validates the request and seeds the initial probes (returns false if
+  /// composition is impossible before probing starts).
+  bool init_state(ComposeState& state, const service::CompositeRequest& request,
+                  Rng& rng);
+  /// Executes one per-hop step (§4.2) for `probe`: either the final leg
+  /// to the destination (probe lands in state.arrived) or next-hop
+  /// selection + soft allocation, appending spawned children to
+  /// `out_children` with their arrival times set.
+  void process_probe(ComposeState& state, Probe probe,
+                     std::vector<Probe>* out_children);
+  /// Destination-side merge, qualification, ψ ranking, hold cleanup
+  /// (§4.3 / step 4); fills state.result.
+  void finalize(ComposeState& state);
+
+  const DiscoveryEntry& discover(ComposeState& state, PeerId peer,
+                                 service::FunctionId fn);
+  int quota_for(std::size_t replica_count) const;
+
+  Deployment* deployment_;
+  AllocationManager* alloc_;
+  GraphEvaluator* evaluator_;
+  sim::Simulator* sim_;
+  BcpConfig config_;
+};
+
+}  // namespace spider::core

@@ -1,0 +1,82 @@
+// Service graph resolution and evaluation.
+//
+// Turns a (pattern, component mapping, source, dest) candidate into a fully
+// resolved ServiceGraph — every service link bound to an overlay path — and
+// computes the three aggregate values composition selection needs:
+//
+//  * end-to-end QoS: per additive metric, the worst (max) branch sum of
+//    component performance qualities plus overlay link delays (§4.3);
+//  * failure probability: 1 - Π(1 - p_peer) over the distinct peers used,
+//    assuming independent peer failures (§5.1 footnote 6);
+//  * ψ_λ, Eq. 1: the weighted sum of requested/available ratios over
+//    end-system resources and service-link bandwidth — the load-balancing
+//    cost used to pick the best qualified graph (smaller = more headroom).
+#pragma once
+
+#include <array>
+
+#include "core/allocator.hpp"
+#include "core/deployment.hpp"
+#include "service/service_graph.hpp"
+
+namespace spider::core {
+
+/// Weights of Eq. 1; must sum to 1 across resource types + bandwidth.
+struct PsiWeights {
+  std::array<double, service::Resources::kTypes> resource{0.4, 0.3};
+  double bandwidth = 0.3;
+};
+
+class GraphEvaluator {
+ public:
+  GraphEvaluator(Deployment& deployment, AllocationManager& alloc,
+                 PsiWeights weights = {})
+      : deployment_(&deployment), alloc_(&alloc), weights_(weights) {}
+
+  /// Resolves all service links (source→entries, dependency edges,
+  /// exits→dest) to overlay paths. Fails (false) if any used peer is dead
+  /// or any pair is unroutable.
+  bool resolve(service::ServiceGraph& graph) const;
+
+  /// Fills graph.qos / failure_prob / psi_cost from current availability
+  /// (or from `view`, e.g. the centralized baseline's stale snapshot).
+  /// Requires resolve() to have succeeded.
+  void evaluate(service::ServiceGraph& graph,
+                const service::CompositeRequest& request,
+                AvailabilityView* view = nullptr) const;
+
+  /// QoS-qualification per §4.3 (resource feasibility is enforced by the
+  /// probing / admission path, not here).
+  bool qos_qualified(const service::ServiceGraph& graph,
+                     const service::CompositeRequest& request) const;
+
+  /// §2.2 Q_in/Q_out compatibility: along every service link the
+  /// producer's output level must meet the consumer's input level
+  /// (source stream level feeds entry nodes; exit nodes must meet the
+  /// destination's minimum level). Static per-graph check.
+  bool levels_compatible(const service::ServiceGraph& graph,
+                         const service::CompositeRequest& request) const;
+
+  /// Full feasibility against *current* availability (used by baselines
+  /// that skip probing): every peer fits the summed component demands and
+  /// every link path carries the stream bandwidth.
+  bool resource_feasible(const service::ServiceGraph& graph,
+                         const service::CompositeRequest& request,
+                         AvailabilityView* view = nullptr) const;
+
+  /// Time for the setup acknowledgement to travel the reversed graph
+  /// (destination back to source along the longest branch).
+  double ack_time_ms(const service::ServiceGraph& graph) const;
+
+  const PsiWeights& weights() const { return weights_; }
+  /// Eq. 1 lets the deployment "customize ψ by assigning higher weights
+  /// to more critical resource types."
+  void set_weights(const PsiWeights& weights) { weights_ = weights; }
+
+ private:
+  Deployment* deployment_;
+  AllocationManager* alloc_;
+  PsiWeights weights_;
+};
+
+}  // namespace spider::core

@@ -1,0 +1,436 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace spider::core {
+
+using service::ServiceGraph;
+
+int SessionManager::backup_count(const ServiceGraph& graph,
+                                 const service::CompositeRequest& request,
+                                 std::size_t qualified_total) const {
+  SPIDER_REQUIRE(graph.evaluated);
+  // Eq. 2: γ = min( ⌊U · (Σ qᵢ^λ/qᵢ^req + F^λ/F^req)⌋, C − 1 ).
+  // A graph operating close to its QoS bounds (ratios near 1) or close to
+  // the acceptable failure probability needs more backups.
+  double margin = graph.qos.ratio_sum(request.qos_req);
+  if (request.max_failure_prob > 0.0) {
+    margin += graph.failure_prob / request.max_failure_prob;
+  } else if (graph.failure_prob > 0.0) {
+    margin += double(config_.backup_upper_bound);
+  }
+  const double scaled = config_.backup_aggressiveness * margin;
+  int gamma = int(std::floor(std::min(scaled, 1e9)));
+  gamma = std::min(gamma, config_.backup_upper_bound);
+  if (qualified_total > 0) {
+    gamma = std::min<int>(gamma, int(qualified_total) - 1);
+  }
+  return std::max(gamma, 0);
+}
+
+std::vector<ServiceGraph> SessionManager::select_backups(
+    const ServiceGraph& current, std::vector<ServiceGraph> pool,
+    std::size_t count, BackupPolicy policy, Rng* rng) {
+  std::vector<ServiceGraph> selected;
+  if (count == 0 || pool.empty()) return selected;
+
+  if (policy == BackupPolicy::kRandom) {
+    SPIDER_REQUIRE_MSG(rng != nullptr, "kRandom needs an Rng");
+    std::vector<std::size_t> idx(pool.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng->shuffle(idx);
+    for (std::size_t i = 0; i < std::min(count, idx.size()); ++i) {
+      selected.push_back(pool[idx[i]]);
+    }
+    return selected;
+  }
+  if (policy == BackupPolicy::kMostDisjoint) {
+    std::stable_sort(pool.begin(), pool.end(),
+                     [&](const ServiceGraph& a, const ServiceGraph& b) {
+                       return a.overlap(current) < b.overlap(current);
+                     });
+    for (std::size_t i = 0; i < std::min(count, pool.size()); ++i) {
+      selected.push_back(pool[i]);
+    }
+    return selected;
+  }
+
+  std::vector<bool> taken(pool.size(), false);
+
+  // Components of the current graph ordered by failure probability,
+  // highest first — bottleneck components get covered first (§5.2).
+  struct Target {
+    service::ComponentId id;
+    double fail;
+  };
+  std::vector<Target> targets;
+  targets.reserve(current.mapping.size());
+  for (const auto& meta : current.mapping) {
+    targets.push_back(Target{meta.id, meta.failure_prob});
+  }
+  std::stable_sort(targets.begin(), targets.end(),
+                   [](const Target& a, const Target& b) {
+                     if (a.fail != b.fail) return a.fail > b.fail;
+                     return a.id < b.id;
+                   });
+
+  // Pass 1 (§5.2 bullet 1): for each component s_i, pick the qualified
+  // graph that does NOT include s_i and has the largest overlap with the
+  // current graph.
+  auto pick_avoiding = [&](const std::vector<service::ComponentId>& avoid) {
+    std::size_t best_idx = pool.size();
+    std::size_t best_overlap = 0;
+    double best_psi = 0.0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i]) continue;
+      bool excludes_all = true;
+      for (service::ComponentId id : avoid) {
+        if (pool[i].uses_component(id)) {
+          excludes_all = false;
+          break;
+        }
+      }
+      if (!excludes_all) continue;
+      const std::size_t ov = pool[i].overlap(current);
+      if (best_idx == pool.size() || ov > best_overlap ||
+          (ov == best_overlap && pool[i].psi_cost < best_psi)) {
+        best_idx = i;
+        best_overlap = ov;
+        best_psi = pool[i].psi_cost;
+      }
+    }
+    if (best_idx < pool.size()) {
+      taken[best_idx] = true;
+      selected.push_back(pool[best_idx]);
+      return true;
+    }
+    return false;
+  };
+
+  for (const Target& t : targets) {
+    if (selected.size() >= count) break;
+    pick_avoiding({t.id});
+  }
+  // Pass 2 (§5.2 bullet 2): cover concurrent failures of component pairs.
+  for (std::size_t i = 0; i < targets.size() && selected.size() < count; ++i) {
+    for (std::size_t j = i + 1; j < targets.size() && selected.size() < count;
+         ++j) {
+      pick_avoiding({targets[i].id, targets[j].id});
+    }
+  }
+  // Fill any remaining slots with the best remaining qualified graphs.
+  for (std::size_t i = 0; i < pool.size() && selected.size() < count; ++i) {
+    if (!taken[i]) {
+      taken[i] = true;
+      selected.push_back(pool[i]);
+    }
+  }
+  return selected;
+}
+
+SessionId SessionManager::establish(const service::CompositeRequest& request,
+                                    ComposeResult&& composed) {
+  SPIDER_REQUIRE(composed.success);
+  const SessionId id = alloc_->new_session_id();
+
+  // Confirm every hold backing the best graph; if any expired, roll back.
+  bool all_confirmed = true;
+  for (HoldId hold : composed.best_holds) {
+    if (!alloc_->confirm(hold, id)) {
+      all_confirmed = false;
+      break;
+    }
+  }
+  if (!all_confirmed) {
+    alloc_->release_session(id);
+    for (HoldId hold : composed.best_holds) alloc_->release_hold(hold);
+    return kInvalidSession;
+  }
+
+  Session session;
+  session.id = id;
+  session.request = request;
+  session.active = std::move(composed.best);
+
+  if (config_.proactive) {
+    const int gamma = backup_count(session.active, request,
+                                   composed.backups.size() + 1);
+    session.backups =
+        select_backups(session.active, composed.backups, std::size_t(gamma),
+                       config_.backup_policy, &policy_rng_);
+    // Remaining qualified graphs form the replenishment pool.
+    for (auto& g : composed.backups) {
+      bool used = false;
+      for (const auto& b : session.backups) {
+        if (b.same_mapping(g)) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) session.pool.push_back(std::move(g));
+    }
+    stats_.backup_count_sum += double(session.backups.size());
+    ++stats_.backup_count_samples;
+  }
+
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+SessionId SessionManager::establish_direct(
+    const service::CompositeRequest& request, service::ServiceGraph graph,
+    std::vector<service::ServiceGraph> backup_pool) {
+  SPIDER_REQUIRE(graph.evaluated);
+  const SessionId id = alloc_->new_session_id();
+
+  std::vector<std::pair<PeerId, service::Resources>> peer_demands;
+  for (const auto& meta : graph.mapping) {
+    peer_demands.emplace_back(meta.host, meta.required);
+  }
+  std::vector<std::pair<overlay::OverlayLinkId, double>> link_demands;
+  if (request.bandwidth_kbps > 0.0) {
+    for (const auto& hop : graph.hops) {
+      for (overlay::OverlayLinkId link : hop.path.links) {
+        link_demands.emplace_back(link, request.bandwidth_kbps);
+      }
+    }
+  }
+  if (!alloc_->grant_direct(id, peer_demands, link_demands)) {
+    return kInvalidSession;
+  }
+
+  Session session;
+  session.id = id;
+  session.request = request;
+  session.active = std::move(graph);
+  if (config_.proactive) {
+    const int gamma =
+        backup_count(session.active, request, backup_pool.size() + 1);
+    session.backups =
+        select_backups(session.active, backup_pool, std::size_t(gamma),
+                       config_.backup_policy, &policy_rng_);
+    for (auto& g : backup_pool) {
+      bool used = false;
+      for (const auto& b : session.backups) {
+        if (b.same_mapping(g)) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) session.pool.push_back(std::move(g));
+    }
+    stats_.backup_count_sum += double(session.backups.size());
+    ++stats_.backup_count_samples;
+  }
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+void SessionManager::teardown(SessionId id) {
+  alloc_->release_session(id);
+  sessions_.erase(id);
+}
+
+bool SessionManager::admit(Session& session, ServiceGraph graph) {
+  // Re-resolve against the current overlay (routes change under churn).
+  if (!evaluator_->resolve(graph)) return false;
+  evaluator_->evaluate(graph, session.request);
+  if (!evaluator_->qos_qualified(graph, session.request)) return false;
+
+  std::vector<std::pair<PeerId, service::Resources>> peer_demands;
+  for (const auto& meta : graph.mapping) {
+    peer_demands.emplace_back(meta.host, meta.required);
+  }
+  std::vector<std::pair<overlay::OverlayLinkId, double>> link_demands;
+  if (session.request.bandwidth_kbps > 0.0) {
+    for (const auto& hop : graph.hops) {
+      for (overlay::OverlayLinkId link : hop.path.links) {
+        link_demands.emplace_back(link, session.request.bandwidth_kbps);
+      }
+    }
+  }
+  // Free the broken graph's grants first, then grant the replacement.
+  alloc_->release_session(session.id);
+  if (!alloc_->grant_direct(session.id, peer_demands, link_demands)) {
+    return false;
+  }
+  session.active = std::move(graph);
+  return true;
+}
+
+RecoveryOutcome SessionManager::recover(Session& session, Rng& rng) {
+  ++stats_.breaks;
+  if (config_.proactive) {
+    // Fast path: first surviving, admissible backup.
+    while (!session.backups.empty()) {
+      ServiceGraph candidate = std::move(session.backups.front());
+      session.backups.erase(session.backups.begin());
+      bool alive = true;
+      for (const auto& meta : candidate.mapping) {
+        if (!deployment_->peer_alive(meta.host)) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) continue;
+      const double disruption =
+          double(session.active.mapping.size()) -
+          double(candidate.overlap(session.active));
+      if (admit(session, std::move(candidate))) {
+        ++stats_.backup_switches;
+        stats_.switch_disruption_sum += disruption;
+        refill_backups(session);
+        return RecoveryOutcome::kSwitchedToBackup;
+      }
+    }
+  }
+  // Slow path: reactive re-composition via BCP.
+  ComposeResult re = bcp_->compose(session.request, rng);
+  if (re.success) {
+    // Convert the re-composition's holds into grants.
+    alloc_->release_session(session.id);
+    bool ok = true;
+    for (HoldId hold : re.best_holds) {
+      if (!alloc_->confirm(hold, session.id)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      session.active = std::move(re.best);
+      if (config_.proactive) {
+        session.backups.clear();
+        session.pool = std::move(re.backups);
+        refill_backups(session);
+      }
+      ++stats_.reactive_recoveries;
+      return RecoveryOutcome::kReactiveRecovered;
+    }
+    for (HoldId hold : re.best_holds) alloc_->release_hold(hold);
+  }
+  ++stats_.losses;
+  return RecoveryOutcome::kLost;
+}
+
+std::vector<RecoveryOutcome> SessionManager::on_peer_failed(PeerId peer,
+                                                            Rng& rng) {
+  std::vector<RecoveryOutcome> outcomes;
+  // Collect affected session ids first: recovery mutates the map's values
+  // but not its keys, and lost sessions are torn down after the loop.
+  std::vector<SessionId> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<SessionId> lost;
+  for (SessionId id : ids) {
+    Session& session = sessions_.at(id);
+    // Backups using the failed peer are silently pruned (their liveness
+    // probe would discover it; we prune eagerly and recount maintenance
+    // at the next tick).
+    std::erase_if(session.backups, [&](const ServiceGraph& g) {
+      return g.uses_peer(peer);
+    });
+    std::erase_if(session.pool, [&](const ServiceGraph& g) {
+      return g.uses_peer(peer);
+    });
+    if (!session.active.uses_peer(peer)) {
+      outcomes.push_back(RecoveryOutcome::kNotAffected);
+      continue;
+    }
+    const RecoveryOutcome outcome = recover(session, rng);
+    outcomes.push_back(outcome);
+    if (outcome == RecoveryOutcome::kLost) lost.push_back(id);
+  }
+  for (SessionId id : lost) teardown(id);
+  return outcomes;
+}
+
+std::vector<RecoveryOutcome> SessionManager::monitor_active_sessions(
+    Rng& rng) {
+  std::vector<RecoveryOutcome> outcomes;
+  std::vector<SessionId> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<SessionId> lost;
+  for (SessionId id : ids) {
+    Session& session = sessions_.at(id);
+    // Liveness probes along the active graph (maintenance traffic).
+    stats_.maintenance_messages += session.active.hops.size();
+    bool broken = !deployment_->peer_alive(session.active.source) ||
+                  !deployment_->peer_alive(session.active.dest);
+    for (const auto& meta : session.active.mapping) {
+      broken = broken || !deployment_->peer_alive(meta.host);
+    }
+    // Stale backups referencing dead peers are pruned by run_maintenance;
+    // here we only react to an active-graph break.
+    if (!broken) continue;
+    const RecoveryOutcome outcome = recover(session, rng);
+    outcomes.push_back(outcome);
+    if (outcome == RecoveryOutcome::kLost) lost.push_back(id);
+  }
+  for (SessionId id : lost) teardown(id);
+  return outcomes;
+}
+
+void SessionManager::refill_backups(Session& session) {
+  const int gamma = backup_count(session.active, session.request,
+                                 session.pool.size() + session.backups.size() +
+                                     1);
+  while (int(session.backups.size()) < gamma && !session.pool.empty()) {
+    // Re-select from the pool against the *new* active graph.
+    std::vector<ServiceGraph> pick =
+        select_backups(session.active, session.pool, 1,
+                       config_.backup_policy, &policy_rng_);
+    if (pick.empty()) break;
+    // Remove the picked graph from the pool.
+    std::erase_if(session.pool, [&](const ServiceGraph& g) {
+      return g.same_mapping(pick.front());
+    });
+    session.backups.push_back(std::move(pick.front()));
+  }
+}
+
+void SessionManager::run_maintenance() {
+  for (auto& [id, session] : sessions_) {
+    std::vector<ServiceGraph> kept;
+    kept.reserve(session.backups.size());
+    for (ServiceGraph& backup : session.backups) {
+      // Low-rate liveness probe along the backup graph: one message per
+      // service link hop (the paper's maintenance overhead).
+      stats_.maintenance_messages += backup.hops.size();
+      bool alive = deployment_->peer_alive(backup.source) &&
+                   deployment_->peer_alive(backup.dest);
+      for (const auto& meta : backup.mapping) {
+        alive = alive && deployment_->peer_alive(meta.host);
+      }
+      if (!alive) continue;
+      // QoS re-validation with current routes/availability.
+      ServiceGraph refreshed = backup;
+      if (!evaluator_->resolve(refreshed)) continue;
+      evaluator_->evaluate(refreshed, session.request);
+      if (!evaluator_->qos_qualified(refreshed, session.request)) continue;
+      kept.push_back(std::move(refreshed));
+    }
+    session.backups = std::move(kept);
+    refill_backups(session);
+  }
+}
+
+const service::ServiceGraph* SessionManager::active_graph(
+    SessionId session) const {
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : &it->second.active;
+}
+
+std::size_t SessionManager::backup_count_of(SessionId session) const {
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0 : it->second.backups.size();
+}
+
+}  // namespace spider::core

@@ -1,0 +1,166 @@
+// Session management and proactive failure recovery (§5).
+//
+// After BCP succeeds, the source establishes a session: the best graph's
+// soft holds are confirmed into grants, the backup count γ is computed per
+// Eq. 2, and backups are selected from the qualified pool per §5.2's
+// policy (avoid a target component, maximize overlap with the current
+// graph, cover bottleneck components first, then pairs).
+//
+// At runtime the manager
+//  * periodically probes backup graphs (low-rate liveness/QoS checks —
+//    the maintenance overhead the paper measures),
+//  * reacts to peer failures: a broken active graph is switched to the
+//    first backup that is alive, QoS-qualified and admissible — the fast
+//    path; if none survives, reactive recovery re-runs BCP (the slow
+//    path); if that also fails the session is lost,
+//  * prunes/replenishes backups that churn invalidates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/bcp.hpp"
+#include "core/deployment.hpp"
+#include "core/evaluator.hpp"
+
+namespace spider::core {
+
+/// How backups are chosen from the qualified pool (ablation A3 compares
+/// the paper's policy against naive alternatives).
+enum class BackupPolicy {
+  kSpiderNet,    ///< §5.2: avoid target components, maximize overlap
+  kRandom,       ///< uniform random qualified graphs
+  kMostDisjoint  ///< minimize overlap with the current graph
+};
+
+struct RecoveryConfig {
+  bool proactive = true;  ///< maintain backups (off = the Fig 9 baseline)
+  /// U — upper bound on the number of backups per session (Eq. 2).
+  int backup_upper_bound = 5;
+  /// Scales Eq. 2's quality/failure margin term; 1.0 is the paper's form.
+  double backup_aggressiveness = 1.0;
+  /// Period of backup liveness probing, in virtual ms.
+  double maintenance_period_ms = 1000.0;
+  BackupPolicy backup_policy = BackupPolicy::kSpiderNet;
+};
+
+/// What happened when a peer failure hit a session's active graph.
+enum class RecoveryOutcome {
+  kNotAffected,        ///< active graph did not use the failed peer
+  kSwitchedToBackup,   ///< fast path: proactive switch succeeded
+  kReactiveRecovered,  ///< slow path: BCP re-composition succeeded
+  kLost                ///< no backup and reactive BCP failed
+};
+
+struct SessionStats {
+  std::uint64_t breaks = 0;              ///< active-graph failures observed
+  std::uint64_t backup_switches = 0;     ///< fast recoveries
+  std::uint64_t reactive_recoveries = 0; ///< slow recoveries
+  std::uint64_t losses = 0;              ///< unrecovered failures
+  std::uint64_t maintenance_messages = 0;
+  double backup_count_sum = 0.0;  ///< for the avg-backups metric (≈2.74)
+  std::uint64_t backup_count_samples = 0;
+  /// Components replaced per fast switch — the disruption §5.2's overlap
+  /// preference minimizes (each fresh component must be initialized).
+  double switch_disruption_sum = 0.0;
+  double avg_switch_disruption() const {
+    return backup_switches == 0 ? 0.0
+                                : switch_disruption_sum / double(backup_switches);
+  }
+  double avg_backups() const {
+    return backup_count_samples == 0
+               ? 0.0
+               : backup_count_sum / double(backup_count_samples);
+  }
+};
+
+class SessionManager {
+ public:
+  SessionManager(Deployment& deployment, AllocationManager& alloc,
+                 GraphEvaluator& evaluator, BcpEngine& bcp,
+                 sim::Simulator& simulator, RecoveryConfig config = {})
+      : deployment_(&deployment),
+        alloc_(&alloc),
+        evaluator_(&evaluator),
+        bcp_(&bcp),
+        sim_(&simulator),
+        config_(config) {}
+
+  /// Establishes a session from a successful compose: confirms the best
+  /// graph's holds, sizes and selects backups. Returns kInvalidSession if
+  /// a hold expired before confirmation (admission lost).
+  SessionId establish(const service::CompositeRequest& request,
+                      ComposeResult&& composed);
+
+  /// Establishes a session by direct admission of an already-selected
+  /// graph (no prior soft holds — the baselines' and the no-soft-
+  /// allocation ablation's path). Returns kInvalidSession if the graph no
+  /// longer fits current availability.
+  SessionId establish_direct(const service::CompositeRequest& request,
+                             service::ServiceGraph graph,
+                             std::vector<service::ServiceGraph> backup_pool = {});
+
+  /// Graceful teardown (session completed).
+  void teardown(SessionId session);
+
+  /// Peer-failure notification: updates every active session. Returns the
+  /// per-session outcomes for failure accounting.
+  std::vector<RecoveryOutcome> on_peer_failed(PeerId peer, Rng& rng);
+
+  /// Failure detection (the paper omits its design; this implements the
+  /// natural one): each source probes the peers of its active graph —
+  /// one liveness message per service-link hop, like the backup probes —
+  /// and triggers recovery for any session whose graph lost a peer. No
+  /// oracle notification is needed; detection latency is the monitoring
+  /// period. Returns the outcomes of every recovery it triggered.
+  std::vector<RecoveryOutcome> monitor_active_sessions(Rng& rng);
+
+  /// Periodic backup maintenance: probe each backup's liveness and QoS,
+  /// prune invalid ones, replenish from the session's qualified pool.
+  void run_maintenance();
+
+  /// Number of backups Eq. 2 prescribes for the given graph vs request.
+  int backup_count(const service::ServiceGraph& graph,
+                   const service::CompositeRequest& request,
+                   std::size_t qualified_total) const;
+
+  /// Backup selection (exposed for tests and ablations). The default
+  /// policy is §5.2's; `rng` is only consulted by BackupPolicy::kRandom.
+  static std::vector<service::ServiceGraph> select_backups(
+      const service::ServiceGraph& current,
+      std::vector<service::ServiceGraph> pool, std::size_t count,
+      BackupPolicy policy = BackupPolicy::kSpiderNet, Rng* rng = nullptr);
+
+  std::size_t active_sessions() const { return sessions_.size(); }
+  const SessionStats& stats() const { return stats_; }
+  const service::ServiceGraph* active_graph(SessionId session) const;
+  std::size_t backup_count_of(SessionId session) const;
+
+ private:
+  struct Session {
+    SessionId id = kInvalidSession;
+    service::CompositeRequest request;
+    service::ServiceGraph active;
+    std::vector<service::ServiceGraph> backups;
+    std::vector<service::ServiceGraph> pool;  ///< unused qualified graphs
+  };
+
+  /// Grants a graph's demands directly (backup switch / reactive path).
+  bool admit(Session& session, service::ServiceGraph graph);
+  void refill_backups(Session& session);
+  RecoveryOutcome recover(Session& session, Rng& rng);
+
+  Deployment* deployment_;
+  AllocationManager* alloc_;
+  GraphEvaluator* evaluator_;
+  BcpEngine* bcp_;
+  sim::Simulator* sim_;
+  RecoveryConfig config_;
+  std::unordered_map<SessionId, Session> sessions_;
+  SessionStats stats_;
+  Rng policy_rng_{0x5b5b};  ///< consulted only by BackupPolicy::kRandom
+};
+
+}  // namespace spider::core

@@ -1,0 +1,49 @@
+#include "dht/node_id.hpp"
+
+#include "util/require.hpp"
+#include "util/sha1.hpp"
+
+namespace spider::dht {
+
+NodeId NodeId::hash_of(std::string_view text) {
+  const Sha1Digest d = sha1(text);
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | d[std::size_t(i)];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | d[std::size_t(i)];
+  return from_parts(hi, lo);
+}
+
+NodeId NodeId::random(Rng& rng) { return from_parts(rng(), rng()); }
+
+int NodeId::digit(int i) const {
+  SPIDER_DCHECK(i >= 0 && i < kDigitsPerId);
+  const int shift = (kDigitsPerId - 1 - i) * kDigitBits;
+  return int((value_ >> shift) & (kDigitRadix - 1));
+}
+
+int NodeId::shared_prefix(const NodeId& other) const {
+  for (int i = 0; i < kDigitsPerId; ++i) {
+    if (digit(i) != other.digit(i)) return i;
+  }
+  return kDigitsPerId;
+}
+
+unsigned __int128 NodeId::ring_distance(const NodeId& a, const NodeId& b) {
+  const unsigned __int128 diff = a.value_ > b.value_ ? a.value_ - b.value_
+                                                     : b.value_ - a.value_;
+  const unsigned __int128 wrap = ~diff + 1;  // 2^128 - diff (mod 2^128)
+  return diff < wrap ? diff : wrap;
+}
+
+unsigned __int128 NodeId::clockwise(const NodeId& a, const NodeId& b) {
+  return b.value_ - a.value_;  // mod 2^128 wraparound is exactly what we want
+}
+
+std::string NodeId::to_string() const {
+  static const char* hex = "0123456789abcdef";
+  std::string out(kDigitsPerId, '0');
+  for (int i = 0; i < kDigitsPerId; ++i) out[std::size_t(i)] = hex[digit(i)];
+  return out;
+}
+
+}  // namespace spider::dht

@@ -1,0 +1,84 @@
+// Pastry node identifiers (Rowstron & Druschel, Middleware 2001).
+//
+// Ids are 128-bit values on a circular space, interpreted as a sequence of
+// base-2^b digits (b = 4 here: 32 hex digits).  Service discovery derives
+// keys by hashing a function name with SHA-1 and truncating to 128 bits
+// (§3: "applying a secure hash function on the function name").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace spider::dht {
+
+/// Digit width in bits (2^b columns per routing table row).
+constexpr int kDigitBits = 4;
+constexpr int kDigitsPerId = 128 / kDigitBits;  // 32
+constexpr int kDigitRadix = 1 << kDigitBits;    // 16
+
+/// 128-bit circular identifier.
+class NodeId {
+ public:
+  constexpr NodeId() : value_(0) {}
+  constexpr explicit NodeId(unsigned __int128 value) : value_(value) {}
+  static NodeId from_parts(std::uint64_t hi, std::uint64_t lo) {
+    return NodeId((static_cast<unsigned __int128>(hi) << 64) | lo);
+  }
+
+  /// SHA-1 of `text`, truncated to 128 bits.
+  static NodeId hash_of(std::string_view text);
+
+  /// Uniformly random id.
+  static NodeId random(Rng& rng);
+
+  unsigned __int128 value() const { return value_; }
+  std::uint64_t hi() const { return std::uint64_t(value_ >> 64); }
+  std::uint64_t lo() const { return std::uint64_t(value_); }
+
+  /// Digit `i` counting from the most significant (i in [0, 32)).
+  int digit(int i) const;
+
+  /// Number of leading base-16 digits shared with `other` (0..32).
+  int shared_prefix(const NodeId& other) const;
+
+  /// Distance on the circular id space: min(|a-b|, 2^128 - |a-b|).
+  static unsigned __int128 ring_distance(const NodeId& a, const NodeId& b);
+
+  /// Clockwise (increasing, wrapping) distance from `a` to `b`.
+  static unsigned __int128 clockwise(const NodeId& a, const NodeId& b);
+
+  /// 32-hex-digit string, most significant first.
+  std::string to_string() const;
+
+  friend bool operator==(const NodeId& a, const NodeId& b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(const NodeId& a, const NodeId& b) {
+    return a.value_ != b.value_;
+  }
+  friend bool operator<(const NodeId& a, const NodeId& b) {
+    return a.value_ < b.value_;
+  }
+  friend bool operator<=(const NodeId& a, const NodeId& b) {
+    return a.value_ <= b.value_;
+  }
+  friend bool operator>(const NodeId& a, const NodeId& b) {
+    return a.value_ > b.value_;
+  }
+
+ private:
+  unsigned __int128 value_;
+};
+
+struct NodeIdHash {
+  std::size_t operator()(const NodeId& id) const {
+    // Mix halves; the ids are themselves hash outputs so this is enough.
+    return std::hash<std::uint64_t>()(id.hi() ^ (id.lo() * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace spider::dht

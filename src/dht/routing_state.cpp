@@ -1,0 +1,157 @@
+#include "dht/routing_state.hpp"
+
+#include <algorithm>
+
+namespace spider::dht {
+namespace {
+
+/// Ascending comparator by clockwise distance from a pivot.
+struct CwCloser {
+  NodeId pivot;
+  bool operator()(NodeId a, NodeId b) const {
+    return NodeId::clockwise(pivot, a) < NodeId::clockwise(pivot, b);
+  }
+};
+
+/// Ascending comparator by counterclockwise distance from a pivot.
+struct CcwCloser {
+  NodeId pivot;
+  bool operator()(NodeId a, NodeId b) const {
+    return NodeId::clockwise(a, pivot) < NodeId::clockwise(b, pivot);
+  }
+};
+
+}  // namespace
+
+bool LeafSet::insert(NodeId id) {
+  if (id == self_) return false;
+  // Each side is maintained independently: every node has both a
+  // clockwise and a counterclockwise distance from self, and on a sparse
+  // ring the same id may legitimately sit among the closest on BOTH arcs.
+  // (Coupling the sides loses neighbors: a ccw-close node parked on a
+  // half-empty cw side would be evicted later and vanish entirely.)
+  bool changed = false;
+  if (std::find(cw_.begin(), cw_.end(), id) == cw_.end()) {
+    auto pos = std::lower_bound(cw_.begin(), cw_.end(), id, CwCloser{self_});
+    if (pos != cw_.end() || cw_.size() < std::size_t(half_)) {
+      cw_.insert(pos, id);
+      if (cw_.size() > std::size_t(half_)) cw_.pop_back();
+      changed = true;
+    }
+  }
+  if (std::find(ccw_.begin(), ccw_.end(), id) == ccw_.end()) {
+    auto pos = std::lower_bound(ccw_.begin(), ccw_.end(), id, CcwCloser{self_});
+    if (pos != ccw_.end() || ccw_.size() < std::size_t(half_)) {
+      ccw_.insert(pos, id);
+      if (ccw_.size() > std::size_t(half_)) ccw_.pop_back();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool LeafSet::remove(NodeId id) {
+  bool removed = false;
+  auto cw_it = std::find(cw_.begin(), cw_.end(), id);
+  if (cw_it != cw_.end()) {
+    cw_.erase(cw_it);
+    removed = true;
+  }
+  auto ccw_it = std::find(ccw_.begin(), ccw_.end(), id);
+  if (ccw_it != ccw_.end()) {
+    ccw_.erase(ccw_it);
+    removed = true;
+  }
+  return removed;
+}
+
+bool LeafSet::contains(NodeId id) const {
+  return std::find(cw_.begin(), cw_.end(), id) != cw_.end() ||
+         std::find(ccw_.begin(), ccw_.end(), id) != ccw_.end();
+}
+
+std::vector<NodeId> LeafSet::members() const {
+  std::vector<NodeId> out = cw_;
+  for (NodeId id : ccw_) {
+    if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+  }
+  return out;
+}
+
+bool LeafSet::covers(NodeId key) const {
+  // A side that is not full means we know every node on that arc, so the
+  // leaf set's span extends across it.
+  const bool cw_full = full_side(true);
+  const bool ccw_full = full_side(false);
+  if (!cw_full || !ccw_full) return true;
+  const unsigned __int128 cw_span = NodeId::clockwise(self_, cw_.back());
+  const unsigned __int128 ccw_span = NodeId::clockwise(ccw_.back(), self_);
+  const unsigned __int128 cw_key = NodeId::clockwise(self_, key);
+  const unsigned __int128 ccw_key = NodeId::clockwise(key, self_);
+  return cw_key <= cw_span || ccw_key <= ccw_span;
+}
+
+NodeId LeafSet::closest(NodeId key) const {
+  NodeId best = self_;
+  unsigned __int128 best_d = NodeId::ring_distance(self_, key);
+  for (NodeId id : members()) {
+    const unsigned __int128 d = NodeId::ring_distance(id, key);
+    if (d < best_d || (d == best_d && id < best)) {
+      best = id;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> LeafSet::successor() const {
+  if (cw_.empty()) return std::nullopt;
+  return cw_.front();
+}
+
+bool RoutingTable::insert(NodeId id, bool prefer) {
+  if (id == self_) return false;
+  const int row = self_.shared_prefix(id);
+  if (row >= kDigitsPerId) return false;  // equal ids
+  const int col = id.digit(row);
+  auto& c = cell(row, col);
+  if (!c.has_value() || prefer) {
+    c = id;
+    return true;
+  }
+  return false;
+}
+
+bool RoutingTable::remove(NodeId id) {
+  if (id == self_) return false;
+  const int row = self_.shared_prefix(id);
+  if (row >= kDigitsPerId) return false;
+  auto& c = cell(row, id.digit(row));
+  if (c.has_value() && *c == id) {
+    c.reset();
+    return true;
+  }
+  return false;
+}
+
+std::optional<NodeId> RoutingTable::at(int row, int col) const {
+  SPIDER_REQUIRE(row >= 0 && row < kDigitsPerId);
+  SPIDER_REQUIRE(col >= 0 && col < kDigitRadix);
+  return cell(row, col);
+}
+
+std::optional<NodeId> RoutingTable::next_hop(NodeId key) const {
+  const int row = self_.shared_prefix(key);
+  if (row >= kDigitsPerId) return std::nullopt;  // key == self
+  return cell(row, key.digit(row));
+}
+
+std::vector<NodeId> RoutingTable::entries() const {
+  std::vector<NodeId> out;
+  for (const auto& c : cells_) {
+    if (c.has_value()) out.push_back(*c);
+  }
+  return out;
+}
+
+}  // namespace spider::dht

@@ -1,0 +1,100 @@
+// Per-node Pastry routing state: leaf set and routing table.
+//
+// The leaf set holds the L/2 numerically closest smaller and L/2 closest
+// larger node ids on the ring — the state that guarantees correct delivery.
+// The routing table holds, for each prefix length `row` and digit `col`, a
+// node sharing `row` digits with the owner and whose next digit is `col` —
+// the state that gives O(log N) hops.
+//
+// Both structures are pure containers: liveness checks and repair live in
+// PastryNetwork, which simulates the RPC layer.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dht/node_id.hpp"
+
+namespace spider::dht {
+
+/// The L/2 + L/2 ring-closest neighbors of a node.
+class LeafSet {
+ public:
+  LeafSet(NodeId self, int half_size) : self_(self), half_(half_size) {
+    SPIDER_REQUIRE(half_size >= 1);
+  }
+
+  NodeId self() const { return self_; }
+
+  /// Inserts a node id; keeps only the half_ closest per side. Self and
+  /// duplicates are ignored. Returns true if the set changed.
+  bool insert(NodeId id);
+  /// Removes an id from either side. Returns true if present.
+  bool remove(NodeId id);
+  bool contains(NodeId id) const;
+
+  /// All members (both sides), unsorted.
+  std::vector<NodeId> members() const;
+  std::size_t size() const { return cw_.size() + ccw_.size(); }
+  bool full_side(bool clockwise) const {
+    return (clockwise ? cw_ : ccw_).size() >= std::size_t(half_);
+  }
+
+  /// True if `key` falls within the id range spanned by the leaf set
+  /// (including self). A side with spare capacity spans to infinity on
+  /// that side — with < L/2 members the node knows the entire ring arc.
+  bool covers(NodeId key) const;
+
+  /// Member (or self) numerically closest to `key` on the ring.
+  NodeId closest(NodeId key) const;
+
+  /// Closest clockwise successor (smallest clockwise distance from self),
+  /// if any.
+  std::optional<NodeId> successor() const;
+
+ private:
+  NodeId self_;
+  int half_;
+  // Sorted ascending by clockwise distance from self_ (cw_) or to self_
+  // (ccw_).
+  std::vector<NodeId> cw_;
+  std::vector<NodeId> ccw_;
+};
+
+/// Prefix routing table: kDigitsPerId rows × kDigitRadix columns.
+class RoutingTable {
+ public:
+  explicit RoutingTable(NodeId self) : self_(self) {
+    cells_.assign(std::size_t(kDigitsPerId) * kDigitRadix, std::nullopt);
+  }
+
+  NodeId self() const { return self_; }
+
+  /// Inserts `id` into its canonical cell if the cell is empty or `prefer`
+  /// is true. Self is ignored. Returns true if stored.
+  bool insert(NodeId id, bool prefer = false);
+  /// Clears the cell holding `id`, if any. Returns true if present.
+  bool remove(NodeId id);
+
+  /// Entry for a given prefix row / next digit, if populated.
+  std::optional<NodeId> at(int row, int col) const;
+
+  /// The canonical next hop for `key`: cell [shared_prefix][next digit].
+  std::optional<NodeId> next_hop(NodeId key) const;
+
+  /// All populated entries.
+  std::vector<NodeId> entries() const;
+
+ private:
+  std::optional<NodeId>& cell(int row, int col) {
+    return cells_[std::size_t(row) * kDigitRadix + std::size_t(col)];
+  }
+  const std::optional<NodeId>& cell(int row, int col) const {
+    return cells_[std::size_t(row) * kDigitRadix + std::size_t(col)];
+  }
+
+  NodeId self_;
+  std::vector<std::optional<NodeId>> cells_;
+};
+
+}  // namespace spider::dht

@@ -1,0 +1,89 @@
+// Decentralized service discovery (§3).
+//
+// A meta-data layer on top of the Pastry DHT: a peer sharing a service
+// component registers the component's static meta-data under the key
+// SHA-1(function name).  All replicas of a function share the name, hence
+// the key, hence the DHT node — so one lookup returns the meta-data list
+// of *all* functionally duplicated components, exactly what BCP's per-hop
+// next-component selection needs (§4.2 step 2.3).
+//
+// Registrations are soft state: owners re-register periodically
+// (`reannounce_all` models the refresh round) so churn-displaced keys heal.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <unordered_map>
+
+#include "dht/pastry.hpp"
+#include "sim/simulator.hpp"
+#include "service/component.hpp"
+
+namespace spider::discovery {
+
+/// Binary-free, debuggable wire format for component meta-data.
+std::string serialize(const service::ComponentMetadata& meta);
+std::optional<service::ComponentMetadata> deserialize(const std::string& data);
+
+/// Result of a discovery lookup.
+struct DiscoveryResult {
+  std::vector<service::ComponentMetadata> components;
+  std::vector<dht::PeerId> path;  ///< DHT route taken (for latency models)
+  bool found = false;
+  std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+class ServiceRegistry {
+ public:
+  ServiceRegistry(dht::PastryNetwork& dht, service::FunctionCatalog& catalog)
+      : dht_(&dht), catalog_(&catalog) {}
+
+  /// Enables per-peer lookup caching: a peer that resolved a function
+  /// within the last `ttl` (virtual time) reuses the result without a DHT
+  /// round trip. Staleness is bounded by the TTL — cached replica lists
+  /// may briefly include dead hosts (BCP filters liveness) or miss
+  /// newly registered ones. Pass ttl <= 0 to disable.
+  void enable_cache(sim::Simulator& simulator, double ttl) {
+    sim_ = &simulator;
+    cache_ttl_ = ttl;
+    cache_.clear();
+  }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+  /// Drops all cached entries (e.g. after bulk re-registration).
+  void invalidate_cache() { cache_.clear(); }
+
+  /// Key under which a function's replicas are registered.
+  dht::NodeId key_for(service::FunctionId function) const;
+
+  /// Registers a component from its hosting peer. Returns the DHT route.
+  dht::RouteResult register_component(const service::ComponentMetadata& meta);
+
+  /// Removes a component's registration from all replicas.
+  void unregister_component(const service::ComponentMetadata& meta);
+
+  /// Looks up all replicas of `function`, querying from `from`.
+  DiscoveryResult discover(dht::PeerId from, service::FunctionId function);
+
+  /// Soft-state refresh: re-registers every component in `live_components`
+  /// (the owners' periodic re-announcements after churn).
+  void reannounce_all(const std::vector<service::ComponentMetadata>& live);
+
+ private:
+  struct CacheEntry {
+    DiscoveryResult result;
+    double expires_at = 0.0;
+  };
+
+  dht::PastryNetwork* dht_;
+  service::FunctionCatalog* catalog_;
+  sim::Simulator* sim_ = nullptr;
+  double cache_ttl_ = 0.0;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;  // (peer, fn) key
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace spider::discovery

@@ -1,0 +1,150 @@
+#include "net/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace spider::net {
+namespace {
+
+double sample_delay(Rng& rng, const LinkProfile& p) {
+  return rng.next_double(p.min_delay_ms, p.max_delay_ms);
+}
+
+double sample_bandwidth(Rng& rng, const LinkProfile& p) {
+  return rng.next_double(p.min_bandwidth_kbps, p.max_bandwidth_kbps);
+}
+
+std::uint64_t pair_key(NodeIdx a, NodeIdx b) {
+  return (std::uint64_t(std::min(a, b)) << 32) | std::max(a, b);
+}
+
+/// Adds a uniformly random spanning tree (random permutation + attach each
+/// node to a random earlier node) so the graph is connected.
+void add_spanning_tree(std::size_t nodes, Rng& rng, const LinkProfile& profile,
+                       std::vector<Link>& links,
+                       std::unordered_set<std::uint64_t>& seen) {
+  std::vector<NodeIdx> order(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) order[i] = NodeIdx(i);
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < nodes; ++i) {
+    const NodeIdx a = order[i];
+    const NodeIdx b = order[rng.next_below(i)];
+    if (seen.insert(pair_key(a, b)).second) {
+      links.push_back(
+          Link{a, b, sample_delay(rng, profile), sample_bandwidth(rng, profile)});
+    }
+  }
+}
+
+}  // namespace
+
+Topology power_law(std::size_t nodes, std::size_t links_per_node, Rng& rng,
+                   const LinkProfile& profile) {
+  SPIDER_REQUIRE(nodes >= 2);
+  SPIDER_REQUIRE(links_per_node >= 1);
+  const std::size_t m = std::min(links_per_node, nodes - 1);
+
+  std::vector<Link> links;
+  links.reserve(nodes * m);
+  std::unordered_set<std::uint64_t> seen;
+
+  // Seed clique of m+1 nodes.
+  const std::size_t seed = m + 1;
+  for (std::size_t i = 0; i < seed; ++i) {
+    for (std::size_t j = i + 1; j < seed; ++j) {
+      links.push_back(Link{NodeIdx(i), NodeIdx(j), sample_delay(rng, profile),
+                           sample_bandwidth(rng, profile)});
+      seen.insert(pair_key(NodeIdx(i), NodeIdx(j)));
+    }
+  }
+
+  // `targets` holds one entry per half-edge endpoint, so a uniform draw is
+  // a degree-proportional draw — the classic O(1) BA sampling trick.
+  std::vector<NodeIdx> targets;
+  targets.reserve(nodes * m * 2);
+  for (const Link& l : links) {
+    targets.push_back(l.a);
+    targets.push_back(l.b);
+  }
+
+  for (std::size_t v = seed; v < nodes; ++v) {
+    std::unordered_set<NodeIdx> chosen;
+    std::size_t guard = 0;
+    while (chosen.size() < m && guard++ < 64 * m) {
+      const NodeIdx t = targets[rng.next_below(targets.size())];
+      if (t != NodeIdx(v)) chosen.insert(t);
+    }
+    // Fallback for pathological draws: attach to lowest-index unused nodes.
+    for (NodeIdx t = 0; chosen.size() < m; ++t) {
+      if (t != NodeIdx(v)) chosen.insert(t);
+    }
+    for (NodeIdx t : chosen) {
+      links.push_back(Link{NodeIdx(v), t, sample_delay(rng, profile),
+                           sample_bandwidth(rng, profile)});
+      seen.insert(pair_key(NodeIdx(v), t));
+      targets.push_back(NodeIdx(v));
+      targets.push_back(t);
+    }
+  }
+  return Topology(nodes, std::move(links));
+}
+
+Topology waxman(std::size_t nodes, double alpha, double beta, Rng& rng,
+                const LinkProfile& profile) {
+  SPIDER_REQUIRE(nodes >= 2);
+  SPIDER_REQUIRE(alpha > 0.0 && beta > 0.0);
+
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> pos(nodes);
+  for (auto& p : pos) p = Point{rng.next_double(), rng.next_double()};
+
+  const double max_dist = std::sqrt(2.0);
+  std::vector<Link> links;
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t j = i + 1; j < nodes; ++j) {
+      const double dx = pos[i].x - pos[j].x;
+      const double dy = pos[i].y - pos[j].y;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      if (rng.next_bool(alpha * std::exp(-d / (beta * max_dist)))) {
+        // Delay scales with geometric distance across the profile's range.
+        const double delay =
+            profile.min_delay_ms +
+            (profile.max_delay_ms - profile.min_delay_ms) * (d / max_dist);
+        links.push_back(Link{NodeIdx(i), NodeIdx(j), delay,
+                             sample_bandwidth(rng, profile)});
+        seen.insert(pair_key(NodeIdx(i), NodeIdx(j)));
+      }
+    }
+  }
+  add_spanning_tree(nodes, rng, profile, links, seen);
+  return Topology(nodes, std::move(links));
+}
+
+Topology random_graph(std::size_t nodes, std::size_t extra_links, Rng& rng,
+                      const LinkProfile& profile) {
+  SPIDER_REQUIRE(nodes >= 2);
+  std::vector<Link> links;
+  std::unordered_set<std::uint64_t> seen;
+  add_spanning_tree(nodes, rng, profile, links, seen);
+
+  const std::size_t max_extra =
+      nodes * (nodes - 1) / 2 - links.size();
+  std::size_t to_add = std::min(extra_links, max_extra);
+  std::size_t guard = 0;
+  while (to_add > 0 && guard++ < extra_links * 64 + 1024) {
+    const auto a = NodeIdx(rng.next_below(nodes));
+    const auto b = NodeIdx(rng.next_below(nodes));
+    if (a == b) continue;
+    if (!seen.insert(pair_key(a, b)).second) continue;
+    links.push_back(
+        Link{a, b, sample_delay(rng, profile), sample_bandwidth(rng, profile)});
+    --to_add;
+  }
+  return Topology(nodes, std::move(links));
+}
+
+}  // namespace spider::net

@@ -1,0 +1,45 @@
+// Topology generators.
+//
+// The paper uses the degree-based Inet-3.0 generator to produce a 10,000
+// node power-law IP graph (§6.1).  Inet-3.0 is a standalone research tool
+// we cannot ship, so `power_law` implements a Barabási–Albert style
+// preferential-attachment process (each new node attaches to `m` existing
+// nodes with probability proportional to degree), which reproduces the
+// properties the experiments actually depend on: a heavy-tailed degree
+// distribution and O(log n) path lengths.  Waxman and uniform random
+// generators are provided for sensitivity runs; all generated graphs are
+// connected by construction or by spanning-tree augmentation.
+#pragma once
+
+#include <cstddef>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace spider::net {
+
+/// Ranges for per-link properties, sampled uniformly.
+struct LinkProfile {
+  double min_delay_ms = 2.0;
+  double max_delay_ms = 30.0;
+  double min_bandwidth_kbps = 10'000.0;   // 10 Mbps
+  double max_bandwidth_kbps = 100'000.0;  // 100 Mbps
+};
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `links_per_node` distinct existing nodes with
+/// degree-proportional probability. Always connected.
+Topology power_law(std::size_t nodes, std::size_t links_per_node, Rng& rng,
+                   const LinkProfile& profile = {});
+
+/// Waxman random geometric graph on the unit square: P(edge) =
+/// alpha * exp(-d / (beta * sqrt(2))). Link delay is proportional to
+/// Euclidean distance. A random spanning tree guarantees connectivity.
+Topology waxman(std::size_t nodes, double alpha, double beta, Rng& rng,
+                const LinkProfile& profile = {});
+
+/// G(n, m) uniform random graph over a random spanning tree (connected).
+Topology random_graph(std::size_t nodes, std::size_t extra_links, Rng& rng,
+                      const LinkProfile& profile = {});
+
+}  // namespace spider::net

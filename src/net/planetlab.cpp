@@ -1,0 +1,51 @@
+#include "net/planetlab.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace spider::net {
+
+PlanetLabModel::PlanetLabModel(const PlanetLabConfig& config, Rng& rng)
+    : config_(config) {
+  SPIDER_REQUIRE(config.hosts >= 2);
+  SPIDER_REQUIRE(config.sites >= 1);
+  const std::size_t n = config.hosts;
+
+  site_us_.resize(config.sites);
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    site_us_[s] = rng.next_bool(config.us_fraction);
+  }
+  site_.resize(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    site_[h] = rng.next_below(config.sites);
+  }
+
+  // Log-normal multiplier with mean ~1: exp(N(-sigma^2/2, sigma)).
+  const double mu = -config.jitter_sigma * config.jitter_sigma / 2.0;
+  auto jitter = [&] { return rng.next_lognormal(mu, config.jitter_sigma); };
+
+  delay_.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double base;
+      if (site_[i] == site_[j]) {
+        base = config.intra_site_ms;
+      } else if (site_us_[site_[i]] == site_us_[site_[j]]) {
+        base = config.regional_ms;
+      } else {
+        base = config.transatlantic_ms;
+      }
+      const double d = base * jitter();
+      delay_[i][j] = d;
+      delay_[j][i] = d;
+    }
+  }
+}
+
+double PlanetLabModel::delay_ms(std::size_t i, std::size_t j) const {
+  SPIDER_REQUIRE(i < delay_.size() && j < delay_.size());
+  return delay_[i][j];
+}
+
+}  // namespace spider::net

@@ -1,0 +1,55 @@
+// Synthetic PlanetLab-like wide-area delay model.
+//
+// The paper's prototype runs on 102 PlanetLab hosts spread across the US
+// and Europe (§6.2).  We cannot access PlanetLab (it was retired in 2020),
+// so this module synthesizes a host set with the latency structure the
+// experiments depend on: hosts are assigned to geographic sites; intra-site
+// RTTs are a few milliseconds, intra-continent RTTs tens of milliseconds,
+// and trans-atlantic RTTs ~80–150 ms, each with log-normal jitter.  The
+// result is a symmetric one-way-delay matrix used to drive the DES for the
+// Fig 10 / Fig 11 prototype-scale experiments.  See DESIGN.md S12.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spider::net {
+
+struct PlanetLabConfig {
+  std::size_t hosts = 102;  ///< paper's testbed size
+  std::size_t sites = 24;   ///< distinct institutions
+  double us_fraction = 0.7; ///< fraction of sites in North America
+  double intra_site_ms = 1.0;
+  double regional_ms = 18.0;        ///< mean one-way within a continent
+  double transatlantic_ms = 55.0;   ///< mean one-way across continents
+  double jitter_sigma = 0.35;       ///< log-normal sigma applied to means
+  double bandwidth_kbps = 5'000.0;  ///< conservative per-path available bw
+};
+
+/// Dense symmetric delay matrix over a synthetic PlanetLab host set.
+class PlanetLabModel {
+ public:
+  PlanetLabModel(const PlanetLabConfig& config, Rng& rng);
+
+  std::size_t host_count() const { return delay_.size(); }
+
+  /// One-way delay between hosts in milliseconds (0 for i == j).
+  double delay_ms(std::size_t i, std::size_t j) const;
+
+  /// Per-path available bandwidth (uniform in this model).
+  double bandwidth_kbps() const { return config_.bandwidth_kbps; }
+
+  /// Site index of a host (for tests asserting latency structure).
+  std::size_t site_of(std::size_t host) const { return site_.at(host); }
+  bool site_in_us(std::size_t site) const { return site_us_.at(site); }
+
+ private:
+  PlanetLabConfig config_;
+  std::vector<std::size_t> site_;
+  std::vector<bool> site_us_;
+  std::vector<std::vector<double>> delay_;
+};
+
+}  // namespace spider::net

@@ -1,0 +1,71 @@
+// Shortest-path IP routing (Dijkstra, by propagation delay).
+//
+// The simulator routes both IP-layer and overlay-layer traffic with
+// shortest-path routing, as in the paper (§6.1).  For a 10,000-node IP
+// graph with 1,000 overlay peers we never need all-pairs state: the overlay
+// layer asks for one source node's metrics to a target *set*, and the
+// Router caches per-source trees only when asked to.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace spider::net {
+
+/// Metrics of a shortest (min-delay) path.
+struct PathMetrics {
+  double delay_ms = std::numeric_limits<double>::infinity();
+  double bottleneck_kbps = 0.0;  ///< min link bandwidth along the path
+  std::uint32_t hops = 0;
+  bool reachable() const { return delay_ms < std::numeric_limits<double>::infinity(); }
+};
+
+/// Full single-source shortest path tree (delays + parent links).
+class SingleSourcePaths {
+ public:
+  SingleSourcePaths(const Topology& topo, NodeIdx source);
+
+  NodeIdx source() const { return source_; }
+  double delay_to(NodeIdx dst) const { return dist_.at(dst); }
+  bool reachable(NodeIdx dst) const {
+    return dist_.at(dst) < std::numeric_limits<double>::infinity();
+  }
+
+  /// Metrics (delay / bottleneck bw / hops) of the tree path to `dst`.
+  PathMetrics metrics_to(NodeIdx dst) const;
+
+  /// Node sequence source..dst (inclusive); empty if unreachable.
+  std::vector<NodeIdx> path_to(NodeIdx dst) const;
+
+ private:
+  const Topology* topo_;
+  NodeIdx source_;
+  std::vector<double> dist_;
+  std::vector<LinkIdx> parent_link_;  // link taken into each node
+};
+
+/// Lazy per-source cache of shortest-path trees.
+class Router {
+ public:
+  explicit Router(const Topology& topo) : topo_(&topo) {}
+
+  /// Shortest-path tree from `src`, computing and caching on first use.
+  const SingleSourcePaths& from(NodeIdx src);
+
+  /// Convenience: metrics of the min-delay path src -> dst.
+  PathMetrics metrics(NodeIdx src, NodeIdx dst) { return from(src).metrics_to(dst); }
+
+  /// Drops all cached trees (e.g. between benchmark repetitions).
+  void clear_cache() { cache_.clear(); }
+  std::size_t cached_sources() const { return cache_.size(); }
+
+ private:
+  const Topology* topo_;
+  std::unordered_map<NodeIdx, SingleSourcePaths> cache_;
+};
+
+}  // namespace spider::net

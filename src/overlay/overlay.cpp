@@ -1,0 +1,279 @@
+#include "overlay/overlay.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace spider::overlay {
+namespace {
+
+std::uint64_t pair_key(PeerId a, PeerId b) {
+  return (std::uint64_t(std::min(a, b)) << 32) | std::max(a, b);
+}
+
+}  // namespace
+
+OverlayNetwork OverlayNetwork::from_topology(const net::Topology& topo,
+                                             net::Router& router,
+                                             std::vector<net::NodeIdx> peer_nodes,
+                                             OverlayKind kind,
+                                             std::size_t degree, Rng& rng) {
+  SPIDER_REQUIRE(peer_nodes.size() >= 2);
+  SPIDER_REQUIRE(degree >= 1);
+  for (net::NodeIdx node : peer_nodes) {
+    SPIDER_REQUIRE(node < topo.node_count());
+  }
+  const std::size_t n = peer_nodes.size();
+
+  OverlayNetwork net;
+  net.peer_node_ = std::move(peer_nodes);
+  std::unordered_set<std::uint64_t> seen;
+
+  auto add_link = [&](PeerId a, PeerId b) {
+    if (a == b) return;
+    if (!seen.insert(pair_key(a, b)).second) return;
+    const net::PathMetrics m =
+        router.metrics(net.peer_node_[a], net.peer_node_[b]);
+    SPIDER_REQUIRE_MSG(m.reachable(), "IP topology must be connected");
+    net.links_.push_back(OverlayLink{a, b, m.delay_ms, m.bottleneck_kbps,
+                                     std::max<std::uint32_t>(m.hops, 1)});
+  };
+
+  if (kind == OverlayKind::kNearestMesh) {
+    // Topology-aware mesh: each peer connects to its `degree` nearest peers
+    // by underlying IP delay.
+    for (PeerId p = 0; p < n; ++p) {
+      const auto& tree = router.from(net.peer_node_[p]);
+      std::vector<std::pair<double, PeerId>> by_delay;
+      by_delay.reserve(n - 1);
+      for (PeerId q = 0; q < n; ++q) {
+        if (q == p) continue;
+        by_delay.emplace_back(tree.delay_to(net.peer_node_[q]), q);
+      }
+      const std::size_t k = std::min(degree, by_delay.size());
+      std::partial_sort(by_delay.begin(), by_delay.begin() + long(k),
+                        by_delay.end());
+      for (std::size_t i = 0; i < k; ++i) add_link(p, by_delay[i].second);
+    }
+  } else {
+    for (PeerId p = 0; p < n; ++p) {
+      std::size_t added = 0, guard = 0;
+      while (added < degree && guard++ < degree * 64 + 16) {
+        const auto q = PeerId(rng.next_below(n));
+        if (q == p || seen.count(pair_key(p, q)) > 0) continue;
+        add_link(p, q);
+        ++added;
+      }
+    }
+  }
+  // A ring over a random permutation guarantees connectivity: pure
+  // nearest-neighbor meshes can fragment into proximity cliques, and real
+  // topology-aware meshes blend in long links for exactly this reason [20].
+  {
+    std::vector<PeerId> order(n);
+    for (PeerId p = 0; p < n; ++p) order[p] = p;
+    rng.shuffle(order);
+    for (std::size_t i = 0; i < n; ++i) {
+      add_link(order[i], order[(i + 1) % n]);
+    }
+  }
+
+  net.build_adjacency();
+  return net;
+}
+
+OverlayNetwork OverlayNetwork::from_planetlab(const net::PlanetLabModel& model,
+                                              OverlayKind kind,
+                                              std::size_t degree, Rng& rng) {
+  const std::size_t n = model.host_count();
+  SPIDER_REQUIRE(n >= 2);
+  OverlayNetwork net;
+  net.peer_node_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) net.peer_node_[i] = net::NodeIdx(i);
+
+  std::unordered_set<std::uint64_t> seen;
+  auto add_link = [&](PeerId a, PeerId b) {
+    if (a == b) return;
+    if (!seen.insert(pair_key(a, b)).second) return;
+    net.links_.push_back(OverlayLink{a, b, model.delay_ms(a, b),
+                                     model.bandwidth_kbps(), 1});
+  };
+
+  if (kind == OverlayKind::kNearestMesh) {
+    for (PeerId p = 0; p < n; ++p) {
+      std::vector<std::pair<double, PeerId>> by_delay;
+      for (PeerId q = 0; q < n; ++q) {
+        if (q != p) by_delay.emplace_back(model.delay_ms(p, q), q);
+      }
+      const std::size_t k = std::min(degree, by_delay.size());
+      std::partial_sort(by_delay.begin(), by_delay.begin() + long(k),
+                        by_delay.end());
+      for (std::size_t i = 0; i < k; ++i) add_link(p, by_delay[i].second);
+    }
+  } else {
+    for (PeerId p = 0; p < n; ++p) {
+      std::size_t added = 0, guard = 0;
+      while (added < degree && guard++ < degree * 64 + 16) {
+        const auto q = PeerId(rng.next_below(n));
+        if (q == p || seen.count(pair_key(p, q)) > 0) continue;
+        add_link(p, q);
+        ++added;
+      }
+    }
+  }
+  // Connectivity ring, as in from_topology.
+  {
+    std::vector<PeerId> order(n);
+    for (PeerId p = 0; p < n; ++p) order[p] = p;
+    rng.shuffle(order);
+    for (std::size_t i = 0; i < n; ++i) add_link(order[i], order[(i + 1) % n]);
+  }
+
+  net.build_adjacency();
+  return net;
+}
+
+void OverlayNetwork::build_adjacency() {
+  const std::size_t n = peer_node_.size();
+  offsets_.assign(n + 1, 0);
+  for (const OverlayLink& l : links_) {
+    ++offsets_[l.a + 1];
+    ++offsets_[l.b + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+  adj_.resize(links_.size() * 2);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (OverlayLinkId li = 0; li < links_.size(); ++li) {
+    const OverlayLink& l = links_[li];
+    adj_[cursor[l.a]++] = OverlayAdjacency{l.b, li};
+    adj_[cursor[l.b]++] = OverlayAdjacency{l.a, li};
+  }
+  alive_.assign(n, true);
+  live_count_ = n;
+}
+
+std::span<const OverlayAdjacency> OverlayNetwork::neighbors(PeerId p) const {
+  SPIDER_REQUIRE(p < peer_node_.size());
+  return std::span<const OverlayAdjacency>(adj_.data() + offsets_[p],
+                                           offsets_[p + 1] - offsets_[p]);
+}
+
+bool OverlayNetwork::are_neighbors(PeerId a, PeerId b,
+                                   double* out_delay) const {
+  for (const OverlayAdjacency& adj : neighbors(a)) {
+    if (adj.neighbor == b) {
+      if (out_delay != nullptr) *out_delay = links_[adj.link].delay_ms;
+      return true;
+    }
+  }
+  return false;
+}
+
+double OverlayNetwork::mean_neighbor_delay(PeerId p) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const OverlayAdjacency& adj : neighbors(p)) {
+    if (!alive_[adj.neighbor]) continue;
+    sum += links_[adj.link].delay_ms;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / double(count);
+}
+
+void OverlayNetwork::set_alive(PeerId p, bool alive) {
+  SPIDER_REQUIRE(p < alive_.size());
+  if (alive_[p] == alive) return;
+  alive_[p] = alive;
+  live_count_ += alive ? 1 : std::size_t(-1);
+  route_cache_.clear();
+}
+
+void OverlayNetwork::compute_routes_from(PeerId src) {
+  const std::size_t n = peer_count();
+  std::vector<OverlayPath>& paths =
+      route_cache_.emplace(src, std::vector<OverlayPath>(n)).first->second;
+  if (!alive_[src]) return;  // all invalid
+
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<OverlayLinkId> parent(n, kInvalidOverlayLink);
+  using QItem = std::pair<double, PeerId>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const OverlayAdjacency& adj : neighbors(u)) {
+      if (!alive_[adj.neighbor]) continue;
+      const double nd = d + links_[adj.link].delay_ms;
+      if (nd < dist[adj.neighbor]) {
+        dist[adj.neighbor] = nd;
+        parent[adj.neighbor] = adj.link;
+        pq.emplace(nd, adj.neighbor);
+      }
+    }
+  }
+
+  for (PeerId dst = 0; dst < n; ++dst) {
+    OverlayPath& path = paths[dst];
+    if (dist[dst] == std::numeric_limits<double>::infinity()) continue;
+    path.valid = true;
+    path.delay_ms = dist[dst];
+    PeerId cur = dst;
+    while (cur != src) {
+      const OverlayLinkId li = parent[cur];
+      path.links.push_back(li);
+      path.capacity_kbps =
+          std::min(path.capacity_kbps, links_[li].capacity_kbps);
+      cur = links_[li].other(cur);
+    }
+    std::reverse(path.links.begin(), path.links.end());
+  }
+}
+
+const OverlayPath& OverlayNetwork::route(PeerId src, PeerId dst) {
+  SPIDER_REQUIRE(src < peer_count() && dst < peer_count());
+  auto it = route_cache_.find(src);
+  if (it == route_cache_.end()) {
+    compute_routes_from(src);
+    it = route_cache_.find(src);
+  }
+  return it->second[dst];
+}
+
+double OverlayNetwork::delay_ms(PeerId src, PeerId dst) {
+  if (src == dst) return 0.0;
+  return route(src, dst).delay_ms;
+}
+
+bool OverlayNetwork::live_connected() const {
+  if (live_count_ == 0) return false;
+  PeerId start = kInvalidPeer;
+  for (PeerId p = 0; p < peer_count(); ++p) {
+    if (alive_[p]) {
+      start = p;
+      break;
+    }
+  }
+  std::vector<bool> visited(peer_count(), false);
+  std::vector<PeerId> stack{start};
+  visited[start] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const PeerId u = stack.back();
+    stack.pop_back();
+    for (const OverlayAdjacency& adj : neighbors(u)) {
+      if (alive_[adj.neighbor] && !visited[adj.neighbor]) {
+        visited[adj.neighbor] = true;
+        ++reached;
+        stack.push_back(adj.neighbor);
+      }
+    }
+  }
+  return reached == live_count_;
+}
+
+}  // namespace spider::overlay

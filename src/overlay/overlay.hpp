@@ -1,0 +1,133 @@
+// Peer-to-peer service overlay (§2.3).
+//
+// The overlay is a directed-graph abstraction G = (V, E) over a set of
+// peers.  Each overlay link corresponds to an IP-layer path; its delay is
+// the underlying shortest-path delay and its capacity is the bottleneck
+// bandwidth of that path.  The paper notes the composition system is
+// orthogonal to the overlay topology (§2.3); we provide the two topologies
+// it names — a topologically-aware mesh (k nearest peers by IP delay, after
+// Ratnasamy et al. [20]) and a random/power-law wiring — plus a full mesh
+// for prototype-scale (PlanetLab) runs.
+//
+// Peers can be marked dead (churn).  Overlay routing is min-delay Dijkstra
+// over live peers; route caches are invalidated on liveness changes.
+// Bandwidth *capacity* lives here; availability accounting (soft/confirmed
+// reservations) is the core allocator's job.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/planetlab.hpp"
+#include "net/router.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace spider::overlay {
+
+/// Dense overlay peer index (not the IP node index).
+using PeerId = std::uint32_t;
+using OverlayLinkId = std::uint32_t;
+
+constexpr PeerId kInvalidPeer = static_cast<PeerId>(-1);
+constexpr OverlayLinkId kInvalidOverlayLink = static_cast<OverlayLinkId>(-1);
+
+/// Undirected overlay link with metrics inherited from the IP path.
+struct OverlayLink {
+  PeerId a = kInvalidPeer;
+  PeerId b = kInvalidPeer;
+  double delay_ms = 0.0;
+  double capacity_kbps = 0.0;
+  std::uint32_t ip_hops = 1;
+
+  PeerId other(PeerId p) const { return p == a ? b : a; }
+};
+
+struct OverlayAdjacency {
+  PeerId neighbor = kInvalidPeer;
+  OverlayLinkId link = kInvalidOverlayLink;
+};
+
+/// An overlay path: ordered link list plus aggregate metrics.
+struct OverlayPath {
+  std::vector<OverlayLinkId> links;  ///< empty for src == dst
+  double delay_ms = std::numeric_limits<double>::infinity();
+  double capacity_kbps = std::numeric_limits<double>::infinity();
+  bool valid = false;
+};
+
+enum class OverlayKind {
+  kNearestMesh,  ///< k nearest live peers by IP delay (topology-aware mesh)
+  kRandom,       ///< k random neighbors
+};
+
+class OverlayNetwork {
+ public:
+  /// Builds an overlay over `peer_nodes` (IP node index per peer) using the
+  /// given wiring; overlay link metrics come from shortest IP paths.
+  static OverlayNetwork from_topology(const net::Topology& topo,
+                                      net::Router& router,
+                                      std::vector<net::NodeIdx> peer_nodes,
+                                      OverlayKind kind, std::size_t degree,
+                                      Rng& rng);
+
+  /// Builds a degree-bounded overlay over a PlanetLab-style delay matrix
+  /// (hosts == peers; IP hop count is 1 per link).
+  static OverlayNetwork from_planetlab(const net::PlanetLabModel& model,
+                                       OverlayKind kind, std::size_t degree,
+                                       Rng& rng);
+
+  std::size_t peer_count() const { return peer_node_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  /// IP node this peer sits on (peer index itself for PlanetLab builds).
+  net::NodeIdx ip_node(PeerId p) const { return peer_node_.at(p); }
+
+  const OverlayLink& link(OverlayLinkId l) const { return links_.at(l); }
+  std::span<const OverlayAdjacency> neighbors(PeerId p) const;
+
+  bool alive(PeerId p) const { return alive_.at(p); }
+
+  /// True if a and b share an overlay link; returns the link's delay via
+  /// `out_delay` when provided.
+  bool are_neighbors(PeerId a, PeerId b, double* out_delay = nullptr) const;
+
+  /// Mean delay of a peer's live overlay links (0 if none) — the coarse
+  /// "how far is the world" yardstick a peer can derive locally.
+  double mean_neighbor_delay(PeerId p) const;
+  std::size_t live_count() const { return live_count_; }
+  /// Marks a peer dead/alive and invalidates route caches.
+  void set_alive(PeerId p, bool alive);
+
+  /// Min-delay overlay path across live peers. Dead endpoints or a
+  /// partitioned pair yield `valid == false`. Results are cached per
+  /// source until liveness changes.
+  const OverlayPath& route(PeerId src, PeerId dst);
+
+  /// Direct-delay lookup: delay of overlay link if adjacent, otherwise the
+  /// routed path delay (infinity if unreachable).
+  double delay_ms(PeerId src, PeerId dst);
+
+  /// True if the overlay graph restricted to live peers is connected.
+  bool live_connected() const;
+
+ private:
+  OverlayNetwork() = default;
+  void build_adjacency();
+  void compute_routes_from(PeerId src);
+
+  std::vector<net::NodeIdx> peer_node_;
+  std::vector<OverlayLink> links_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<OverlayAdjacency> adj_;
+  std::vector<bool> alive_;
+  std::size_t live_count_ = 0;
+
+  // Per-source routed paths; invalidated wholesale on liveness changes.
+  std::unordered_map<PeerId, std::vector<OverlayPath>> route_cache_;
+};
+
+}  // namespace spider::overlay

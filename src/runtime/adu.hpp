@@ -1,0 +1,50 @@
+// Application data units (ADUs) and the synthetic video frame model.
+//
+// The paper's prototype (§6.2) streams video through composed multimedia
+// components (tickers, scalers, sub-image extraction, re-quantification).
+// We model an ADU as a synthetic frame carrying dimensions, quantization
+// level and annotation tags; transforms operate on real pixel buffers so
+// the runtime exercises genuine per-frame work, not just metadata edits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spider::runtime {
+
+/// One application data unit: a video frame with a grayscale pixel buffer.
+struct Frame {
+  std::uint64_t sequence = 0;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  /// Quantization step (1 = full fidelity; larger = coarser).
+  std::uint32_t quant = 1;
+  /// Text overlays applied by ticker components, in application order.
+  std::vector<std::string> annotations;
+  /// Row-major grayscale pixels (width * height bytes).
+  std::vector<std::uint8_t> pixels;
+  /// Wall-clock capture timestamp (ns) for end-to-end latency measurement.
+  std::uint64_t capture_ns = 0;
+  /// Earliest wall-clock instant (ns) the next consumer may process this
+  /// frame — how the pipeline emulates network transit latency on a
+  /// service link without throttling throughput (latency, not occupancy).
+  std::uint64_t not_before_ns = 0;
+
+  std::size_t byte_size() const { return pixels.size(); }
+  std::uint8_t at(std::uint32_t x, std::uint32_t y) const {
+    return pixels[std::size_t(y) * width + x];
+  }
+  std::uint8_t& at(std::uint32_t x, std::uint32_t y) {
+    return pixels[std::size_t(y) * width + x];
+  }
+};
+
+/// Deterministic synthetic frame (gradient + sequence-salted pattern).
+Frame make_test_frame(std::uint64_t sequence, std::uint32_t width,
+                      std::uint32_t height);
+
+/// Simple checksum for end-to-end integrity assertions.
+std::uint64_t frame_checksum(const Frame& frame);
+
+}  // namespace spider::runtime

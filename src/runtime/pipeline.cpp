@@ -1,0 +1,314 @@
+#include "runtime/pipeline.hpp"
+
+#include <chrono>
+#include <set>
+#include <memory>
+#include <thread>
+
+#include "runtime/bounded_queue.hpp"
+#include "util/require.hpp"
+
+namespace spider::runtime {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+}  // namespace
+
+StreamingPipeline::StreamingPipeline(service::FunctionGraph pattern,
+                                     std::vector<std::string> node_functions,
+                                     TransformRegistry registry,
+                                     PipelineConfig config)
+    : pattern_(std::move(pattern)),
+      node_functions_(std::move(node_functions)),
+      registry_(std::move(registry)),
+      config_(config) {
+  SPIDER_REQUIRE(pattern_.is_dag());
+  SPIDER_REQUIRE(pattern_.node_count() == node_functions_.size());
+  for (const std::string& name : node_functions_) {
+    SPIDER_REQUIRE_MSG(registry_.contains(name), "unknown transform name");
+  }
+  SPIDER_REQUIRE(config_.edge_delay_ms.empty() ||
+                 config_.edge_delay_ms.size() ==
+                     pattern_.dependencies().size());
+  classify_joins();
+}
+
+void StreamingPipeline::classify_joins() {
+  const std::size_t n = pattern_.node_count();
+  any_join_.assign(n, false);
+
+  // Reachability sets (inclusive) per node; n is small.
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  const auto order = pattern_.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const service::FnNode u = *it;
+    reach[u][u] = true;
+    for (service::FnNode v : pattern_.successors(u)) {
+      for (std::size_t w = 0; w < n; ++w) {
+        if (reach[v][w]) reach[u][w] = true;
+      }
+    }
+  }
+
+  for (service::FnNode join = 0; join < n; ++join) {
+    const auto preds = pattern_.predecessors(join);
+    if (preds.size() < 2) continue;
+    for (service::FnNode split : pattern_.conditionals()) {
+      const auto branches = pattern_.successors(split);
+      if (branches.size() < 2) continue;
+      // Classify each pred: which branch heads reach it?
+      std::size_t full = 0, on_single_branch = 0;
+      std::set<service::FnNode> distinct_branches;
+      for (service::FnNode pred : preds) {
+        std::vector<service::FnNode> heads;
+        for (service::FnNode head : branches) {
+          if (reach[head][pred]) heads.push_back(head);
+        }
+        if (heads.empty() || heads.size() == branches.size()) {
+          ++full;  // sees the whole flow w.r.t. this split
+        } else if (heads.size() == 1) {
+          ++on_single_branch;
+          distinct_branches.insert(heads[0]);
+        } else {
+          SPIDER_REQUIRE_MSG(false,
+                             "partial branch reconvergence is unsupported");
+        }
+      }
+      if (on_single_branch > 0) {
+        // A join mixing branch-restricted inputs with full-flow inputs
+        // would starve its all-join; reject the topology.
+        SPIDER_REQUIRE_MSG(full == 0,
+                           "mixed conditional-branch and full-flow inputs "
+                           "at a join");
+        if (distinct_branches.size() >= 2) any_join_[join] = true;
+      }
+    }
+  }
+}
+
+PipelineReport StreamingPipeline::run() {
+  using Queue = BoundedQueue<Frame>;
+  const std::size_t n = pattern_.node_count();
+
+  // One queue per dependency edge, plus one per entry node (fed by the
+  // source) and one shared sink queue.
+  struct Edge {
+    service::FnNode from, to;
+    double delay_ms;
+    std::unique_ptr<Queue> queue;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t ei = 0; ei < pattern_.dependencies().size(); ++ei) {
+    const auto& [u, v] = pattern_.dependencies()[ei];
+    const double delay =
+        config_.edge_delay_ms.empty() ? 0.0 : config_.edge_delay_ms[ei];
+    edges.push_back(
+        Edge{u, v, delay, std::make_unique<Queue>(config_.queue_capacity)});
+  }
+  std::vector<std::unique_ptr<Queue>> entry_queues;
+  const auto sources = pattern_.sources();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    entry_queues.push_back(std::make_unique<Queue>(config_.queue_capacity));
+  }
+  Queue sink_queue(config_.queue_capacity * 2);
+
+  PipelineReport report;
+  report.processed.assign(n, 0);
+
+  // Worker per node.
+  std::vector<std::thread> workers;
+  const auto sinks = pattern_.sinks();
+  for (service::FnNode node = 0; node < n; ++node) {
+    // Gather this node's input queues (entry queue if it is a source).
+    std::vector<Queue*> inputs;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (sources[i] == node) inputs.push_back(entry_queues[i].get());
+    }
+    for (Edge& e : edges) {
+      if (e.to == node) inputs.push_back(e.queue.get());
+    }
+    // Output descriptors carry the simulated transit latency of the
+    // service link they stand for.
+    struct Out {
+      Queue* queue;
+      double delay_ms;
+    };
+    std::vector<Out> outputs;
+    for (Edge& e : edges) {
+      if (e.from == node) outputs.push_back(Out{e.queue.get(), e.delay_ms});
+    }
+    const bool is_sink =
+        std::find(sinks.begin(), sinks.end(), node) != sinks.end();
+    // Edge queues each have exactly one producer, so their worker owns
+    // (and closes) them; the shared sink queue is closed by the main
+    // thread once every worker has joined.
+    std::vector<Out> owned_outputs = outputs;
+    if (is_sink) outputs.push_back(Out{&sink_queue, 0.0});
+
+    // Conditional split (§8 semantics): each output ADU takes exactly one
+    // outgoing edge instead of being replicated to all successors.
+    const bool conditional =
+        pattern_.is_conditional(node) && !owned_outputs.empty();
+    // Join mode computed at construction (classify_joins).
+    const bool any_join = any_join_[node];
+
+    const Transform& transform = registry_.get(node_functions_[node]);
+    workers.emplace_back([node, inputs, outputs, owned_outputs, conditional,
+                          any_join, is_sink, &sink_queue, &transform,
+                          &report] {
+      auto stamp_and_push = [](const Out& out_desc, Frame frame) {
+        if (out_desc.delay_ms > 0.0) {
+          frame.not_before_ns =
+              now_ns() + std::uint64_t(out_desc.delay_ms * 1e6);
+        } else {
+          frame.not_before_ns = 0;
+        }
+        out_desc.queue->push(std::move(frame));
+      };
+      auto emit = [&](Frame out) {
+        ++report.processed[node];  // only this worker writes this slot
+        if (conditional) {
+          // Dispatch to exactly one successor edge (content-based; we
+          // hash the sequence number as the dispatch predicate).
+          const Out& chosen =
+              owned_outputs[std::size_t(out.sequence) % owned_outputs.size()];
+          stamp_and_push(chosen, std::move(out));
+          // A conditional node cannot also be a sink (sinks have no
+          // outgoing edges), so nothing else to feed.
+          (void)is_sink;
+          (void)sink_queue;
+          return;
+        }
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+          if (i + 1 == outputs.size()) {
+            stamp_and_push(outputs[i], std::move(out));
+            break;
+          }
+          stamp_and_push(outputs[i], out);  // copy for fanout
+        }
+      };
+      // Simulated transit: a popped frame may not be processed before its
+      // link latency has elapsed (keeps frames pipelined — latency, not
+      // occupancy).
+      auto wait_transit = [](const Frame& frame) {
+        const std::uint64_t now = now_ns();
+        if (frame.not_before_ns > now) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(frame.not_before_ns - now));
+        }
+      };
+
+      if (any_join) {
+        // One ADU from any input per iteration.
+        for (;;) {
+          bool got = false, all_finished = true;
+          for (Queue* q : inputs) {
+            if (auto frame = q->try_pop(); frame.has_value()) {
+              got = true;
+              all_finished = false;
+              wait_transit(*frame);
+              emit(transform(std::move(*frame)));
+            } else if (!q->finished()) {
+              all_finished = false;
+            }
+          }
+          if (!got) {
+            if (all_finished) break;
+            std::this_thread::yield();
+          }
+        }
+      } else {
+        // All-join: one ADU from each input per iteration.
+        for (;;) {
+          std::vector<Frame> ins;
+          ins.reserve(inputs.size());
+          bool ended = false;
+          for (Queue* q : inputs) {
+            auto frame = q->pop();
+            if (!frame.has_value()) {
+              ended = true;
+              break;
+            }
+            ins.push_back(std::move(*frame));
+          }
+          if (ended || ins.empty()) break;
+          for (const Frame& in : ins) wait_transit(in);
+          // Merge: primary input transformed; sibling inputs contribute
+          // their annotations (mixing semantics for multi-input nodes).
+          Frame merged = std::move(ins.front());
+          for (std::size_t i = 1; i < ins.size(); ++i) {
+            for (auto& a : ins[i].annotations) {
+              merged.annotations.push_back(std::move(a));
+            }
+          }
+          emit(transform(std::move(merged)));
+        }
+      }
+      for (const Out& out_desc : owned_outputs) out_desc.queue->close();
+    });
+  }
+
+  // Sink collector.
+  double latency_sum_us = 0.0;
+  std::thread collector([&] {
+    std::size_t expected_closes = 0;
+    (void)expected_closes;
+    while (auto frame = sink_queue.pop()) {
+      ++report.frames_out;
+      const double lat_us = double(now_ns() - frame->capture_ns) / 1000.0;
+      latency_sum_us += lat_us;
+      report.max_latency_us = std::max(report.max_latency_us, lat_us);
+      report.out_width = frame->width;
+      report.out_height = frame->height;
+      report.out_quant = frame->quant;
+      report.annotations = frame->annotations;
+    }
+  });
+
+  // Source: paced synthetic frames into every entry queue.
+  const auto start = std::chrono::steady_clock::now();
+  const auto frame_interval =
+      config_.fps > 0.0
+          ? std::chrono::duration<double>(1.0 / config_.fps)
+          : std::chrono::duration<double>(0.0);
+  for (std::size_t i = 0; i < config_.frame_count; ++i) {
+    Frame frame = make_test_frame(i, config_.width, config_.height);
+    frame.capture_ns = now_ns();
+    if (config_.ingress_delay_ms > 0.0) {
+      frame.not_before_ns =
+          frame.capture_ns + std::uint64_t(config_.ingress_delay_ms * 1e6);
+    }
+    ++report.frames_in;
+    for (std::size_t q = 0; q < entry_queues.size(); ++q) {
+      if (q + 1 == entry_queues.size()) {
+        entry_queues[q]->push(std::move(frame));
+        break;
+      }
+      entry_queues[q]->push(frame);
+    }
+    if (config_.fps > 0.0) std::this_thread::sleep_for(frame_interval);
+  }
+  for (auto& q : entry_queues) q->close();
+
+  for (std::thread& w : workers) w.join();
+  sink_queue.close();
+  collector.join();
+
+  const auto end = std::chrono::steady_clock::now();
+  report.wall_time_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  if (report.frames_out > 0) {
+    report.mean_latency_us = latency_sum_us / double(report.frames_out);
+    report.throughput_fps =
+        double(report.frames_out) / (report.wall_time_ms / 1000.0);
+  }
+  return report;
+}
+
+}  // namespace spider::runtime

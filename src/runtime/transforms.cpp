@@ -1,0 +1,178 @@
+#include "runtime/transforms.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace spider::runtime {
+
+Frame make_test_frame(std::uint64_t sequence, std::uint32_t width,
+                      std::uint32_t height) {
+  SPIDER_REQUIRE(width > 0 && height > 0);
+  Frame f;
+  f.sequence = sequence;
+  f.width = width;
+  f.height = height;
+  f.pixels.resize(std::size_t(width) * height);
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      // Diagonal gradient salted by the sequence number so consecutive
+      // frames differ.
+      f.at(x, y) = std::uint8_t((x + 2 * y + 17 * sequence) & 0xff);
+    }
+  }
+  return f;
+}
+
+std::uint64_t frame_checksum(const Frame& frame) {
+  // FNV-1a over dimensions, quant and pixels.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(frame.width);
+  mix(frame.height);
+  mix(frame.quant);
+  for (std::uint8_t p : frame.pixels) mix(p);
+  for (const std::string& a : frame.annotations) {
+    for (char c : a) mix(std::uint64_t(std::uint8_t(c)));
+  }
+  return h;
+}
+
+namespace {
+
+/// Darkens a horizontal band — the visual footprint of a ticker overlay.
+void darken_band(Frame& frame, std::uint32_t y0, std::uint32_t y1) {
+  y1 = std::min(y1, frame.height);
+  for (std::uint32_t y = y0; y < y1; ++y) {
+    for (std::uint32_t x = 0; x < frame.width; ++x) {
+      frame.at(x, y) = std::uint8_t(frame.at(x, y) / 2);
+    }
+  }
+}
+
+}  // namespace
+
+Frame weather_ticker(Frame frame) {
+  const std::uint32_t band = std::max<std::uint32_t>(frame.height / 8, 1);
+  darken_band(frame, frame.height - band, frame.height);
+  frame.annotations.push_back("weather:sunny-21C");
+  return frame;
+}
+
+Frame stock_ticker(Frame frame) {
+  const std::uint32_t band = std::max<std::uint32_t>(frame.height / 8, 1);
+  darken_band(frame, 0, band);
+  frame.annotations.push_back("stock:SPDR+1.2%");
+  return frame;
+}
+
+Frame up_scale(Frame frame) {
+  Frame out;
+  out.sequence = frame.sequence;
+  out.quant = frame.quant;
+  out.annotations = std::move(frame.annotations);
+  out.capture_ns = frame.capture_ns;
+  out.width = frame.width * 2;
+  out.height = frame.height * 2;
+  out.pixels.resize(std::size_t(out.width) * out.height);
+  for (std::uint32_t y = 0; y < out.height; ++y) {
+    for (std::uint32_t x = 0; x < out.width; ++x) {
+      out.at(x, y) = frame.at(x / 2, y / 2);
+    }
+  }
+  return out;
+}
+
+Frame down_scale(Frame frame) {
+  Frame out;
+  out.sequence = frame.sequence;
+  out.quant = frame.quant;
+  out.annotations = std::move(frame.annotations);
+  out.capture_ns = frame.capture_ns;
+  out.width = std::max<std::uint32_t>(frame.width / 2, 1);
+  out.height = std::max<std::uint32_t>(frame.height / 2, 1);
+  out.pixels.resize(std::size_t(out.width) * out.height);
+  for (std::uint32_t y = 0; y < out.height; ++y) {
+    for (std::uint32_t x = 0; x < out.width; ++x) {
+      // 2x2 box filter (clamped at the source edges).
+      const std::uint32_t sx = std::min(2 * x, frame.width - 1);
+      const std::uint32_t sy = std::min(2 * y, frame.height - 1);
+      const std::uint32_t sx1 = std::min(sx + 1, frame.width - 1);
+      const std::uint32_t sy1 = std::min(sy + 1, frame.height - 1);
+      const std::uint32_t sum = frame.at(sx, sy) + frame.at(sx1, sy) +
+                                frame.at(sx, sy1) + frame.at(sx1, sy1);
+      out.at(x, y) = std::uint8_t(sum / 4);
+    }
+  }
+  return out;
+}
+
+Frame sub_image(Frame frame) {
+  Frame out;
+  out.sequence = frame.sequence;
+  out.quant = frame.quant;
+  out.annotations = std::move(frame.annotations);
+  out.capture_ns = frame.capture_ns;
+  out.width = std::max<std::uint32_t>(frame.width / 2, 1);
+  out.height = std::max<std::uint32_t>(frame.height / 2, 1);
+  out.pixels.resize(std::size_t(out.width) * out.height);
+  const std::uint32_t x0 = (frame.width - out.width) / 2;
+  const std::uint32_t y0 = (frame.height - out.height) / 2;
+  for (std::uint32_t y = 0; y < out.height; ++y) {
+    for (std::uint32_t x = 0; x < out.width; ++x) {
+      out.at(x, y) = frame.at(x0 + x, y0 + y);
+    }
+  }
+  return out;
+}
+
+Frame re_quantify(Frame frame) {
+  frame.quant *= 2;
+  const std::uint32_t step = std::min<std::uint32_t>(frame.quant, 128);
+  for (std::uint8_t& p : frame.pixels) {
+    p = std::uint8_t((p / step) * step);
+  }
+  return frame;
+}
+
+TransformRegistry TransformRegistry::standard() {
+  TransformRegistry r;
+  r.add("media/weather-ticker", weather_ticker);
+  r.add("media/stock-ticker", stock_ticker);
+  r.add("media/up-scale", up_scale);
+  r.add("media/down-scale", down_scale);
+  r.add("media/sub-image", sub_image);
+  r.add("media/re-quantify", re_quantify);
+  return r;
+}
+
+void TransformRegistry::add(const std::string& name, Transform transform) {
+  SPIDER_REQUIRE(transform != nullptr);
+  entries_.emplace_back(name, std::move(transform));
+}
+
+bool TransformRegistry::contains(const std::string& name) const {
+  for (const auto& [n, t] : entries_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const Transform& TransformRegistry::get(const std::string& name) const {
+  for (const auto& [n, t] : entries_) {
+    if (n == name) return t;
+  }
+  SPIDER_REQUIRE_MSG(false, "unknown transform");
+  __builtin_unreachable();
+}
+
+std::vector<std::string> TransformRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [n, t] : entries_) out.push_back(n);
+  return out;
+}
+
+}  // namespace spider::runtime

@@ -1,0 +1,56 @@
+// The six multimedia service functions of the paper's prototype (§6.2):
+//   (1) embedding a weather forecast ticker,  (2) embedding a stock ticker,
+//   (3) up-scaling video frames,              (4) down-scaling video frames,
+//   (5) extracting a sub-image,               (6) re-quantifying frames.
+//
+// Each transform is a pure Frame -> Frame function over real pixel
+// buffers; TransformRegistry binds them to catalog function names so a
+// composed service graph can be executed by the streaming pipeline.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/adu.hpp"
+
+namespace spider::runtime {
+
+using Transform = std::function<Frame(Frame)>;
+
+/// (1) Overlays a weather forecast ticker: annotation + darkened band at
+/// the bottom of the frame.
+Frame weather_ticker(Frame frame);
+
+/// (2) Overlays a stock ticker: annotation + darkened band at the top.
+Frame stock_ticker(Frame frame);
+
+/// (3) Doubles both dimensions (nearest-neighbor).
+Frame up_scale(Frame frame);
+
+/// (4) Halves both dimensions (2x2 box filter average).
+Frame down_scale(Frame frame);
+
+/// (5) Extracts the centered sub-image of half the width/height.
+Frame sub_image(Frame frame);
+
+/// (6) Re-quantifies pixels to a coarser step (doubles `quant`).
+Frame re_quantify(Frame frame);
+
+/// Maps the canonical function names (workload::kMultimediaFunctions) to
+/// their transforms.
+class TransformRegistry {
+ public:
+  /// Registry pre-populated with the six prototype functions.
+  static TransformRegistry standard();
+
+  void add(const std::string& function_name, Transform transform);
+  bool contains(const std::string& function_name) const;
+  const Transform& get(const std::string& function_name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::pair<std::string, Transform>> entries_;
+};
+
+}  // namespace spider::runtime

@@ -1,0 +1,91 @@
+// Service component model (§2.2, Figure 3).
+//
+// A service component is a self-contained application unit hosted by a
+// peer.  It consumes application data units at an input quality level,
+// produces outputs at an output quality level, adds a performance quality
+// Q_p (e.g. processing delay), and requires resources R (CPU, memory) on
+// its host for the duration of a session.  Components providing the same
+// *function* are functionally duplicated replicas with possibly different
+// QoS and resource properties — the redundancy that the two-dimensional
+// mapping (Figure 4) exploits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+#include "service/qos.hpp"
+
+namespace spider::service {
+
+/// Identity of a service *function* (e.g. "video/down-scale"). Derived
+/// from the function name; replicas of a function share the id.
+using FunctionId = std::uint32_t;
+constexpr FunctionId kInvalidFunction = static_cast<FunctionId>(-1);
+
+/// Globally unique component instance id: (host peer << 32) | local index.
+using ComponentId = std::uint64_t;
+constexpr ComponentId kInvalidComponent = static_cast<ComponentId>(-1);
+
+inline ComponentId make_component_id(overlay::PeerId host, std::uint32_t local) {
+  return (std::uint64_t(host) << 32) | local;
+}
+inline overlay::PeerId component_host(ComponentId id) {
+  return overlay::PeerId(id >> 32);
+}
+
+/// A deployed service component instance.
+struct ServiceComponent {
+  ComponentId id = kInvalidComponent;
+  FunctionId function = kInvalidFunction;
+  overlay::PeerId host = overlay::kInvalidPeer;
+
+  Qos perf = Qos::delay_loss(0.0);  ///< Q_p: performance quality added per hop
+  Resources required;               ///< R: per-session host resources
+  double failure_prob = 0.0;        ///< per-time-unit failure probability
+                                    ///< estimate of the hosting peer
+
+  /// Application-level I/O quality levels (Q_in / Q_out). The built-in
+  /// scenarios model them as abstract level indices; a component accepts
+  /// inputs at quality >= input_level and emits output_level.
+  std::uint32_t input_level = 0;
+  std::uint32_t output_level = 0;
+};
+
+/// Static meta-data stored in the discovery substrate (§3): everything a
+/// remote peer needs to evaluate a replica without contacting it.
+struct ComponentMetadata {
+  ComponentId id = kInvalidComponent;
+  FunctionId function = kInvalidFunction;
+  overlay::PeerId host = overlay::kInvalidPeer;
+  Qos perf = Qos::delay_loss(0.0);
+  Resources required;
+  /// Advertised failure-probability estimate of the hosting peer — BCP's
+  /// next-hop metric and §5.2's bottleneck ordering both consume it.
+  double failure_prob = 0.0;
+  std::uint32_t input_level = 0;
+  std::uint32_t output_level = 0;
+
+  static ComponentMetadata from(const ServiceComponent& c) {
+    return ComponentMetadata{c.id,           c.function,    c.host,
+                             c.perf,         c.required,    c.failure_prob,
+                             c.input_level,  c.output_level};
+  }
+};
+
+/// Catalog of functions known to a deployment: maps names to dense ids.
+class FunctionCatalog {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  FunctionId intern(const std::string& name);
+  /// Id for an existing name; kInvalidFunction if unknown.
+  FunctionId find(const std::string& name) const;
+  const std::string& name(FunctionId id) const;
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace spider::service

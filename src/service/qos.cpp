@@ -1,0 +1,61 @@
+#include "service/qos.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spider::service {
+
+Qos& Qos::operator+=(const Qos& other) {
+  SPIDER_REQUIRE(size_ == other.size_);
+  for (std::size_t i = 0; i < size_; ++i) v_[i] += other.v_[i];
+  return *this;
+}
+
+bool Qos::within(const Qos& bound) const {
+  SPIDER_REQUIRE(size_ == bound.size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (v_[i] > bound.v_[i]) return false;
+  }
+  return true;
+}
+
+double Qos::ratio_sum(const Qos& bound) const {
+  SPIDER_REQUIRE(size_ == bound.size_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (bound.v_[i] > 0.0) {
+      acc += v_[i] / bound.v_[i];
+    } else if (v_[i] > 0.0) {
+      acc += 1e9;  // a zero bound with a nonzero metric is unmeetable
+    }
+  }
+  return acc;
+}
+
+std::string Qos::to_string() const {
+  std::string out = "[";
+  char buf[32];
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f", i ? ", " : "", v_[i]);
+    out += buf;
+  }
+  return out + "]";
+}
+
+std::string Resources::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{cpu=%.2f, mem=%.2f}", cpu(), memory());
+  return buf;
+}
+
+double loss_to_additive(double loss_rate) {
+  SPIDER_REQUIRE(loss_rate >= 0.0 && loss_rate < 1.0);
+  return -std::log(1.0 - loss_rate);
+}
+
+double additive_to_loss(double loss_log) {
+  SPIDER_REQUIRE(loss_log >= 0.0);
+  return 1.0 - std::exp(-loss_log);
+}
+
+}  // namespace spider::service

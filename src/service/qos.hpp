@@ -1,0 +1,155 @@
+// QoS and resource vectors (§2.1, §2.2).
+//
+// The paper assumes all QoS metrics are *additive*: a multiplicative metric
+// such as loss rate is transformed via -log(1 - loss) so that it accumulates
+// by addition along a service graph (footnote 2).  `Qos` is a fixed-capacity
+// vector of additive metrics with two conventional slots (end-to-end delay
+// in ms, transformed loss) that the built-in scenarios use; callers may use
+// up to kMaxMetrics custom dimensions.
+//
+// Bandwidth is *not* a QoS metric: the paper treats it as a resource on
+// service links (its availability is a min along a path, not a sum), so it
+// lives in the request / allocator instead.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace spider::service {
+
+/// Additive QoS metric vector.
+class Qos {
+ public:
+  static constexpr std::size_t kMaxMetrics = 4;
+  /// Conventional slot indices used by built-in scenarios.
+  static constexpr std::size_t kDelay = 0;    ///< milliseconds
+  static constexpr std::size_t kLossLog = 1;  ///< -log(1 - loss rate)
+  static constexpr std::size_t kJitter = 2;   ///< ms of delay variation
+
+  /// Zero vector of `n` metrics (default: delay + loss).
+  explicit Qos(std::size_t n = 2) : size_(n) {
+    SPIDER_REQUIRE(n >= 1 && n <= kMaxMetrics);
+    v_.fill(0.0);
+  }
+
+  /// Convenience two-metric constructor.
+  static Qos delay_loss(double delay_ms, double loss_log = 0.0) {
+    Qos q(2);
+    q.v_[kDelay] = delay_ms;
+    q.v_[kLossLog] = loss_log;
+    return q;
+  }
+
+  /// Three-metric constructor for multi-constrained scenarios (the QSC
+  /// problem is NP-hard precisely because of multiple additive
+  /// constraints, §2.4).
+  static Qos delay_loss_jitter(double delay_ms, double loss_log,
+                               double jitter_ms) {
+    Qos q(3);
+    q.v_[kDelay] = delay_ms;
+    q.v_[kLossLog] = loss_log;
+    q.v_[kJitter] = jitter_ms;
+    return q;
+  }
+
+  double jitter_ms() const { return size_ > kJitter ? v_[kJitter] : 0.0; }
+
+  /// Returns a copy widened (or narrowed) to `n` metrics; new slots are 0.
+  Qos resized(std::size_t n) const {
+    Qos q(n);
+    for (std::size_t i = 0; i < std::min(n, size_); ++i) q.v_[i] = v_[i];
+    return q;
+  }
+
+  std::size_t size() const { return size_; }
+  double operator[](std::size_t i) const {
+    SPIDER_DCHECK(i < size_);
+    return v_[i];
+  }
+  double& operator[](std::size_t i) {
+    SPIDER_DCHECK(i < size_);
+    return v_[i];
+  }
+  double delay_ms() const { return v_[kDelay]; }
+  double loss_log() const { return size_ > kLossLog ? v_[kLossLog] : 0.0; }
+
+  /// Component-wise accumulation; both operands must have equal size.
+  Qos& operator+=(const Qos& other);
+  friend Qos operator+(Qos lhs, const Qos& rhs) { return lhs += rhs; }
+
+  /// True if every metric is <= the corresponding bound (the user's Q^req
+  /// is an upper bound on each additive metric).
+  bool within(const Qos& bound) const;
+
+  /// Sum of per-metric ratios q_i / bound_i, the Σ qᵢ^λ/qᵢ^req term in the
+  /// paper's backup-count formula (Eq. 2). Zero-valued bounds contribute 0
+  /// when the metric is also 0, else a large penalty.
+  double ratio_sum(const Qos& bound) const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<double, kMaxMetrics> v_;
+  std::size_t size_;
+};
+
+/// End-system resource vector (the paper's R: e.g. CPU, memory).
+///
+/// Units are abstract capacity points; the workload generator picks
+/// component requirements and peer capacities in consistent units.
+struct Resources {
+  static constexpr std::size_t kTypes = 2;
+  static constexpr std::size_t kCpu = 0;
+  static constexpr std::size_t kMemory = 1;
+
+  std::array<double, kTypes> v{0.0, 0.0};
+
+  static Resources cpu_mem(double cpu, double mem) {
+    Resources r;
+    r.v[kCpu] = cpu;
+    r.v[kMemory] = mem;
+    return r;
+  }
+
+  double cpu() const { return v[kCpu]; }
+  double memory() const { return v[kMemory]; }
+
+  Resources& operator+=(const Resources& o) {
+    for (std::size_t i = 0; i < kTypes; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  Resources& operator-=(const Resources& o) {
+    for (std::size_t i = 0; i < kTypes; ++i) v[i] -= o.v[i];
+    return *this;
+  }
+  friend Resources operator+(Resources a, const Resources& b) { return a += b; }
+  friend Resources operator-(Resources a, const Resources& b) { return a -= b; }
+
+  /// True if every type fits under the corresponding availability.
+  bool fits_within(const Resources& avail) const {
+    for (std::size_t i = 0; i < kTypes; ++i) {
+      if (v[i] > avail.v[i]) return false;
+    }
+    return true;
+  }
+
+  bool non_negative() const {
+    for (double x : v) {
+      if (x < 0.0) return false;
+    }
+    return true;
+  }
+
+  std::string to_string() const;
+};
+
+/// Transforms a loss *rate* in [0, 1) into the additive log domain.
+double loss_to_additive(double loss_rate);
+/// Inverse transform: additive value back to a loss rate.
+double additive_to_loss(double loss_log);
+
+}  // namespace spider::service

@@ -1,0 +1,43 @@
+#include "service/service_graph.hpp"
+
+namespace spider::service {
+
+std::unordered_set<ComponentId> ServiceGraph::component_set() const {
+  std::unordered_set<ComponentId> out;
+  out.reserve(mapping.size());
+  for (const ComponentMetadata& m : mapping) out.insert(m.id);
+  return out;
+}
+
+bool ServiceGraph::uses_component(ComponentId id) const {
+  for (const ComponentMetadata& m : mapping) {
+    if (m.id == id) return true;
+  }
+  return false;
+}
+
+bool ServiceGraph::uses_peer(overlay::PeerId peer) const {
+  for (const ComponentMetadata& m : mapping) {
+    if (m.host == peer) return true;
+  }
+  return false;
+}
+
+std::size_t ServiceGraph::overlap(const ServiceGraph& other) const {
+  const auto theirs = other.component_set();
+  std::size_t shared = 0;
+  for (const ComponentMetadata& m : mapping) {
+    shared += theirs.count(m.id);
+  }
+  return shared;
+}
+
+bool ServiceGraph::same_mapping(const ServiceGraph& other) const {
+  if (mapping.size() != other.mapping.size()) return false;
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    if (mapping[i].id != other.mapping[i].id) return false;
+  }
+  return true;
+}
+
+}  // namespace spider::service

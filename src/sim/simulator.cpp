@@ -1,0 +1,99 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace spider::sim {
+
+EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  SPIDER_REQUIRE_MSG(t >= now_, "cannot schedule into the past");
+  SPIDER_REQUIRE(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Simulator::schedule_after(Time dt, std::function<void()> fn) {
+  SPIDER_REQUIRE(dt >= 0);
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  // We cannot remove from the middle of a binary heap; tombstone instead.
+  // Only ids that are still pending accept a tombstone, so double-cancel
+  // and cancel-after-fire are safe no-ops.
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::pop_and_run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the handler is moved out via const_cast
+    // which is safe because we pop the entry immediately afterwards.
+    auto& top = const_cast<Entry&>(queue_.top());
+    const Time at = top.at;
+    const EventId id = top.id;
+    std::function<void()> fn = std::move(top.fn);
+    queue_.pop();
+    if (cancelled_.erase(id) > 0) continue;  // tombstoned
+    now_ = at;
+    pending_ids_.erase(id);
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+Time Simulator::run() {
+  while (pop_and_run()) {
+  }
+  return now_;
+}
+
+Time Simulator::run_until(Time deadline) {
+  SPIDER_REQUIRE(deadline >= now_);
+  while (!queue_.empty()) {
+    // Skip tombstones at the head so the deadline check sees a live event.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().at > deadline) break;
+    pop_and_run();
+  }
+  now_ = deadline;
+  return now_;
+}
+
+std::size_t Simulator::step(std::size_t max_events) {
+  std::size_t ran = 0;
+  while (ran < max_events && pop_and_run()) ++ran;
+  return ran;
+}
+
+void PeriodicTimer::start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_.schedule_after(period_, [this] { tick(); });
+}
+
+void PeriodicTimer::stop() {
+  running_ = false;
+  if (pending_ != kInvalidEvent) {
+    sim_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+}
+
+void PeriodicTimer::tick() {
+  pending_ = kInvalidEvent;
+  callback_();
+  // The callback may have called stop(); only re-arm while running.
+  if (running_ && pending_ == kInvalidEvent) {
+    pending_ = sim_.schedule_after(period_, [this] { tick(); });
+  }
+}
+
+}  // namespace spider::sim

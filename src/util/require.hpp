@@ -1,0 +1,38 @@
+// Lightweight contract-checking macros used across SpiderNet.
+//
+// SPIDER_REQUIRE is always on (it guards protocol invariants whose violation
+// would silently corrupt a simulation run); SPIDER_DCHECK compiles out in
+// release builds and is meant for hot-path sanity checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spider::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const char* msg) {
+  std::fprintf(stderr, "SPIDER_REQUIRE failed: (%s) at %s:%d%s%s\n", expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace spider::detail
+
+#define SPIDER_REQUIRE(expr)                                               \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::spider::detail::require_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define SPIDER_REQUIRE_MSG(expr, msg)                                   \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::spider::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPIDER_DCHECK(expr) ((void)0)
+#else
+#define SPIDER_DCHECK(expr) SPIDER_REQUIRE(expr)
+#endif

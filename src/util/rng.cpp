@@ -1,0 +1,172 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace spider {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  SPIDER_REQUIRE(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  SPIDER_REQUIRE(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  SPIDER_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double mean) {
+  SPIDER_REQUIRE(mean > 0.0);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::next_normal(double mean, double stddev) {
+  // Box–Muller. We draw a fresh pair each call; the discarded second value
+  // keeps the generator state trajectory simple and reproducible.
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::next_lognormal(double mu, double sigma) {
+  return std::exp(next_normal(mu, sigma));
+}
+
+double Rng::next_pareto(double xm, double alpha) {
+  SPIDER_REQUIRE(xm > 0.0 && alpha > 0.0);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::next_zipf(std::uint64_t n, double s) {
+  SPIDER_REQUIRE(n > 0);
+  if (n == 1) return 0;
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996) over ranks
+  // 1..n, returned 0-based. Valid for s != 1; nudge s away from exactly 1.
+  if (std::abs(s - 1.0) < 1e-9) s = 1.0 + 1e-9;
+  const double nd = static_cast<double>(n);
+  // H(x) = integral of x^-s = (x^(1-s) - 1) / (1 - s).
+  auto h_integral = [s](double x) {
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_integral_inv = [s](double x) {
+    return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  auto h = [s](double x) { return std::pow(x, -s); };
+  const double h_int_x1 = h_integral(1.5) - 1.0;
+  const double h_int_n = h_integral(nd + 0.5);
+  const double squeeze = 2.0 - h_integral_inv(h_integral(2.5) - h(2.0));
+  for (;;) {
+    const double u = h_int_n + next_double() * (h_int_x1 - h_int_n);
+    const double x = h_integral_inv(u);
+    double kd = std::floor(x + 0.5);
+    if (kd < 1.0) kd = 1.0;
+    if (kd > nd) kd = nd;
+    if (kd - x <= squeeze || u >= h_integral(kd + 0.5) - h(kd)) {
+      return static_cast<std::uint64_t>(kd) - 1;
+    }
+  }
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  SPIDER_REQUIRE(k <= n);
+  // Floyd's algorithm: O(k) expected draws, O(k) memory.
+  std::unordered_set<std::size_t> chosen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    auto t = static_cast<std::size_t>(next_below(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  // Child state derived by jumping through splitmix64 seeded from fresh
+  // output words; distinct draws guarantee a different stream.
+  std::uint64_t sm = (*this)();
+  for (auto& word : child.s_) word = splitmix64(sm);
+  return child;
+}
+
+}  // namespace spider

@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation for SpiderNet.
+//
+// Every stochastic decision in the simulator (topology wiring, component
+// placement, request arrivals, peer churn, probe tie-breaking) flows from a
+// seeded Rng so that simulation runs are exactly reproducible.  The engine
+// is xoshiro256** (Blackman & Vigna), which is fast, has a 2^256-1 period
+// and passes BigCrush; seeding goes through splitmix64 so that small seeds
+// (0, 1, 2, ...) still yield well-mixed state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace spider {
+
+/// xoshiro256** engine with convenience sampling helpers.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can also
+/// be plugged into <random> distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Normally distributed value (Box–Muller; one value per call).
+  double next_normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double next_lognormal(double mu, double sigma);
+
+  /// Pareto-distributed value with scale xm > 0 and shape alpha > 0.
+  /// Used for power-law degree sequences.
+  double next_pareto(double xm, double alpha);
+
+  /// Zipf-like rank in [0, n): probability of rank r proportional to
+  /// 1/(r+1)^s. O(1) amortized via rejection-inversion (Hörmann).
+  std::uint64_t next_zipf(std::uint64_t n, double s);
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element (by reference). Requires !v.empty().
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    SPIDER_REQUIRE(!v.empty());
+    return v[static_cast<std::size_t>(next_below(v.size()))];
+  }
+
+  /// Samples k distinct indices from [0, n) uniformly (reservoir-free,
+  /// Floyd's algorithm). Returned order is unspecified. Requires k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator (e.g. one per peer) whose
+  /// stream does not overlap with the parent for any practical run length.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace spider

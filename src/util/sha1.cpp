@@ -1,0 +1,98 @@
+#include "util/sha1.hpp"
+
+#include <cstring>
+
+namespace spider {
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+struct Sha1State {
+  std::uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                        0xC3D2E1F0u};
+
+  void process_block(const std::uint8_t* block) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t(block[i * 4]) << 24) |
+             (std::uint32_t(block[i * 4 + 1]) << 16) |
+             (std::uint32_t(block[i * 4 + 2]) << 8) |
+             std::uint32_t(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      std::uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999u;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = rotl32(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+};
+
+}  // namespace
+
+Sha1Digest sha1(std::string_view data) {
+  Sha1State state;
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t remaining = data.size();
+  while (remaining >= 64) {
+    state.process_block(bytes);
+    bytes += 64;
+    remaining -= 64;
+  }
+  // Final block(s): message || 0x80 || zero pad || 64-bit bit length.
+  std::uint8_t tail[128] = {};
+  std::memcpy(tail, bytes, remaining);
+  tail[remaining] = 0x80;
+  const std::size_t tail_len = (remaining + 1 + 8 <= 64) ? 64 : 128;
+  const std::uint64_t bit_len = std::uint64_t(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 1 - i] = std::uint8_t(bit_len >> (8 * i));
+  }
+  state.process_block(tail);
+  if (tail_len == 128) state.process_block(tail + 64);
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = std::uint8_t(state.h[i] >> 24);
+    digest[i * 4 + 1] = std::uint8_t(state.h[i] >> 16);
+    digest[i * 4 + 2] = std::uint8_t(state.h[i] >> 8);
+    digest[i * 4 + 3] = std::uint8_t(state.h[i]);
+  }
+  return digest;
+}
+
+std::uint64_t sha1_prefix64(std::string_view data) {
+  const Sha1Digest d = sha1(data);
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out = (out << 8) | d[static_cast<size_t>(i)];
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,25 @@
+// SHA-1 — the secure hash the paper uses to map service function names to
+// DHT keys (§3: "applying a secure hash function on the function name").
+//
+// SHA-1 is no longer collision-resistant for adversarial inputs, but it is
+// exactly what Pastry-era systems used for key derivation and its 160-bit
+// output is what our 128-bit NodeId truncates from.  Self-contained
+// implementation (FIPS 180-1), no external dependencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace spider {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// One-shot SHA-1 of a byte string.
+Sha1Digest sha1(std::string_view data);
+
+/// First 8 bytes of the digest as a big-endian uint64 (convenience for
+/// hash-table style uses).
+std::uint64_t sha1_prefix64(std::string_view data);
+
+}  // namespace spider

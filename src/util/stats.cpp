@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/require.hpp"
+
+namespace spider {
+
+void SampleStats::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sorted_ = false;
+}
+
+double SampleStats::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::min() const {
+  SPIDER_REQUIRE(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  SPIDER_REQUIRE(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::percentile(double p) const {
+  SPIDER_REQUIRE(!samples_.empty());
+  SPIDER_REQUIRE(p >= 0.0 && p <= 100.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string SampleStats::summary() const {
+  if (empty()) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f n=%zu", mean(),
+                percentile(50), percentile(99), min(), max(), count());
+  return buf;
+}
+
+void TimeSeriesCounter::add(std::size_t bucket, std::uint64_t delta) {
+  SPIDER_REQUIRE(bucket < counts_.size());
+  counts_[bucket] += delta;
+}
+
+std::uint64_t TimeSeriesCounter::total() const {
+  std::uint64_t acc = 0;
+  for (auto c : counts_) acc += c;
+  return acc;
+}
+
+}  // namespace spider

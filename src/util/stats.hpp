@@ -1,0 +1,70 @@
+// Summary statistics helpers used by the benchmark harnesses and by the
+// simulator's instrumentation (setup time breakdowns, success counters,
+// failure frequency series, message-overhead accounting).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spider {
+
+/// Accumulates samples and reports mean / min / max / stddev / percentiles.
+///
+/// Samples are kept (the figure benches report percentiles over a few
+/// thousand values at most), so memory is proportional to sample count.
+class SampleStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for < 2 samples.
+  double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100]. Requires !empty().
+  double percentile(double p) const;
+
+  /// "mean=… p50=… p99=… min=… max=… n=…" one-line summary.
+  std::string summary() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bin counter keyed by an integer time bucket; used for the
+/// failure-frequency-over-time series (Fig 9).
+class TimeSeriesCounter {
+ public:
+  explicit TimeSeriesCounter(std::size_t buckets) : counts_(buckets, 0) {}
+
+  void add(std::size_t bucket, std::uint64_t delta = 1);
+  std::uint64_t at(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t total() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Ratio counter: successes over attempts.
+struct RatioCounter {
+  std::uint64_t hits = 0;
+  std::uint64_t total = 0;
+
+  void record(bool success) {
+    ++total;
+    hits += success ? 1 : 0;
+  }
+  double ratio() const { return total == 0 ? 0.0 : double(hits) / double(total); }
+};
+
+}  // namespace spider

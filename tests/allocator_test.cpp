@@ -1,0 +1,164 @@
+// Tests for the allocation manager: soft holds, expiry, confirmation into
+// session grants, all-or-nothing path reservations, direct grants.
+#include <gtest/gtest.h>
+
+#include "core/allocator.hpp"
+#include "net/generator.hpp"
+#include "net/router.hpp"
+#include "util/rng.hpp"
+
+namespace spider::core {
+namespace {
+
+using service::Resources;
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(21);
+    topo_ = std::make_unique<net::Topology>(net::power_law(120, 2, rng));
+    router_ = std::make_unique<net::Router>(*topo_);
+    std::vector<net::NodeIdx> nodes;
+    for (std::size_t idx : rng.sample_indices(120, 16)) {
+      nodes.push_back(net::NodeIdx(idx));
+    }
+    auto ov = overlay::OverlayNetwork::from_topology(
+        *topo_, *router_, std::move(nodes),
+        overlay::OverlayKind::kNearestMesh, 3, rng);
+    deployment_ = std::make_unique<Deployment>(std::move(ov), rng, 8, 3);
+    for (PeerId p = 0; p < deployment_->peer_count(); ++p) {
+      deployment_->set_capacity(p, Resources::cpu_mem(10, 10));
+    }
+    alloc_ = std::make_unique<AllocationManager>(*deployment_, sim_);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Topology> topo_;
+  std::unique_ptr<net::Router> router_;
+  std::unique_ptr<Deployment> deployment_;
+  std::unique_ptr<AllocationManager> alloc_;
+};
+
+TEST_F(AllocatorTest, SoftReserveReducesAvailability) {
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).cpu(), 10.0);
+  auto hold = alloc_->soft_reserve_peer(0, Resources::cpu_mem(4, 2), 100.0);
+  ASSERT_TRUE(hold.has_value());
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).cpu(), 6.0);
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).memory(), 8.0);
+}
+
+TEST_F(AllocatorTest, OverbookingRejected) {
+  ASSERT_TRUE(alloc_->soft_reserve_peer(0, Resources::cpu_mem(8, 8), 100.0));
+  EXPECT_FALSE(
+      alloc_->soft_reserve_peer(0, Resources::cpu_mem(4, 1), 100.0).has_value());
+  // A fitting request still succeeds.
+  EXPECT_TRUE(
+      alloc_->soft_reserve_peer(0, Resources::cpu_mem(2, 2), 100.0).has_value());
+}
+
+TEST_F(AllocatorTest, HoldsExpireLazily) {
+  auto hold = alloc_->soft_reserve_peer(0, Resources::cpu_mem(10, 10), 50.0);
+  ASSERT_TRUE(hold.has_value());
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).cpu(), 0.0);
+  // Advance virtual time past the expiry: availability is restored on the
+  // next query (lazy purge).
+  sim_.schedule_at(60.0, [] {});
+  sim_.run();
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).cpu(), 10.0);
+  // Confirming the expired hold must fail.
+  EXPECT_FALSE(alloc_->confirm(*hold, alloc_->new_session_id()));
+}
+
+TEST_F(AllocatorTest, ConfirmConvertsToGrant) {
+  auto hold = alloc_->soft_reserve_peer(2, Resources::cpu_mem(5, 5), 100.0);
+  ASSERT_TRUE(hold.has_value());
+  const SessionId session = alloc_->new_session_id();
+  EXPECT_TRUE(alloc_->confirm(*hold, session));
+  // Still reserved, now as a grant — and it survives the soft expiry time.
+  sim_.schedule_at(200.0, [] {});
+  sim_.run();
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(2).cpu(), 5.0);
+  alloc_->release_session(session);
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(2).cpu(), 10.0);
+}
+
+TEST_F(AllocatorTest, ReleaseHoldRestoresImmediately) {
+  auto hold = alloc_->soft_reserve_peer(1, Resources::cpu_mem(9, 9), 100.0);
+  ASSERT_TRUE(hold.has_value());
+  alloc_->release_hold(*hold);
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(1).cpu(), 10.0);
+  // Double release is harmless; confirm after release fails.
+  alloc_->release_hold(*hold);
+  EXPECT_FALSE(alloc_->confirm(*hold, alloc_->new_session_id()));
+}
+
+TEST_F(AllocatorTest, PathReservationIsAllOrNothing) {
+  auto& ov = deployment_->overlay();
+  const overlay::OverlayPath path = ov.route(0, 9);
+  ASSERT_TRUE(path.valid);
+  ASSERT_FALSE(path.links.empty());
+  const double cap = alloc_->path_available_kbps(path);
+  ASSERT_GT(cap, 0.0);
+
+  auto h1 = alloc_->soft_reserve_path(path, cap * 0.7, 100.0);
+  ASSERT_TRUE(h1.has_value());
+  // Second reservation of 70% cannot fit on the bottleneck link.
+  EXPECT_FALSE(alloc_->soft_reserve_path(path, cap * 0.7, 100.0).has_value());
+  // And nothing was partially reserved by the failed attempt.
+  EXPECT_NEAR(alloc_->path_available_kbps(path), cap * 0.3, 1e-6);
+}
+
+TEST_F(AllocatorTest, PathConfirmAndRelease) {
+  auto& ov = deployment_->overlay();
+  const overlay::OverlayPath path = ov.route(1, 8);
+  ASSERT_TRUE(path.valid);
+  const double before = alloc_->path_available_kbps(path);
+  auto hold = alloc_->soft_reserve_path(path, 100.0, 100.0);
+  ASSERT_TRUE(hold.has_value());
+  const SessionId session = alloc_->new_session_id();
+  EXPECT_TRUE(alloc_->confirm(*hold, session));
+  EXPECT_NEAR(alloc_->path_available_kbps(path), before - 100.0, 1e-6);
+  alloc_->release_session(session);
+  EXPECT_NEAR(alloc_->path_available_kbps(path), before, 1e-6);
+}
+
+TEST_F(AllocatorTest, GrantDirectAggregatesDuplicates) {
+  const SessionId session = alloc_->new_session_id();
+  // Two components on the same peer demanding 6+6 > 10 must be rejected
+  // as a unit.
+  EXPECT_FALSE(alloc_->grant_direct(
+      session,
+      {{0, Resources::cpu_mem(6, 1)}, {0, Resources::cpu_mem(6, 1)}}, {}));
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).cpu(), 10.0);
+  // 4+4 fits.
+  EXPECT_TRUE(alloc_->grant_direct(
+      session,
+      {{0, Resources::cpu_mem(4, 1)}, {0, Resources::cpu_mem(4, 1)}}, {}));
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).cpu(), 2.0);
+  alloc_->release_session(session);
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).cpu(), 10.0);
+}
+
+TEST_F(AllocatorTest, ConcurrentProbesCannotJointlyOveradmit) {
+  // The soft-allocation property from §4.2 step 2.1: two concurrent
+  // probes reserving on the same peer see each other's holds.
+  auto h1 = alloc_->soft_reserve_peer(3, Resources::cpu_mem(6, 6), 100.0);
+  auto h2 = alloc_->soft_reserve_peer(3, Resources::cpu_mem(6, 6), 100.0);
+  EXPECT_TRUE(h1.has_value());
+  EXPECT_FALSE(h2.has_value());
+}
+
+TEST_F(AllocatorTest, ActiveCountsTrackState) {
+  EXPECT_EQ(alloc_->active_holds(), 0u);
+  auto hold = alloc_->soft_reserve_peer(0, Resources::cpu_mem(1, 1), 100.0);
+  EXPECT_EQ(alloc_->active_holds(), 1u);
+  const SessionId session = alloc_->new_session_id();
+  alloc_->confirm(*hold, session);
+  EXPECT_EQ(alloc_->active_holds(), 0u);
+  EXPECT_EQ(alloc_->active_grants(), 1u);
+  alloc_->release_session(session);
+  EXPECT_EQ(alloc_->active_grants(), 0u);
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,138 @@
+// Tests for the message-level (event-driven) BCP execution mode:
+// completion timing, equivalence with the synchronous mode in uncontended
+// scenarios, timeout behaviour, hold hygiene.
+#include <gtest/gtest.h>
+
+#include "core/bcp.hpp"
+#include "test_scenario.hpp"
+
+namespace spider::core {
+namespace {
+
+class AsyncBcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = spider::testing::small_scenario(/*seed=*/77, /*peers=*/48);
+    engine_ = std::make_unique<BcpEngine>(*scenario_->deployment,
+                                          *scenario_->alloc,
+                                          *scenario_->evaluator,
+                                          scenario_->sim, BcpConfig{});
+  }
+
+  std::unique_ptr<workload::Scenario> scenario_;
+  std::unique_ptr<BcpEngine> engine_;
+};
+
+TEST_F(AsyncBcpTest, CompletesAtSetupTime) {
+  auto req = spider::testing::easy_request(*scenario_);
+  Rng rng(1);
+  bool called = false;
+  double called_at = -1.0;
+  ComposeResult result;
+  engine_->compose_async(req, rng, [&](ComposeResult r) {
+    called = true;
+    called_at = scenario_->sim.now();
+    result = std::move(r);
+  });
+  EXPECT_FALSE(called) << "completion must be asynchronous";
+  scenario_->sim.run();
+  ASSERT_TRUE(called);
+  ASSERT_TRUE(result.success);
+  // The callback fires exactly when the ack returns (virtual time).
+  EXPECT_NEAR(called_at, result.stats.setup_time_ms, 1e-6);
+  for (HoldId h : result.best_holds) scenario_->alloc->release_hold(h);
+}
+
+TEST_F(AsyncBcpTest, MatchesSynchronousDecisionsUncontended) {
+  // With ample resources and identical RNG streams the two execution
+  // modes make identical protocol decisions: same best mapping, same
+  // probe counts, same qualified set size.
+  auto req = spider::testing::easy_request(*scenario_);
+
+  Rng rng_sync(9);
+  ComposeResult sync = engine_->compose(req, rng_sync);
+  ASSERT_TRUE(sync.success);
+  for (HoldId h : sync.best_holds) scenario_->alloc->release_hold(h);
+
+  Rng rng_async(9);
+  ComposeResult async_result;
+  bool done = false;
+  engine_->compose_async(req, rng_async, [&](ComposeResult r) {
+    async_result = std::move(r);
+    done = true;
+  });
+  scenario_->sim.run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(async_result.success);
+  for (HoldId h : async_result.best_holds) scenario_->alloc->release_hold(h);
+
+  EXPECT_TRUE(async_result.best.same_mapping(sync.best));
+  EXPECT_EQ(async_result.stats.probes_spawned, sync.stats.probes_spawned);
+  EXPECT_EQ(async_result.stats.probes_arrived, sync.stats.probes_arrived);
+  EXPECT_EQ(async_result.stats.qualified_found, sync.stats.qualified_found);
+  EXPECT_NEAR(async_result.stats.setup_time_ms, sync.stats.setup_time_ms,
+              1e-6);
+  EXPECT_NEAR(async_result.best.psi_cost, sync.best.psi_cost, 1e-9);
+}
+
+TEST_F(AsyncBcpTest, FailsAsynchronouslyOnDeadSource) {
+  auto req = spider::testing::easy_request(*scenario_);
+  scenario_->deployment->kill_peer(req.source);
+  Rng rng(2);
+  bool called = false;
+  engine_->compose_async(req, rng, [&](ComposeResult r) {
+    called = true;
+    EXPECT_FALSE(r.success);
+  });
+  scenario_->sim.run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(AsyncBcpTest, TimeoutCutsOffLateProbes) {
+  // A probe timeout shorter than one overlay hop: nothing arrives, the
+  // destination's collection timeout fires, composition fails cleanly.
+  auto req = spider::testing::easy_request(*scenario_);
+  BcpConfig config = engine_->config();
+  config.probe_timeout_ms = 0.5;
+  engine_->set_config(config);
+  Rng rng(3);
+  bool called = false;
+  engine_->compose_async(req, rng, [&](ComposeResult r) {
+    called = true;
+    EXPECT_FALSE(r.success);
+  });
+  scenario_->sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(scenario_->alloc->active_holds(), 0u);
+}
+
+TEST_F(AsyncBcpTest, ConcurrentComposesInterleave) {
+  // Two overlapping async composes: both must complete, and the soft
+  // allocation machinery keeps their combined admissions within capacity.
+  auto req1 = spider::testing::easy_request(*scenario_, 3, 0, 1);
+  auto req2 = spider::testing::easy_request(*scenario_, 3, 2, 3);
+  Rng rng1(4), rng2(5);
+  int completions = 0;
+  std::vector<ComposeResult> results;
+  auto on_done = [&](ComposeResult r) {
+    ++completions;
+    results.push_back(std::move(r));
+  };
+  engine_->compose_async(req1, rng1, on_done);
+  engine_->compose_async(req2, rng2, on_done);
+  scenario_->sim.run();
+  ASSERT_EQ(completions, 2);
+  for (auto& r : results) {
+    EXPECT_TRUE(r.success);
+    const SessionId session = scenario_->alloc->new_session_id();
+    for (HoldId h : r.best_holds) {
+      EXPECT_TRUE(scenario_->alloc->confirm(h, session));
+    }
+  }
+  for (overlay::PeerId p = 0; p < scenario_->deployment->peer_count(); ++p) {
+    EXPECT_TRUE(scenario_->alloc->peer_available(p).non_negative());
+  }
+}
+
+}  // namespace
+}  // namespace spider::core

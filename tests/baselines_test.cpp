@@ -1,0 +1,160 @@
+// Tests for the baseline composers: optimal exhaustiveness, random/static
+// behaviour, centralized staleness semantics, and the optimality property
+// that BCP can never beat the optimal composer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/bcp.hpp"
+#include "test_scenario.hpp"
+
+namespace spider::core {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = spider::testing::small_scenario();
+    request_ = spider::testing::easy_request(*scenario_);
+    optimal_ = std::make_unique<OptimalComposer>(
+        *scenario_->deployment, *scenario_->alloc, *scenario_->evaluator);
+  }
+
+  std::unique_ptr<workload::Scenario> scenario_;
+  service::CompositeRequest request_;
+  std::unique_ptr<OptimalComposer> optimal_;
+};
+
+TEST_F(BaselinesTest, OptimalExaminesFullCrossProduct) {
+  BaselineResult r = optimal_->compose(request_);
+  ASSERT_TRUE(r.success);
+  std::size_t expected = 1;
+  for (service::FnNode n = 0; n < request_.graph.node_count(); ++n) {
+    std::size_t live = 0;
+    for (auto id :
+         scenario_->deployment->replicas_oracle(request_.graph.function(n))) {
+      live += scenario_->deployment->component_alive(id) ? 1 : 0;
+    }
+    expected *= live;
+  }
+  EXPECT_EQ(r.candidates_examined, expected);
+  EXPECT_EQ(r.messages, expected) << "flooding cost = candidate count";
+}
+
+TEST_F(BaselinesTest, OptimalPicksMinimumPsi) {
+  BaselineResult r = optimal_->compose(request_, Objective::kMinPsi);
+  ASSERT_TRUE(r.success);
+  for (const auto& other : r.backups) {
+    EXPECT_GE(other.psi_cost + 1e-12, r.best.psi_cost);
+  }
+}
+
+TEST_F(BaselinesTest, OptimalMinDelayObjective) {
+  BaselineResult r = optimal_->compose(request_, Objective::kMinDelay);
+  ASSERT_TRUE(r.success);
+  for (const auto& other : r.backups) {
+    EXPECT_GE(other.qos.delay_ms() + 1e-9, r.best.qos.delay_ms());
+  }
+}
+
+TEST_F(BaselinesTest, BcpNeverBeatsOptimal) {
+  // Property: for the same state, BCP's best ψ >= optimal's best ψ.
+  BaselineResult opt = optimal_->compose(request_, Objective::kMinPsi);
+  ASSERT_TRUE(opt.success);
+  BcpEngine bcp(*scenario_->deployment, *scenario_->alloc,
+                *scenario_->evaluator, scenario_->sim, BcpConfig{});
+  Rng rng(3);
+  ComposeResult r = bcp.compose(request_, rng);
+  ASSERT_TRUE(r.success);
+  for (HoldId h : r.best_holds) scenario_->alloc->release_hold(h);
+  EXPECT_GE(r.best.psi_cost + 1e-9, opt.best.psi_cost);
+}
+
+TEST_F(BaselinesTest, RandomProducesValidButBlindGraphs) {
+  RandomComposer random(*scenario_->deployment, *scenario_->evaluator);
+  Rng rng(7);
+  BaselineResult r = random.compose(request_, rng);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.best.mapping.size(), request_.graph.node_count());
+  for (service::FnNode n = 0; n < request_.graph.node_count(); ++n) {
+    EXPECT_EQ(r.best.mapping[n].function, request_.graph.function(n));
+  }
+  EXPECT_EQ(r.messages, request_.graph.node_count());
+}
+
+TEST_F(BaselinesTest, RandomVariesAcrossDraws) {
+  RandomComposer random(*scenario_->deployment, *scenario_->evaluator);
+  Rng rng(11);
+  std::set<std::string> mappings;
+  for (int i = 0; i < 12; ++i) {
+    BaselineResult r = random.compose(request_, rng);
+    ASSERT_TRUE(r.success);
+    std::string sig;
+    for (const auto& m : r.best.mapping) sig += std::to_string(m.id) + ",";
+    mappings.insert(sig);
+  }
+  EXPECT_GT(mappings.size(), 1u);
+}
+
+TEST_F(BaselinesTest, StaticIsDeterministic) {
+  StaticComposer st(*scenario_->deployment, *scenario_->evaluator);
+  BaselineResult a = st.compose(request_);
+  BaselineResult b = st.compose(request_);
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_TRUE(a.best.same_mapping(b.best));
+}
+
+TEST_F(BaselinesTest, StaticFailsWhenPredefinedComponentDies) {
+  StaticComposer st(*scenario_->deployment, *scenario_->evaluator);
+  BaselineResult a = st.compose(request_);
+  ASSERT_TRUE(a.success);
+  scenario_->deployment->kill_peer(a.best.mapping[0].host);
+  BaselineResult b = st.compose(request_);
+  EXPECT_FALSE(b.success) << "static choice is not failure-aware";
+}
+
+TEST_F(BaselinesTest, CentralizedUsesStaleSnapshot) {
+  CentralizedComposer central(*scenario_->deployment, *scenario_->alloc,
+                              *scenario_->evaluator);
+  central.refresh();
+  BaselineResult fresh = central.compose(request_);
+  ASSERT_TRUE(fresh.success);
+
+  // Exhaust the chosen peers AFTER the refresh; the stale snapshot still
+  // believes they are free, so the centralized pick does not change.
+  for (const auto& meta : fresh.best.mapping) {
+    const auto avail = scenario_->alloc->peer_available(meta.host);
+    scenario_->alloc->soft_reserve_peer(meta.host, avail, 1e12);
+  }
+  BaselineResult stale = central.compose(request_);
+  ASSERT_TRUE(stale.success);
+  EXPECT_TRUE(stale.best.same_mapping(fresh.best))
+      << "decision must be based on the stale snapshot";
+  // Reality disagrees: admission of the stale choice must fail now.
+  EXPECT_FALSE(
+      scenario_->evaluator->resource_feasible(stale.best, request_));
+
+  // After a refresh the centralized composer sees the truth again.
+  central.refresh();
+  BaselineResult refreshed = central.compose(request_);
+  if (refreshed.success) {
+    EXPECT_FALSE(refreshed.best.same_mapping(fresh.best));
+  }
+}
+
+TEST_F(BaselinesTest, CentralizedCountsMaintenanceMessages) {
+  CentralizedComposer central(*scenario_->deployment, *scenario_->alloc,
+                              *scenario_->evaluator);
+  EXPECT_EQ(central.maintenance_messages(), 0u);
+  central.refresh();
+  const auto live = scenario_->deployment->live_peers().size();
+  EXPECT_EQ(central.maintenance_messages(), live);
+  central.refresh();
+  EXPECT_EQ(central.maintenance_messages(), 2 * live);
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,121 @@
+// Tests for the Deployment container: component registration, peer
+// lifecycle (kill/revive) consistency across overlay + DHT + registry.
+#include <gtest/gtest.h>
+
+#include "test_scenario.hpp"
+
+namespace spider::core {
+namespace {
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = spider::testing::small_scenario(/*seed=*/33, /*peers=*/32,
+                                                /*functions=*/8);
+  }
+  std::unique_ptr<workload::Scenario> scenario_;
+};
+
+TEST_F(DeploymentTest, ComponentIdsEncodeHostAndAreUnique) {
+  auto& d = *scenario_->deployment;
+  std::set<service::ComponentId> seen;
+  for (overlay::PeerId p = 0; p < d.peer_count(); ++p) {
+    for (auto id : d.components_on(p)) {
+      EXPECT_EQ(service::component_host(id), p);
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate component id";
+      EXPECT_EQ(d.component(id).id, id);
+    }
+  }
+  EXPECT_EQ(seen.size(), d.component_count());
+}
+
+TEST_F(DeploymentTest, OracleMatchesPerPeerLists) {
+  auto& d = *scenario_->deployment;
+  std::size_t oracle_total = 0;
+  for (service::FunctionId f = 0; f < d.catalog().size(); ++f) {
+    for (auto id : d.replicas_oracle(f)) {
+      EXPECT_EQ(d.component(id).function, f);
+      ++oracle_total;
+    }
+  }
+  EXPECT_EQ(oracle_total, d.component_count());
+}
+
+TEST_F(DeploymentTest, KillPeerTakesAllLayersDown) {
+  auto& d = *scenario_->deployment;
+  const overlay::PeerId victim = 5;
+  ASSERT_FALSE(d.components_on(victim).empty());
+  d.kill_peer(victim);
+  EXPECT_FALSE(d.peer_alive(victim));
+  EXPECT_FALSE(d.overlay().alive(victim));
+  EXPECT_FALSE(d.dht().alive(victim));
+  for (auto id : d.components_on(victim)) {
+    EXPECT_FALSE(d.component_alive(id));
+  }
+  // Idempotent.
+  d.kill_peer(victim);
+  EXPECT_FALSE(d.peer_alive(victim));
+}
+
+TEST_F(DeploymentTest, ReviveRestoresDiscovery) {
+  auto& d = *scenario_->deployment;
+  const overlay::PeerId victim = 7;
+  ASSERT_FALSE(d.components_on(victim).empty());
+  const auto fn = d.component(d.components_on(victim)[0]).function;
+
+  d.kill_peer(victim);
+  d.revive_peer(victim);
+  EXPECT_TRUE(d.peer_alive(victim));
+  EXPECT_TRUE(d.dht().alive(victim));
+  for (auto id : d.components_on(victim)) {
+    EXPECT_TRUE(d.component_alive(id));
+  }
+  // The revived peer's components are discoverable again (re-registered).
+  auto found = d.registry().discover(0, fn);
+  ASSERT_TRUE(found.found);
+  bool has_victims = false;
+  for (const auto& meta : found.components) {
+    has_victims = has_victims || meta.host == victim;
+  }
+  EXPECT_TRUE(has_victims);
+  // And the revived DHT node routes correctly.
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto key = dht::NodeId::random(rng);
+    EXPECT_EQ(d.dht().route(victim, key).target(),
+              d.dht().owner_oracle(key));
+  }
+}
+
+TEST_F(DeploymentTest, RepeatedKillReviveCyclesStayConsistent) {
+  auto& d = *scenario_->deployment;
+  Rng rng(2);
+  for (int round = 0; round < 10; ++round) {
+    const auto victim = overlay::PeerId(1 + rng.next_below(20));
+    if (d.peer_alive(victim)) {
+      d.kill_peer(victim);
+    } else {
+      d.revive_peer(victim);
+    }
+  }
+  // Revive everything and verify global consistency.
+  for (overlay::PeerId p = 0; p < d.peer_count(); ++p) {
+    if (!d.peer_alive(p)) d.revive_peer(p);
+  }
+  EXPECT_EQ(d.live_peers().size(), d.peer_count());
+  EXPECT_TRUE(d.overlay().live_connected());
+  for (service::FunctionId f = 0; f < d.catalog().size(); ++f) {
+    if (d.replicas_oracle(f).empty()) continue;
+    EXPECT_TRUE(d.registry().discover(0, f).found) << "function " << f;
+  }
+}
+
+TEST_F(DeploymentTest, CapacityRoundTrip) {
+  auto& d = *scenario_->deployment;
+  d.set_capacity(3, service::Resources::cpu_mem(42, 17));
+  EXPECT_DOUBLE_EQ(d.capacity(3).cpu(), 42.0);
+  EXPECT_DOUBLE_EQ(d.capacity(3).memory(), 17.0);
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,287 @@
+// Tests for the Pastry DHT: NodeId arithmetic, leaf set / routing table
+// invariants, routing correctness vs the ground-truth oracle, churn
+// resilience, replicated storage.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dht/node_id.hpp"
+#include "dht/pastry.hpp"
+#include "dht/routing_state.hpp"
+#include "util/rng.hpp"
+
+namespace spider::dht {
+namespace {
+
+TEST(NodeId, DigitsRoundTrip) {
+  const NodeId id = NodeId::from_parts(0x0123456789abcdefULL,
+                                       0xfedcba9876543210ULL);
+  EXPECT_EQ(id.digit(0), 0x0);
+  EXPECT_EQ(id.digit(1), 0x1);
+  EXPECT_EQ(id.digit(15), 0xf);
+  EXPECT_EQ(id.digit(16), 0xf);
+  EXPECT_EQ(id.digit(31), 0x0);
+  EXPECT_EQ(id.to_string(), "0123456789abcdeffedcba9876543210");
+}
+
+TEST(NodeId, SharedPrefix) {
+  const NodeId a = NodeId::from_parts(0x1234000000000000ULL, 0);
+  const NodeId b = NodeId::from_parts(0x1235000000000000ULL, 0);
+  EXPECT_EQ(a.shared_prefix(b), 3);
+  EXPECT_EQ(a.shared_prefix(a), kDigitsPerId);
+}
+
+TEST(NodeId, RingDistanceWrapsAround) {
+  const NodeId zero(0);
+  const NodeId one(1);
+  const NodeId max(~static_cast<unsigned __int128>(0));
+  EXPECT_EQ(NodeId::ring_distance(zero, one), 1u);
+  EXPECT_EQ(NodeId::ring_distance(zero, max), 1u);  // wraps
+  EXPECT_EQ(NodeId::ring_distance(max, one), 2u);
+}
+
+TEST(NodeId, HashOfIsDeterministicAndSpread) {
+  EXPECT_EQ(NodeId::hash_of("abc"), NodeId::hash_of("abc"));
+  EXPECT_NE(NodeId::hash_of("abc"), NodeId::hash_of("abd"));
+}
+
+TEST(LeafSet, KeepsClosestPerSide) {
+  const NodeId self(1000);
+  LeafSet leaves(self, 2);
+  for (unsigned v : {1100u, 1200u, 1300u, 900u, 800u, 700u}) {
+    leaves.insert(NodeId(v));
+  }
+  // Clockwise side keeps 1100, 1200; counterclockwise keeps 900, 800.
+  EXPECT_TRUE(leaves.contains(NodeId(1100)));
+  EXPECT_TRUE(leaves.contains(NodeId(1200)));
+  EXPECT_FALSE(leaves.contains(NodeId(1300)));
+  EXPECT_TRUE(leaves.contains(NodeId(900)));
+  EXPECT_TRUE(leaves.contains(NodeId(800)));
+  EXPECT_FALSE(leaves.contains(NodeId(700)));
+}
+
+TEST(LeafSet, ClosestIncludesSelf) {
+  const NodeId self(1000);
+  LeafSet leaves(self, 2);
+  leaves.insert(NodeId(2000));
+  EXPECT_EQ(leaves.closest(NodeId(1001)), self);
+  EXPECT_EQ(leaves.closest(NodeId(1999)), NodeId(2000));
+}
+
+TEST(LeafSet, CoversEverythingWhenSparse) {
+  LeafSet leaves(NodeId(5), 4);
+  leaves.insert(NodeId(10));
+  // Sides not full -> node knows the whole arc.
+  EXPECT_TRUE(leaves.covers(NodeId(123456)));
+}
+
+TEST(LeafSet, RemoveShrinks) {
+  LeafSet leaves(NodeId(0), 2);
+  leaves.insert(NodeId(1));
+  EXPECT_TRUE(leaves.remove(NodeId(1)));
+  EXPECT_FALSE(leaves.contains(NodeId(1)));
+  EXPECT_FALSE(leaves.remove(NodeId(1)));
+}
+
+TEST(RoutingTable, CanonicalPlacement) {
+  const NodeId self = NodeId::from_parts(0x0000000000000000ULL, 0);
+  RoutingTable table(self);
+  const NodeId other = NodeId::from_parts(0x00ff000000000000ULL, 0);
+  EXPECT_TRUE(table.insert(other));
+  // Shares 2 digits with self; next digit is 0xf.
+  EXPECT_EQ(table.at(2, 0xf), other);
+  EXPECT_FALSE(table.insert(other));  // occupied
+  EXPECT_TRUE(table.remove(other));
+  EXPECT_FALSE(table.at(2, 0xf).has_value());
+}
+
+TEST(RoutingTable, NextHopUsesKeyDigit) {
+  const NodeId self(0);
+  RoutingTable table(self);
+  const NodeId entry = NodeId::from_parts(0xa000000000000000ULL, 0);
+  table.insert(entry);
+  const NodeId key = NodeId::from_parts(0xa123000000000000ULL, 0);
+  ASSERT_TRUE(table.next_hop(key).has_value());
+  EXPECT_EQ(*table.next_hop(key), entry);
+}
+
+class PastryTest : public ::testing::Test {
+ protected:
+  /// Builds an n-node network with random (but deterministic) ids.
+  PastryNetwork build(std::size_t n, int leaf = 8, int repl = 3) {
+    PastryNetwork net(leaf, repl);
+    Rng rng(99);
+    net.bootstrap(0, NodeId::random(rng));
+    for (PeerId p = 1; p < n; ++p) {
+      net.join(p, NodeId::random(rng),
+               PeerId(rng.next_below(p)));  // random live bootstrap
+    }
+    return net;
+  }
+};
+
+TEST_F(PastryTest, RoutingDeliversToOracleOwner) {
+  PastryNetwork net = build(64);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId key = NodeId::random(rng);
+    const PeerId from = PeerId(rng.next_below(64));
+    const RouteResult r = net.route(from, key);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.target(), net.owner_oracle(key))
+        << "key " << key.to_string();
+  }
+}
+
+TEST_F(PastryTest, RoutingHopsAreLogarithmic) {
+  PastryNetwork net = build(128);
+  Rng rng(6);
+  double total_hops = 0;
+  constexpr int kLookups = 300;
+  for (int i = 0; i < kLookups; ++i) {
+    const RouteResult r =
+        net.route(PeerId(rng.next_below(128)), NodeId::random(rng));
+    total_hops += double(r.hops());
+  }
+  // log16(128) ≈ 1.75; allow generous slack but far below O(N).
+  EXPECT_LT(total_hops / kLookups, 6.0);
+}
+
+TEST_F(PastryTest, PutGetRoundTrip) {
+  PastryNetwork net = build(48);
+  const NodeId key = NodeId::hash_of("service/foo");
+  net.put(3, key, "meta-1");
+  net.put(7, key, "meta-2");
+  net.put(9, key, "meta-1");  // duplicate value: idempotent
+
+  const GetResult got = net.get(11, key);
+  ASSERT_TRUE(got.found);
+  EXPECT_EQ(got.values.size(), 2u);
+}
+
+TEST_F(PastryTest, GetSurvivesOwnerFailure) {
+  PastryNetwork net = build(48, 8, 3);
+  const NodeId key = NodeId::hash_of("service/bar");
+  net.put(0, key, "replica-data");
+  const PeerId owner = net.owner_oracle(key);
+  net.fail(owner);
+  const GetResult got = net.get((owner + 1) % 48, key);
+  EXPECT_TRUE(got.found) << "replicas should cover a single owner failure";
+  EXPECT_EQ(got.values.front(), "replica-data");
+}
+
+TEST_F(PastryTest, EraseRemovesEverywhere) {
+  PastryNetwork net = build(32);
+  const NodeId key = NodeId::hash_of("service/baz");
+  net.put(1, key, "gone");
+  net.erase(key, "gone");
+  EXPECT_FALSE(net.get(2, key).found);
+}
+
+TEST_F(PastryTest, RoutingHealsAfterChurn) {
+  PastryNetwork net = build(96);
+  Rng rng(7);
+  // Fail 20% of nodes abruptly.
+  std::size_t failed = 0;
+  for (PeerId p = 1; p < 96 && failed < 19; p += 5, ++failed) {
+    net.fail(p);
+  }
+  for (int i = 0; i < 150; ++i) {
+    PeerId from;
+    do {
+      from = PeerId(rng.next_below(96));
+    } while (!net.alive(from));
+    const NodeId key = NodeId::random(rng);
+    const RouteResult r = net.route(from, key);
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(net.alive(r.target()));
+    EXPECT_EQ(r.target(), net.owner_oracle(key));
+  }
+}
+
+TEST_F(PastryTest, GracefulLeaveHandsOffKeys) {
+  PastryNetwork net = build(40);
+  const NodeId key = NodeId::hash_of("service/handoff");
+  net.put(0, key, "payload");
+  const PeerId owner = net.owner_oracle(key);
+  net.leave(owner);
+  const GetResult got = net.get((owner + 2) % 40, key);
+  EXPECT_TRUE(got.found);
+}
+
+TEST_F(PastryTest, RefreshReplicasHealsAfterHeavyChurn) {
+  PastryNetwork net = build(80, 8, 3);
+  const NodeId key = NodeId::hash_of("service/heal");
+  net.put(0, key, "healed");
+  // Kill the whole replica neighborhood except survivors, then refresh.
+  for (int round = 0; round < 3; ++round) {
+    const PeerId owner = net.owner_oracle(key);
+    if (owner == 0) break;
+    net.fail(owner);
+    net.refresh_replicas();
+  }
+  EXPECT_TRUE(net.get(0, key).found);
+}
+
+TEST_F(PastryTest, JoinAfterFailuresStillRoutes) {
+  PastryNetwork net = build(50);
+  Rng rng(8);
+  net.fail(10);
+  net.fail(20);
+  net.join(50, NodeId::random(rng), 0);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId key = NodeId::random(rng);
+    EXPECT_EQ(net.route(0, key).target(), net.owner_oracle(key));
+  }
+}
+
+TEST_F(PastryTest, MessageCounterAdvances) {
+  PastryNetwork net = build(32);
+  net.reset_message_counter();
+  net.put(0, NodeId::hash_of("x"), "v");
+  EXPECT_GT(net.messages_sent(), 0u);
+}
+
+TEST(PastryProximity, ContestedCellKeepsCloserEntry) {
+  // Three nodes whose ids share no prefix with each other except that two
+  // of them contest the same cell in the first node's routing table; with
+  // a proximity metric, the closer one must win the cell.
+  PastryNetwork net(8, 1);
+  // Proximity: peer 1 is far from peer 0; peer 2 is near peer 0.
+  net.set_proximity([](PeerId a, PeerId b) {
+    if ((a == 0 && b == 1) || (a == 1 && b == 0)) return 100.0;
+    return 1.0;
+  });
+  const NodeId id0 = NodeId::from_parts(0x1000000000000000ULL, 0);
+  const NodeId id1 = NodeId::from_parts(0xa000000000000000ULL, 0);  // far
+  const NodeId id2 = NodeId::from_parts(0xa100000000000000ULL, 0);  // near
+  net.bootstrap(0, id0);
+  net.join(1, id1, 0);
+  net.join(2, id2, 0);
+  // Both id1 and id2 contest node 0's cell (row 0, digit 0xa); the near
+  // one (id2) must hold it.
+  const auto cell = net.routing_table(0).at(0, 0xa);
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(*cell, id2);
+  // Routing correctness is unaffected.
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const NodeId key = NodeId::random(rng);
+    EXPECT_EQ(net.route(0, key).target(), net.owner_oracle(key));
+  }
+}
+
+TEST_F(PastryTest, SmallNetworksRouteCorrectly) {
+  for (std::size_t n : {2u, 3u, 5u}) {
+    PastryNetwork net = build(n);
+    Rng rng(9);
+    for (int i = 0; i < 40; ++i) {
+      const NodeId key = NodeId::random(rng);
+      EXPECT_EQ(net.route(0, key).target(), net.owner_oracle(key))
+          << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spider::dht

@@ -1,0 +1,247 @@
+// Tests for GraphEvaluator: hop resolution, QoS aggregation over branches,
+// failure probability combination, ψ cost behaviour (Eq. 1).
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "test_scenario.hpp"
+
+namespace spider::core {
+namespace {
+
+using service::Qos;
+using service::ServiceGraph;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = spider::testing::small_scenario();
+    request_ = spider::testing::easy_request(*scenario_);
+  }
+
+  /// Builds a concrete graph by taking the first live replica per node.
+  ServiceGraph first_choice_graph() {
+    ServiceGraph g;
+    g.pattern = request_.graph;
+    g.source = request_.source;
+    g.dest = request_.dest;
+    const auto& d = *scenario_->deployment;
+    for (service::FnNode n = 0; n < g.pattern.node_count(); ++n) {
+      for (auto id : d.replicas_oracle(g.pattern.function(n))) {
+        if (d.component_alive(id)) {
+          g.mapping.push_back(
+              service::ComponentMetadata::from(d.component(id)));
+          break;
+        }
+      }
+    }
+    return g;
+  }
+
+  std::unique_ptr<workload::Scenario> scenario_;
+  service::CompositeRequest request_;
+};
+
+TEST_F(EvaluatorTest, ResolveProducesAllHops) {
+  ServiceGraph g = first_choice_graph();
+  ASSERT_TRUE(scenario_->evaluator->resolve(g));
+  // Linear chain of 3 nodes: ingress + 2 internal + egress = 4 hops.
+  EXPECT_EQ(g.hops.size(), 4u);
+  EXPECT_EQ(g.hops.front().from, service::ServiceLinkHop::kEndpoint);
+  EXPECT_EQ(g.hops.back().to, service::ServiceLinkHop::kEndpoint);
+  for (const auto& hop : g.hops) EXPECT_TRUE(hop.path.valid);
+}
+
+TEST_F(EvaluatorTest, ResolveFailsOnDeadComponentHost) {
+  ServiceGraph g = first_choice_graph();
+  scenario_->deployment->kill_peer(g.mapping[1].host);
+  EXPECT_FALSE(scenario_->evaluator->resolve(g));
+}
+
+TEST_F(EvaluatorTest, ResolveFailsOnDeadEndpoints) {
+  ServiceGraph g = first_choice_graph();
+  // Pick a source that is not used by the graph and kill it.
+  scenario_->deployment->kill_peer(request_.source);
+  g.source = request_.source;
+  EXPECT_FALSE(scenario_->evaluator->resolve(g));
+}
+
+TEST_F(EvaluatorTest, QosSumsPerfAndLinkDelays) {
+  ServiceGraph g = first_choice_graph();
+  ASSERT_TRUE(scenario_->evaluator->resolve(g));
+  scenario_->evaluator->evaluate(g, request_);
+  ASSERT_TRUE(g.evaluated);
+
+  double expected = 0.0;
+  for (const auto& hop : g.hops) expected += hop.path.delay_ms;
+  for (const auto& meta : g.mapping) expected += meta.perf.delay_ms();
+  EXPECT_NEAR(g.qos.delay_ms(), expected, 1e-9);
+}
+
+TEST_F(EvaluatorTest, DagQosIsWorstBranch) {
+  // Build a diamond whose two branch components have very different perf.
+  auto& d = *scenario_->deployment;
+  service::FunctionGraph fg;
+  // Reuse the request's three functions: entry, two parallel mid, exit.
+  const auto f0 = request_.graph.function(0);
+  const auto f1 = request_.graph.function(1);
+  const auto f2 = request_.graph.function(2);
+  fg.add_function(f0);
+  fg.add_function(f1);
+  fg.add_function(f2);
+  fg.add_function(f0);
+  fg.add_dependency(0, 1);
+  fg.add_dependency(0, 2);
+  fg.add_dependency(1, 3);
+  fg.add_dependency(2, 3);
+
+  service::CompositeRequest req = request_;
+  req.graph = fg;
+
+  ServiceGraph g;
+  g.pattern = fg;
+  g.source = req.source;
+  g.dest = req.dest;
+  auto first_live = [&](service::FunctionId f) {
+    for (auto id : d.replicas_oracle(f)) {
+      if (d.component_alive(id)) {
+        return service::ComponentMetadata::from(d.component(id));
+      }
+    }
+    SPIDER_REQUIRE(false);
+    return service::ComponentMetadata{};
+  };
+  g.mapping = {first_live(f0), first_live(f1), first_live(f2), first_live(f0)};
+  ASSERT_TRUE(scenario_->evaluator->resolve(g));
+  scenario_->evaluator->evaluate(g, req);
+
+  // Recompute branch sums manually and compare with the max.
+  double worst = 0.0;
+  for (const auto& branch : fg.branches()) {
+    double sum = 0.0;
+    for (auto n : branch) sum += g.mapping[n].perf.delay_ms();
+    worst = std::max(worst, sum);
+  }
+  EXPECT_GE(g.qos.delay_ms() + 1e-9, worst);
+}
+
+TEST_F(EvaluatorTest, FailureProbCombinesIndependentPeers) {
+  ServiceGraph g = first_choice_graph();
+  ASSERT_TRUE(scenario_->evaluator->resolve(g));
+  scenario_->evaluator->evaluate(g, request_);
+  double survive = 1.0;
+  std::unordered_map<overlay::PeerId, double> per_peer;
+  for (const auto& m : g.mapping) {
+    auto [it, fresh] = per_peer.emplace(m.host, m.failure_prob);
+    if (!fresh) it->second = std::max(it->second, m.failure_prob);
+  }
+  for (auto& [p, f] : per_peer) survive *= 1.0 - f;
+  EXPECT_NEAR(g.failure_prob, 1.0 - survive, 1e-12);
+  EXPECT_GE(g.failure_prob, 0.0);
+  EXPECT_LE(g.failure_prob, 1.0);
+}
+
+TEST_F(EvaluatorTest, PsiIncreasesAsResourcesAreConsumed) {
+  ServiceGraph g = first_choice_graph();
+  ASSERT_TRUE(scenario_->evaluator->resolve(g));
+  scenario_->evaluator->evaluate(g, request_);
+  const double psi_before = g.psi_cost;
+  ASSERT_GT(psi_before, 0.0);
+
+  // Consume most of one mapped peer's CPU: ψ must grow (less headroom).
+  const overlay::PeerId peer = g.mapping[0].host;
+  const auto avail = scenario_->alloc->peer_available(peer);
+  ASSERT_TRUE(scenario_->alloc
+                  ->soft_reserve_peer(
+                      peer,
+                      service::Resources::cpu_mem(avail.cpu() * 0.8,
+                                                  avail.memory() * 0.8),
+                      1e9)
+                  .has_value());
+  scenario_->evaluator->evaluate(g, request_);
+  EXPECT_GT(g.psi_cost, psi_before);
+}
+
+TEST_F(EvaluatorTest, QosQualifiedAgainstBounds) {
+  ServiceGraph g = first_choice_graph();
+  ASSERT_TRUE(scenario_->evaluator->resolve(g));
+  scenario_->evaluator->evaluate(g, request_);
+  EXPECT_TRUE(scenario_->evaluator->qos_qualified(g, request_));
+  service::CompositeRequest strict = request_;
+  strict.qos_req = Qos::delay_loss(g.qos.delay_ms() - 1.0, 1.0);
+  EXPECT_FALSE(scenario_->evaluator->qos_qualified(g, strict));
+}
+
+TEST_F(EvaluatorTest, ResourceFeasibleReflectsAvailability) {
+  ServiceGraph g = first_choice_graph();
+  ASSERT_TRUE(scenario_->evaluator->resolve(g));
+  scenario_->evaluator->evaluate(g, request_);
+  EXPECT_TRUE(scenario_->evaluator->resource_feasible(g, request_));
+  // Exhaust a mapped peer.
+  const overlay::PeerId peer = g.mapping[0].host;
+  const auto avail = scenario_->alloc->peer_available(peer);
+  ASSERT_TRUE(scenario_->alloc->soft_reserve_peer(peer, avail, 1e9));
+  EXPECT_FALSE(scenario_->evaluator->resource_feasible(g, request_));
+}
+
+TEST_F(EvaluatorTest, AckTimeIsLinkDelayOnly) {
+  ServiceGraph g = first_choice_graph();
+  ASSERT_TRUE(scenario_->evaluator->resolve(g));
+  scenario_->evaluator->evaluate(g, request_);
+  double links_only = 0.0;
+  for (const auto& hop : g.hops) links_only += hop.path.delay_ms;
+  EXPECT_NEAR(scenario_->evaluator->ack_time_ms(g), links_only, 1e-9);
+  EXPECT_LT(scenario_->evaluator->ack_time_ms(g), g.qos.delay_ms() + 1e-9);
+}
+
+TEST_F(EvaluatorTest, LevelsCompatibleChecksEveryLink) {
+  ServiceGraph g = first_choice_graph();
+  service::CompositeRequest req = request_;
+  // All-zero levels: trivially compatible.
+  EXPECT_TRUE(scenario_->evaluator->levels_compatible(g, req));
+
+  // An entry node demanding a higher level than the source provides.
+  g.mapping[0].input_level = 2;
+  req.source_level = 1;
+  EXPECT_FALSE(scenario_->evaluator->levels_compatible(g, req));
+  req.source_level = 2;
+  EXPECT_TRUE(scenario_->evaluator->levels_compatible(g, req));
+
+  // A mid-chain producer below its consumer's requirement.
+  g.mapping[1].output_level = 1;
+  g.mapping[2].input_level = 3;
+  EXPECT_FALSE(scenario_->evaluator->levels_compatible(g, req));
+  g.mapping[1].output_level = 3;
+  EXPECT_TRUE(scenario_->evaluator->levels_compatible(g, req));
+
+  // Destination minimum level against the exit node's output.
+  req.min_dest_level = 5;
+  g.mapping[2].output_level = 4;
+  EXPECT_FALSE(scenario_->evaluator->levels_compatible(g, req));
+  g.mapping[2].output_level = 5;
+  EXPECT_TRUE(scenario_->evaluator->levels_compatible(g, req));
+}
+
+TEST_F(EvaluatorTest, SnapshotViewOverridesLiveAvailability) {
+  ServiceGraph g = first_choice_graph();
+  ASSERT_TRUE(scenario_->evaluator->resolve(g));
+
+  struct FrozenView : public AvailabilityView {
+    service::Resources peer_available(PeerId) override {
+      return service::Resources::cpu_mem(1000, 1000);
+    }
+    double link_available_kbps(overlay::OverlayLinkId) override {
+      return 1e9;
+    }
+  } frozen;
+
+  // Exhaust the real peer; the frozen view must still consider the graph
+  // feasible (that is the centralized scheme's staleness in action).
+  const overlay::PeerId peer = g.mapping[0].host;
+  const auto avail = scenario_->alloc->peer_available(peer);
+  ASSERT_TRUE(scenario_->alloc->soft_reserve_peer(peer, avail, 1e9));
+  EXPECT_FALSE(scenario_->evaluator->resource_feasible(g, request_));
+  EXPECT_TRUE(scenario_->evaluator->resource_feasible(g, request_, &frozen));
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,164 @@
+// End-to-end integration tests: full compose → establish → run → fail →
+// recover → teardown flows over a realistic scenario, exercising every
+// layer together (DHT discovery inside BCP, soft allocation, selection,
+// session recovery, churn).
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/session.hpp"
+#include "test_scenario.hpp"
+#include "workload/scenario.hpp"
+
+namespace spider {
+namespace {
+
+using namespace core;
+
+TEST(Integration, FullSessionLifecycle) {
+  auto s = testing::small_scenario(101, 64, 16);
+  BcpConfig config;
+  config.probing_budget = 96;
+  BcpEngine engine(*s->deployment, *s->alloc, *s->evaluator, s->sim, config);
+  SessionManager manager(*s->deployment, *s->alloc, *s->evaluator, engine,
+                         s->sim, RecoveryConfig{});
+  Rng rng(1);
+
+  workload::RequestProfile profile;
+  profile.min_functions = 2;
+  profile.max_functions = 3;
+  int established = 0, composed = 0;
+  std::vector<SessionId> sessions;
+  for (int i = 0; i < 30; ++i) {
+    auto gen = workload::sample_request(*s, profile);
+    ComposeResult r = engine.compose(gen.request, rng);
+    if (!r.success) continue;
+    ++composed;
+    const SessionId id = manager.establish(gen.request, std::move(r));
+    if (id != kInvalidSession) {
+      ++established;
+      sessions.push_back(id);
+    }
+  }
+  EXPECT_GT(composed, 10);
+  EXPECT_EQ(established, composed) << "holds must be confirmable immediately";
+  EXPECT_EQ(manager.active_sessions(), sessions.size());
+
+  for (SessionId id : sessions) manager.teardown(id);
+  EXPECT_EQ(s->alloc->active_grants(), 0u);
+  // Availability fully restored.
+  for (overlay::PeerId p = 0; p < s->deployment->peer_count(); ++p) {
+    const auto avail = s->alloc->peer_available(p);
+    const auto cap = s->deployment->capacity(p);
+    EXPECT_NEAR(avail.cpu(), cap.cpu(), 1e-9);
+    EXPECT_NEAR(avail.memory(), cap.memory(), 1e-9);
+  }
+}
+
+TEST(Integration, ChurnWithProactiveRecovery) {
+  auto s = testing::small_scenario(202, 80, 14);
+  BcpConfig config;
+  config.probing_budget = 128;
+  BcpEngine engine(*s->deployment, *s->alloc, *s->evaluator, s->sim, config);
+  RecoveryConfig rec;
+  rec.backup_upper_bound = 4;
+  SessionManager manager(*s->deployment, *s->alloc, *s->evaluator, engine,
+                         s->sim, rec);
+  Rng rng(2);
+
+  workload::RequestProfile profile;
+  profile.min_functions = 2;
+  profile.max_functions = 3;
+  std::vector<SessionId> sessions;
+  for (int i = 0; i < 20; ++i) {
+    auto gen = workload::sample_request(*s, profile);
+    ComposeResult r = engine.compose(gen.request, rng);
+    if (!r.success) continue;
+    const SessionId id = manager.establish(gen.request, std::move(r));
+    if (id != kInvalidSession) sessions.push_back(id);
+  }
+  ASSERT_GT(sessions.size(), 5u);
+
+  // Kill 10% of peers one by one, notifying the manager each time.
+  std::uint64_t recovered = 0, lost = 0;
+  for (int k = 0; k < 8; ++k) {
+    const auto live = s->deployment->live_peers();
+    const overlay::PeerId victim =
+        live[rng.next_below(live.size())];
+    s->deployment->kill_peer(victim);
+    for (RecoveryOutcome outcome : manager.on_peer_failed(victim, rng)) {
+      if (outcome == RecoveryOutcome::kSwitchedToBackup ||
+          outcome == RecoveryOutcome::kReactiveRecovered) {
+        ++recovered;
+      }
+      if (outcome == RecoveryOutcome::kLost) ++lost;
+    }
+    manager.run_maintenance();
+  }
+  const auto& stats = manager.stats();
+  EXPECT_EQ(stats.backup_switches + stats.reactive_recoveries, recovered);
+  EXPECT_EQ(stats.losses, lost);
+  // No zombie grants: every remaining session's grants are consistent.
+  for (overlay::PeerId p = 0; p < s->deployment->peer_count(); ++p) {
+    EXPECT_TRUE(s->alloc->peer_available(p).non_negative());
+  }
+  // Active graphs of surviving sessions never reference dead peers.
+  // (Implicitly checked by recover(); spot check availability again.)
+  EXPECT_GE(manager.active_sessions() + std::size_t(lost), sessions.size());
+}
+
+TEST(Integration, BcpTracksOptimalQuality) {
+  // Statistical property over several requests: BCP's selected ψ is close
+  // to optimal's (bounded ratio), far better than random's expected cost.
+  auto s = testing::small_scenario(303, 72, 12);
+  BcpConfig config;
+  config.probing_budget = 160;
+  BcpEngine engine(*s->deployment, *s->alloc, *s->evaluator, s->sim, config);
+  OptimalComposer optimal(*s->deployment, *s->alloc, *s->evaluator);
+  Rng rng(3);
+
+  int comparable = 0;
+  double bcp_psi = 0, opt_psi = 0;
+  for (int i = 0; i < 15; ++i) {
+    auto req = testing::easy_request(*s, 3, overlay::PeerId(i % 10),
+                                     overlay::PeerId(10 + i % 10));
+    ComposeResult r = engine.compose(req, rng);
+    BaselineResult o = optimal.compose(req, Objective::kMinPsi);
+    if (r.success) {
+      for (HoldId h : r.best_holds) s->alloc->release_hold(h);
+    }
+    if (r.success && o.success) {
+      ++comparable;
+      bcp_psi += r.best.psi_cost;
+      opt_psi += o.best.psi_cost;
+      EXPECT_GE(r.best.psi_cost + 1e-9, o.best.psi_cost);
+    }
+  }
+  ASSERT_GT(comparable, 5);
+  // Near-optimality: mean ψ within 2x of optimal for this budget.
+  EXPECT_LT(bcp_psi, 2.0 * opt_psi + 1e-9);
+}
+
+TEST(Integration, DhtDiscoveryDrivesComposition) {
+  // Unregister a function's components from the DHT: although the oracle
+  // still lists them, BCP must now fail for requests needing it — proving
+  // composition really uses the decentralized discovery path.
+  auto s = testing::small_scenario(404, 48, 10);
+  BcpEngine engine(*s->deployment, *s->alloc, *s->evaluator, s->sim,
+                   BcpConfig{});
+  Rng rng(4);
+  auto req = testing::easy_request(*s);
+  ComposeResult before = engine.compose(req, rng);
+  ASSERT_TRUE(before.success);
+  for (HoldId h : before.best_holds) s->alloc->release_hold(h);
+
+  const auto fn = req.graph.function(1);
+  for (auto id : s->deployment->replicas_oracle(fn)) {
+    s->deployment->registry().unregister_component(
+        service::ComponentMetadata::from(s->deployment->component(id)));
+  }
+  ComposeResult after = engine.compose(req, rng);
+  EXPECT_FALSE(after.success);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,272 @@
+// Tests for SessionManager: establishment/confirmation, Eq. 2 backup
+// sizing, §5.2 backup selection policy, failure recovery paths
+// (backup switch, reactive BCP, loss), and maintenance.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "test_scenario.hpp"
+
+namespace spider::core {
+namespace {
+
+using service::ServiceGraph;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = spider::testing::small_scenario(/*seed=*/17, /*peers=*/64);
+    BcpConfig config;
+    config.probing_budget = 128;
+    engine_ = std::make_unique<BcpEngine>(*scenario_->deployment,
+                                          *scenario_->alloc,
+                                          *scenario_->evaluator,
+                                          scenario_->sim, config);
+    RecoveryConfig recovery;
+    // Generous QoS margins would make Eq. 2 prescribe zero backups; scale
+    // the margin so the switch/maintenance paths have backups to exercise.
+    recovery.backup_aggressiveness = 30.0;
+    manager_ = std::make_unique<SessionManager>(
+        *scenario_->deployment, *scenario_->alloc, *scenario_->evaluator,
+        *engine_, scenario_->sim, recovery);
+    rng_.reseed(23);
+  }
+
+  SessionId compose_and_establish(const service::CompositeRequest& req) {
+    ComposeResult r = engine_->compose(req, rng_);
+    if (!r.success) return kInvalidSession;
+    return manager_->establish(req, std::move(r));
+  }
+
+  std::unique_ptr<workload::Scenario> scenario_;
+  std::unique_ptr<BcpEngine> engine_;
+  std::unique_ptr<SessionManager> manager_;
+  Rng rng_{23};
+};
+
+TEST_F(SessionTest, EstablishConfirmsResources) {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  EXPECT_EQ(manager_->active_sessions(), 1u);
+  EXPECT_GT(scenario_->alloc->active_grants(), 0u);
+  EXPECT_EQ(scenario_->alloc->active_holds(), 0u)
+      << "all holds converted or released after establish";
+  manager_->teardown(id);
+  EXPECT_EQ(manager_->active_sessions(), 0u);
+  EXPECT_EQ(scenario_->alloc->active_grants(), 0u);
+}
+
+TEST_F(SessionTest, BackupCountFollowsEq2Shape) {
+  auto req = spider::testing::easy_request(*scenario_);
+  ComposeResult r = engine_->compose(req, rng_);
+  ASSERT_TRUE(r.success);
+
+  // Comfortable margins -> small gamma; tight margins -> larger gamma.
+  service::CompositeRequest generous = req;
+  generous.qos_req = service::Qos::delay_loss(r.best.qos.delay_ms() * 100.0, 10.0);
+  generous.max_failure_prob = 1.0;
+  const int g1 = manager_->backup_count(r.best, generous, 100);
+
+  service::CompositeRequest tight = req;
+  tight.qos_req = service::Qos::delay_loss(r.best.qos.delay_ms() * 1.05,
+                                           r.best.qos.loss_log() + 1.0);
+  tight.max_failure_prob = std::max(r.best.failure_prob, 1e-6);
+  const int g2 = manager_->backup_count(r.best, tight, 100);
+
+  EXPECT_LE(g1, g2);
+  EXPECT_GE(g1, 0);
+  // Bounded by U and C-1.
+  EXPECT_LE(g2, RecoveryConfig{}.backup_upper_bound);
+  EXPECT_EQ(manager_->backup_count(r.best, tight, 1), 0)
+      << "gamma <= C-1";
+  for (HoldId h : r.best_holds) scenario_->alloc->release_hold(h);
+}
+
+TEST_F(SessionTest, SelectBackupsAvoidsTargetComponents) {
+  auto req = spider::testing::easy_request(*scenario_);
+  ComposeResult r = engine_->compose(req, rng_);
+  ASSERT_TRUE(r.success);
+  ASSERT_GE(r.backups.size(), 2u);
+
+  auto selected = SessionManager::select_backups(r.best, r.backups, 2);
+  EXPECT_LE(selected.size(), 2u);
+  ASSERT_FALSE(selected.empty());
+  // The first selection (covering the most failure-prone component) must
+  // not use that component.
+  service::ComponentId worst = r.best.mapping[0].id;
+  double worst_fail = r.best.mapping[0].failure_prob;
+  for (const auto& m : r.best.mapping) {
+    if (m.failure_prob > worst_fail) {
+      worst = m.id;
+      worst_fail = m.failure_prob;
+    }
+  }
+  bool some_avoids_worst = false;
+  for (const auto& b : selected) {
+    if (!b.uses_component(worst)) some_avoids_worst = true;
+  }
+  EXPECT_TRUE(some_avoids_worst);
+  for (HoldId h : r.best_holds) scenario_->alloc->release_hold(h);
+}
+
+TEST_F(SessionTest, SelectBackupsPrefersOverlap) {
+  // Construct a synthetic pool: one graph overlapping in 2 components,
+  // one fully disjoint; for single-component coverage the overlapping one
+  // must win (fast switchover preference).
+  auto req = spider::testing::easy_request(*scenario_);
+  ComposeResult r = engine_->compose(req, rng_);
+  ASSERT_TRUE(r.success);
+
+  // The policy covers the highest-failure component first, so build the
+  // overlapping candidate by swapping exactly that component out.
+  service::FnNode worst_node = 0;
+  for (service::FnNode n = 1; n < r.best.pattern.node_count(); ++n) {
+    if (r.best.mapping[n].failure_prob >
+        r.best.mapping[worst_node].failure_prob) {
+      worst_node = n;
+    }
+  }
+  ServiceGraph overlapping = r.best;
+  const auto fn = overlapping.pattern.function(worst_node);
+  for (auto id : scenario_->deployment->replicas_oracle(fn)) {
+    if (id != overlapping.mapping[worst_node].id &&
+        scenario_->deployment->component_alive(id)) {
+      overlapping.mapping[worst_node] =
+          service::ComponentMetadata::from(scenario_->deployment->component(id));
+      break;
+    }
+  }
+  ASSERT_FALSE(overlapping.same_mapping(r.best));
+
+  ServiceGraph disjoint = r.best;
+  for (service::FnNode n = 0; n < disjoint.pattern.node_count(); ++n) {
+    for (auto id :
+         scenario_->deployment->replicas_oracle(disjoint.pattern.function(n))) {
+      if (!r.best.uses_component(id) &&
+          scenario_->deployment->component_alive(id)) {
+        disjoint.mapping[n] =
+            service::ComponentMetadata::from(scenario_->deployment->component(id));
+        break;
+      }
+    }
+  }
+
+  auto selected = SessionManager::select_backups(
+      r.best, {disjoint, overlapping}, 1);
+  ASSERT_EQ(selected.size(), 1u);
+  // The target to avoid is best.mapping[x] for some x; `overlapping`
+  // avoids mapping[0] with overlap 2, `disjoint` avoids it with overlap 0.
+  EXPECT_TRUE(selected[0].same_mapping(overlapping));
+  for (HoldId h : r.best_holds) scenario_->alloc->release_hold(h);
+}
+
+TEST_F(SessionTest, PeerFailureTriggersBackupSwitch) {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  const ServiceGraph* active = manager_->active_graph(id);
+  ASSERT_NE(active, nullptr);
+  if (manager_->backup_count_of(id) == 0) {
+    GTEST_SKIP() << "no backups selected for this seed";
+  }
+  const PeerId victim = active->mapping[0].host;
+  scenario_->deployment->kill_peer(victim);
+  auto outcomes = manager_->on_peer_failed(victim, rng_);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0] == RecoveryOutcome::kSwitchedToBackup ||
+              outcomes[0] == RecoveryOutcome::kReactiveRecovered);
+  const ServiceGraph* now = manager_->active_graph(id);
+  ASSERT_NE(now, nullptr);
+  EXPECT_FALSE(now->uses_peer(victim));
+  EXPECT_EQ(manager_->stats().breaks, 1u);
+}
+
+TEST_F(SessionTest, UnaffectedSessionsAreNotTouched)  {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  const ServiceGraph* active = manager_->active_graph(id);
+  // Kill a peer the active graph does not use.
+  PeerId victim = overlay::kInvalidPeer;
+  for (PeerId p = 0; p < scenario_->deployment->peer_count(); ++p) {
+    if (!active->uses_peer(p) && p != req.source && p != req.dest) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_NE(victim, overlay::kInvalidPeer);
+  scenario_->deployment->kill_peer(victim);
+  auto outcomes = manager_->on_peer_failed(victim, rng_);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0], RecoveryOutcome::kNotAffected);
+  EXPECT_EQ(manager_->stats().breaks, 0u);
+}
+
+TEST_F(SessionTest, ReactiveRecoveryWhenProactiveDisabled) {
+  RecoveryConfig config;
+  config.proactive = false;
+  SessionManager reactive_mgr(*scenario_->deployment, *scenario_->alloc,
+                              *scenario_->evaluator, *engine_, scenario_->sim,
+                              config);
+  auto req = spider::testing::easy_request(*scenario_);
+  ComposeResult r = engine_->compose(req, rng_);
+  ASSERT_TRUE(r.success);
+  const SessionId id = reactive_mgr.establish(req, std::move(r));
+  ASSERT_NE(id, kInvalidSession);
+  EXPECT_EQ(reactive_mgr.backup_count_of(id), 0u);
+
+  const PeerId victim = reactive_mgr.active_graph(id)->mapping[0].host;
+  scenario_->deployment->kill_peer(victim);
+  auto outcomes = reactive_mgr.on_peer_failed(victim, rng_);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0] == RecoveryOutcome::kReactiveRecovered ||
+              outcomes[0] == RecoveryOutcome::kLost);
+  EXPECT_EQ(reactive_mgr.stats().backup_switches, 0u);
+}
+
+TEST_F(SessionTest, MaintenancePrunesDeadBackups) {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  const std::size_t before = manager_->backup_count_of(id);
+  if (before == 0) GTEST_SKIP() << "no backups for this seed";
+  manager_->run_maintenance();
+  EXPECT_GT(manager_->stats().maintenance_messages, 0u);
+  // Backups survive maintenance while everything is alive.
+  EXPECT_GE(manager_->backup_count_of(id), 1u);
+}
+
+TEST_F(SessionTest, MonitoringDetectsFailuresWithoutOracle) {
+  // Kill a peer WITHOUT notifying the manager; the periodic monitoring
+  // pass must detect the break and recover on its own.
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  const ServiceGraph* active = manager_->active_graph(id);
+  ASSERT_NE(active, nullptr);
+  const PeerId victim = active->mapping[0].host;
+  scenario_->deployment->kill_peer(victim);  // no on_peer_failed call
+
+  const auto before_msgs = manager_->stats().maintenance_messages;
+  auto outcomes = manager_->monitor_active_sessions(rng_);
+  EXPECT_GT(manager_->stats().maintenance_messages, before_msgs)
+      << "monitoring costs liveness probes";
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_NE(outcomes[0], RecoveryOutcome::kNotAffected);
+  if (manager_->active_graph(id) != nullptr) {
+    EXPECT_FALSE(manager_->active_graph(id)->uses_peer(victim));
+  }
+  // A second pass with nothing broken triggers no recoveries.
+  EXPECT_TRUE(manager_->monitor_active_sessions(rng_).empty());
+}
+
+TEST_F(SessionTest, AvgBackupStatisticTracked) {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  EXPECT_EQ(manager_->stats().backup_count_samples, 1u);
+  EXPECT_GE(manager_->stats().avg_backups(), 0.0);
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,160 @@
+// Unit tests for the discrete-event simulator: ordering, cancellation,
+// run_until semantics, periodic timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace spider::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30.0, [&] { order.push_back(3); });
+  sim.schedule_at(10.0, [&] { order.push_back(1); });
+  sim.schedule_at(20.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_after(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, DoubleCancelReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, PendingCountTracksLiveEvents) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilWithCancelledHead) {
+  Simulator sim;
+  bool late_fired = false;
+  const EventId head = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(5.0, [&] { late_fired = true; });
+  sim.cancel(head);
+  sim.run_until(2.0);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(Simulator, StepRunsBoundedNumber) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(double(i), [&] { ++count; });
+  EXPECT_EQ(sim.step(2), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.step(100), 3u);
+}
+
+TEST(PeriodicTimer, FiresEveryPeriod) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 10.0, [&] {
+    if (++ticks == 5) timer.stop();
+  });
+  timer.start();
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+}
+
+TEST(PeriodicTimer, StopPreventsFurtherTicks) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 1.0, [&] { ++ticks; });
+  timer.start();
+  sim.schedule_at(3.5, [&] { timer.stop(); });
+  sim.run();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTimer, RestartAfterStop) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 1.0, [&] { ++ticks; });
+  timer.start();
+  sim.schedule_at(2.5, [&] { timer.stop(); });
+  sim.schedule_at(10.0, [&] { timer.start(); });
+  sim.schedule_at(13.5, [&] { timer.stop(); });
+  sim.run();
+  EXPECT_EQ(ticks, 2 + 3);
+}
+
+}  // namespace
+}  // namespace spider::sim

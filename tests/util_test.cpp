@@ -1,0 +1,218 @@
+// Unit tests for src/util: RNG determinism and distribution sanity,
+// statistics, SHA-1 known-answer vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/sha1.hpp"
+#include "util/stats.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.1);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.next_normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.next_pareto(3.0, 2.0), 3.0);
+}
+
+TEST(Rng, ZipfRanksInRangeAndSkewed) {
+  Rng rng(23);
+  constexpr std::uint64_t kN = 100;
+  int rank0 = 0, rank_tail = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto r = rng.next_zipf(kN, 1.2);
+    ASSERT_LT(r, kN);
+    if (r == 0) ++rank0;
+    if (r >= kN / 2) ++rank_tail;
+  }
+  // Rank 0 must dominate the entire upper half combined tail-heaviness.
+  EXPECT_GT(rank0, rank_tail);
+}
+
+TEST(Rng, SampleIndicesDistinctAndComplete) {
+  Rng rng(29);
+  auto sample = rng.sample_indices(50, 20);
+  std::set<std::size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (std::size_t idx : uniq) EXPECT_LT(idx, 50u);
+
+  auto all = rng.sample_indices(10, 10);
+  std::set<std::size_t> full(all.begin(), all.end());
+  EXPECT_EQ(full.size(), 10u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(SampleStats, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.2);
+}
+
+TEST(SampleStats, PercentileAfterInterleavedAdds) {
+  SampleStats s;
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  s.add(1);  // invalidates sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(TimeSeriesCounter, AccumulatesPerBucket) {
+  TimeSeriesCounter c(10);
+  c.add(0);
+  c.add(0);
+  c.add(9, 5);
+  EXPECT_EQ(c.at(0), 2u);
+  EXPECT_EQ(c.at(9), 5u);
+  EXPECT_EQ(c.total(), 7u);
+}
+
+TEST(RatioCounter, ComputesRatio) {
+  RatioCounter r;
+  r.record(true);
+  r.record(false);
+  r.record(true);
+  r.record(true);
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.75);
+}
+
+TEST(Sha1, KnownVectors) {
+  // FIPS-180 test vectors.
+  auto hex = [](const Sha1Digest& d) {
+    std::string out;
+    char buf[3];
+    for (auto b : d) {
+      std::snprintf(buf, sizeof(buf), "%02x", b);
+      out += buf;
+    }
+    return out;
+  };
+  EXPECT_EQ(hex(sha1("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(hex(sha1("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(hex(sha1("abcdbcdecdefdefgefghfghighijhijkijkjklmnklmnlmnomnopnopq")),
+            "788b8cbe1b91910836f1f581243c4c3e8d06eb64");
+  // Block-boundary lengths (55, 56, 64 bytes) exercise the padding paths.
+  EXPECT_EQ(hex(sha1(std::string(55, 'a'))),
+            "c1c8bbdc22796e28c0e15163d20899b65621d65a");
+  EXPECT_EQ(hex(sha1(std::string(56, 'a'))),
+            "c2db330f6083854c99d4b5bfb6e8f29f201be699");
+  EXPECT_EQ(hex(sha1(std::string(64, 'a'))),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+}
+
+TEST(Sha1, Prefix64MatchesDigest) {
+  const Sha1Digest d = sha1("abc");
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 8; ++i) expect = (expect << 8) | d[std::size_t(i)];
+  EXPECT_EQ(sha1_prefix64("abc"), expect);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,207 @@
+// Tests for scenario builders and the request generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/bcp.hpp"
+#include "workload/scenario.hpp"
+
+namespace spider::workload {
+namespace {
+
+TEST(SimScenario, BuildsConsistentDeployment) {
+  SimScenarioConfig config;
+  config.seed = 3;
+  config.ip_nodes = 400;
+  config.peers = 50;
+  config.function_count = 20;
+  auto s = build_sim_scenario(config);
+  ASSERT_NE(s->deployment, nullptr);
+  EXPECT_EQ(s->deployment->peer_count(), 50u);
+  EXPECT_EQ(s->deployment->catalog().size(), 20u);
+  EXPECT_TRUE(s->deployment->overlay().live_connected());
+
+  // Components per peer within [1, 3]; all registered and discoverable.
+  std::size_t total = 0;
+  for (overlay::PeerId p = 0; p < 50; ++p) {
+    const auto& on_peer = s->deployment->components_on(p);
+    EXPECT_GE(on_peer.size(), 1u);
+    EXPECT_LE(on_peer.size(), 3u);
+    total += on_peer.size();
+  }
+  EXPECT_EQ(s->deployment->component_count(), total);
+}
+
+TEST(SimScenario, DeterministicForSeed) {
+  SimScenarioConfig config;
+  config.ip_nodes = 300;
+  config.peers = 30;
+  config.seed = 77;
+  auto a = build_sim_scenario(config);
+  auto b = build_sim_scenario(config);
+  EXPECT_EQ(a->deployment->component_count(), b->deployment->component_count());
+  for (overlay::PeerId p = 0; p < 30; ++p) {
+    EXPECT_EQ(a->deployment->components_on(p).size(),
+              b->deployment->components_on(p).size());
+  }
+}
+
+TEST(SimScenario, RegisteredComponentsAreDiscoverable) {
+  SimScenarioConfig config;
+  config.ip_nodes = 300;
+  config.peers = 40;
+  config.function_count = 10;
+  auto s = build_sim_scenario(config);
+  for (service::FunctionId f = 0; f < 10; ++f) {
+    const auto& oracle = s->deployment->replicas_oracle(f);
+    if (oracle.empty()) continue;
+    auto found = s->deployment->registry().discover(0, f);
+    ASSERT_TRUE(found.found) << "function " << f;
+    EXPECT_EQ(found.components.size(), oracle.size());
+  }
+}
+
+TEST(PlanetLabScenario, MatchesPaperShape) {
+  PlanetLabScenarioConfig config;
+  auto s = build_planetlab_scenario(config);
+  EXPECT_EQ(s->deployment->peer_count(), 102u);
+  EXPECT_EQ(s->deployment->catalog().size(), 6u);
+  EXPECT_EQ(s->deployment->component_count(), 102u);
+  // ~17 replicas per function on average.
+  double total = 0;
+  for (service::FunctionId f = 0; f < 6; ++f) {
+    total += double(s->deployment->replicas_oracle(f).size());
+  }
+  EXPECT_DOUBLE_EQ(total, 102.0);
+  // The six multimedia functions are interned by name.
+  EXPECT_NE(s->deployment->catalog().find("media/down-scale"),
+            service::kInvalidFunction);
+}
+
+TEST(RequestGenerator, ProducesValidRequests) {
+  SimScenarioConfig config;
+  config.ip_nodes = 300;
+  config.peers = 40;
+  config.function_count = 30;
+  auto s = build_sim_scenario(config);
+  RequestProfile profile;
+  for (int i = 0; i < 50; ++i) {
+    GeneratedRequest gen = sample_request(*s, profile);
+    const auto& req = gen.request;
+    EXPECT_TRUE(req.graph.is_dag());
+    EXPECT_GE(req.graph.node_count(), profile.min_functions);
+    EXPECT_LE(req.graph.node_count(), profile.max_functions);
+    EXPECT_NE(req.source, req.dest);
+    EXPECT_TRUE(s->deployment->peer_alive(req.source));
+    EXPECT_TRUE(s->deployment->peer_alive(req.dest));
+    EXPECT_GT(req.qos_req.delay_ms(), 0.0);
+    EXPECT_GT(gen.duration, 0.0);
+    // Every requested function has at least one live replica.
+    for (service::FnNode n = 0; n < req.graph.node_count(); ++n) {
+      bool live = false;
+      for (auto id : s->deployment->replicas_oracle(req.graph.function(n))) {
+        live |= s->deployment->component_alive(id);
+      }
+      EXPECT_TRUE(live);
+    }
+  }
+}
+
+TEST(RequestGenerator, DagAndCommutationAppear) {
+  SimScenarioConfig config;
+  config.ip_nodes = 300;
+  config.peers = 40;
+  config.function_count = 30;
+  auto s = build_sim_scenario(config);
+  RequestProfile profile;
+  profile.min_functions = 4;
+  profile.max_functions = 5;
+  profile.dag_probability = 0.5;
+  profile.commutation_probability = 0.5;
+  int dags = 0, comms = 0;
+  for (int i = 0; i < 60; ++i) {
+    GeneratedRequest gen = sample_request(*s, profile);
+    if (!gen.request.graph.is_linear()) ++dags;
+    if (!gen.request.graph.commutations().empty()) ++comms;
+  }
+  EXPECT_GT(dags, 0);
+  EXPECT_GT(comms, 0);
+}
+
+TEST(MultiConstraint, JitterMetricFlowsEndToEnd) {
+  // Three-metric scenario: components carry jitter, requests bound it,
+  // and composition produces graphs within all three constraints.
+  SimScenarioConfig config;
+  config.ip_nodes = 300;
+  config.peers = 48;
+  config.function_count = 12;
+  config.min_jitter_ms = 1.0;
+  config.max_jitter_ms = 8.0;
+  auto s = build_sim_scenario(config);
+
+  RequestProfile profile;
+  profile.min_functions = 3;
+  profile.max_functions = 3;
+  profile.per_hop_jitter_budget_ms = 10.0;
+
+  core::BcpConfig bcp_config;
+  bcp_config.probing_budget = 64;
+  core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim,
+                      bcp_config);
+  int successes = 0;
+  for (int i = 0; i < 15; ++i) {
+    GeneratedRequest gen = sample_request(*s, profile);
+    ASSERT_EQ(gen.request.qos_req.size(), 3u);
+    EXPECT_GT(gen.request.qos_req.jitter_ms(), 0.0);
+    core::ComposeResult r = bcp.compose(gen.request, s->rng);
+    if (!r.success) continue;
+    ++successes;
+    EXPECT_EQ(r.best.qos.size(), 3u);
+    EXPECT_LE(r.best.qos.jitter_ms(), gen.request.qos_req.jitter_ms());
+    EXPECT_GT(r.best.qos.jitter_ms(), 0.0) << "components contribute jitter";
+    for (core::HoldId h : r.best_holds) s->alloc->release_hold(h);
+  }
+  EXPECT_GT(successes, 5);
+}
+
+TEST(MultiConstraint, TightJitterBoundRejectsGraphs) {
+  SimScenarioConfig config;
+  config.ip_nodes = 300;
+  config.peers = 48;
+  config.function_count = 12;
+  config.min_jitter_ms = 5.0;
+  config.max_jitter_ms = 9.0;
+  auto s = build_sim_scenario(config);
+  core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim,
+                      core::BcpConfig{});
+
+  RequestProfile profile;
+  profile.min_functions = 3;
+  profile.max_functions = 3;
+  profile.per_hop_jitter_budget_ms = 10.0;
+  GeneratedRequest gen = sample_request(*s, profile);
+  // Shrink only the jitter bound below any feasible 3-component sum.
+  gen.request.qos_req[service::Qos::kJitter] = 10.0;  // < 3 * 5 minimum
+  core::ComposeResult r = bcp.compose(gen.request, s->rng);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(RequestGenerator, FunctionsAreDistinctWithinRequest) {
+  SimScenarioConfig config;
+  config.ip_nodes = 300;
+  config.peers = 40;
+  config.function_count = 30;
+  auto s = build_sim_scenario(config);
+  RequestProfile profile;
+  for (int i = 0; i < 30; ++i) {
+    GeneratedRequest gen = sample_request(*s, profile);
+    std::set<service::FunctionId> uniq;
+    for (service::FnNode n = 0; n < gen.request.graph.node_count(); ++n) {
+      uniq.insert(gen.request.graph.function(n));
+    }
+    EXPECT_EQ(uniq.size(), gen.request.graph.node_count());
+  }
+}
+
+}  // namespace
+}  // namespace spider::workload
