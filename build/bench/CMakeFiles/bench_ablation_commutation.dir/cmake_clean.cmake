@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_commutation.dir/bench_ablation_commutation.cpp.o"
+  "CMakeFiles/bench_ablation_commutation.dir/bench_ablation_commutation.cpp.o.d"
+  "bench_ablation_commutation"
+  "bench_ablation_commutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_commutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_psi_weights.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quota.dir/bench_ablation_quota.cpp.o"
+  "CMakeFiles/bench_ablation_quota.dir/bench_ablation_quota.cpp.o.d"
+  "bench_ablation_quota"
+  "bench_ablation_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

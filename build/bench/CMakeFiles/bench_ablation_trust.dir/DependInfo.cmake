@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_trust.cpp" "bench/CMakeFiles/bench_ablation_trust.dir/bench_ablation_trust.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_trust.dir/bench_ablation_trust.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/spider_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spider_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/spider_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/spider_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/spider_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/spider_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/spider_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

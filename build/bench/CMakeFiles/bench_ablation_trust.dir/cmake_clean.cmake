@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trust.dir/bench_ablation_trust.cpp.o"
+  "CMakeFiles/bench_ablation_trust.dir/bench_ablation_trust.cpp.o.d"
+  "bench_ablation_trust"
+  "bench_ablation_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

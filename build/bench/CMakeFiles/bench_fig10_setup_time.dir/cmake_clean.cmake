@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_setup_time.dir/bench_fig10_setup_time.cpp.o"
+  "CMakeFiles/bench_fig10_setup_time.dir/bench_fig10_setup_time.cpp.o.d"
+  "bench_fig10_setup_time"
+  "bench_fig10_setup_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_setup_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_success_ratio.dir/bench_fig8_success_ratio.cpp.o"
+  "CMakeFiles/bench_fig8_success_ratio.dir/bench_fig8_success_ratio.cpp.o.d"
+  "bench_fig8_success_ratio"
+  "bench_fig8_success_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_success_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dht.dir/bench_micro_dht.cpp.o"
+  "CMakeFiles/bench_micro_dht.dir/bench_micro_dht.cpp.o.d"
+  "bench_micro_dht"
+  "bench_micro_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_vs_centralized.dir/bench_overhead_vs_centralized.cpp.o"
+  "CMakeFiles/bench_overhead_vs_centralized.dir/bench_overhead_vs_centralized.cpp.o.d"
+  "bench_overhead_vs_centralized"
+  "bench_overhead_vs_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_vs_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

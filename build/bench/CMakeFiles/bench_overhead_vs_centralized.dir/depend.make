@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_overhead_vs_centralized.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_computation.dir/collaborative_computation.cpp.o"
+  "CMakeFiles/collaborative_computation.dir/collaborative_computation.cpp.o.d"
+  "collaborative_computation"
+  "collaborative_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for collaborative_computation.
+# This may be replaced when dependencies are built.

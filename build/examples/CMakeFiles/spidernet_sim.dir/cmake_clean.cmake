@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidernet_sim.dir/spidernet_sim.cpp.o"
+  "CMakeFiles/spidernet_sim.dir/spidernet_sim.cpp.o.d"
+  "spidernet_sim"
+  "spidernet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidernet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("overlay")
+subdirs("service")
+subdirs("dht")
+subdirs("discovery")
+subdirs("core")
+subdirs("trust")
+subdirs("workload")
+subdirs("runtime")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/core/CMakeFiles/spider_core.dir/allocator.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/allocator.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/spider_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/bcp.cpp" "src/core/CMakeFiles/spider_core.dir/bcp.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/bcp.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/spider_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/spider_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/spider_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/spider_core.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/discovery/CMakeFiles/spider_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/spider_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/spider_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/spider_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

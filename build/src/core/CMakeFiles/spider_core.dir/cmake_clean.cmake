@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_core.dir/allocator.cpp.o"
+  "CMakeFiles/spider_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/spider_core.dir/baselines.cpp.o"
+  "CMakeFiles/spider_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/spider_core.dir/bcp.cpp.o"
+  "CMakeFiles/spider_core.dir/bcp.cpp.o.d"
+  "CMakeFiles/spider_core.dir/deployment.cpp.o"
+  "CMakeFiles/spider_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/spider_core.dir/evaluator.cpp.o"
+  "CMakeFiles/spider_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/spider_core.dir/session.cpp.o"
+  "CMakeFiles/spider_core.dir/session.cpp.o.d"
+  "libspider_core.a"
+  "libspider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/node_id.cpp" "src/dht/CMakeFiles/spider_dht.dir/node_id.cpp.o" "gcc" "src/dht/CMakeFiles/spider_dht.dir/node_id.cpp.o.d"
+  "/root/repo/src/dht/pastry.cpp" "src/dht/CMakeFiles/spider_dht.dir/pastry.cpp.o" "gcc" "src/dht/CMakeFiles/spider_dht.dir/pastry.cpp.o.d"
+  "/root/repo/src/dht/routing_state.cpp" "src/dht/CMakeFiles/spider_dht.dir/routing_state.cpp.o" "gcc" "src/dht/CMakeFiles/spider_dht.dir/routing_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/spider_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_dht.dir/node_id.cpp.o"
+  "CMakeFiles/spider_dht.dir/node_id.cpp.o.d"
+  "CMakeFiles/spider_dht.dir/pastry.cpp.o"
+  "CMakeFiles/spider_dht.dir/pastry.cpp.o.d"
+  "CMakeFiles/spider_dht.dir/routing_state.cpp.o"
+  "CMakeFiles/spider_dht.dir/routing_state.cpp.o.d"
+  "libspider_dht.a"
+  "libspider_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_discovery.dir/registry.cpp.o"
+  "CMakeFiles/spider_discovery.dir/registry.cpp.o.d"
+  "libspider_discovery.a"
+  "libspider_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

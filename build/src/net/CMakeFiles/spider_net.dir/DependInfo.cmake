@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/generator.cpp" "src/net/CMakeFiles/spider_net.dir/generator.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/generator.cpp.o.d"
+  "/root/repo/src/net/planetlab.cpp" "src/net/CMakeFiles/spider_net.dir/planetlab.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/planetlab.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/spider_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/router.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/spider_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/spider_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

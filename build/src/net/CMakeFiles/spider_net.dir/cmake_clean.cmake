@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_net.dir/generator.cpp.o"
+  "CMakeFiles/spider_net.dir/generator.cpp.o.d"
+  "CMakeFiles/spider_net.dir/planetlab.cpp.o"
+  "CMakeFiles/spider_net.dir/planetlab.cpp.o.d"
+  "CMakeFiles/spider_net.dir/router.cpp.o"
+  "CMakeFiles/spider_net.dir/router.cpp.o.d"
+  "CMakeFiles/spider_net.dir/topology.cpp.o"
+  "CMakeFiles/spider_net.dir/topology.cpp.o.d"
+  "libspider_net.a"
+  "libspider_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

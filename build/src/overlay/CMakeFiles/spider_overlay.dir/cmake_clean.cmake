@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/spider_overlay.dir/overlay.cpp.o.d"
+  "libspider_overlay.a"
+  "libspider_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

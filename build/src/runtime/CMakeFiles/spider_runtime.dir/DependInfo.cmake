@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/pipeline.cpp" "src/runtime/CMakeFiles/spider_runtime.dir/pipeline.cpp.o" "gcc" "src/runtime/CMakeFiles/spider_runtime.dir/pipeline.cpp.o.d"
+  "/root/repo/src/runtime/transforms.cpp" "src/runtime/CMakeFiles/spider_runtime.dir/transforms.cpp.o" "gcc" "src/runtime/CMakeFiles/spider_runtime.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/spider_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/spider_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

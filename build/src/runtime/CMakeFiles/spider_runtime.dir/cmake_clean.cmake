@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_runtime.dir/pipeline.cpp.o"
+  "CMakeFiles/spider_runtime.dir/pipeline.cpp.o.d"
+  "CMakeFiles/spider_runtime.dir/transforms.cpp.o"
+  "CMakeFiles/spider_runtime.dir/transforms.cpp.o.d"
+  "libspider_runtime.a"
+  "libspider_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

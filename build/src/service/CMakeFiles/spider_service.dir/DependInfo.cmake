@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/function_graph.cpp" "src/service/CMakeFiles/spider_service.dir/function_graph.cpp.o" "gcc" "src/service/CMakeFiles/spider_service.dir/function_graph.cpp.o.d"
+  "/root/repo/src/service/qos.cpp" "src/service/CMakeFiles/spider_service.dir/qos.cpp.o" "gcc" "src/service/CMakeFiles/spider_service.dir/qos.cpp.o.d"
+  "/root/repo/src/service/request_spec.cpp" "src/service/CMakeFiles/spider_service.dir/request_spec.cpp.o" "gcc" "src/service/CMakeFiles/spider_service.dir/request_spec.cpp.o.d"
+  "/root/repo/src/service/service_graph.cpp" "src/service/CMakeFiles/spider_service.dir/service_graph.cpp.o" "gcc" "src/service/CMakeFiles/spider_service.dir/service_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/spider_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_service.dir/function_graph.cpp.o"
+  "CMakeFiles/spider_service.dir/function_graph.cpp.o.d"
+  "CMakeFiles/spider_service.dir/qos.cpp.o"
+  "CMakeFiles/spider_service.dir/qos.cpp.o.d"
+  "CMakeFiles/spider_service.dir/request_spec.cpp.o"
+  "CMakeFiles/spider_service.dir/request_spec.cpp.o.d"
+  "CMakeFiles/spider_service.dir/service_graph.cpp.o"
+  "CMakeFiles/spider_service.dir/service_graph.cpp.o.d"
+  "libspider_service.a"
+  "libspider_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_trust.dir/trust.cpp.o"
+  "CMakeFiles/spider_trust.dir/trust.cpp.o.d"
+  "libspider_trust.a"
+  "libspider_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

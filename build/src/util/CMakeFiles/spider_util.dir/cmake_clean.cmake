@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_util.dir/log.cpp.o"
+  "CMakeFiles/spider_util.dir/log.cpp.o.d"
+  "CMakeFiles/spider_util.dir/rng.cpp.o"
+  "CMakeFiles/spider_util.dir/rng.cpp.o.d"
+  "CMakeFiles/spider_util.dir/sha1.cpp.o"
+  "CMakeFiles/spider_util.dir/sha1.cpp.o.d"
+  "CMakeFiles/spider_util.dir/stats.cpp.o"
+  "CMakeFiles/spider_util.dir/stats.cpp.o.d"
+  "libspider_util.a"
+  "libspider_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

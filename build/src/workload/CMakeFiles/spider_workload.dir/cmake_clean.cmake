@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_workload.dir/scenario.cpp.o"
+  "CMakeFiles/spider_workload.dir/scenario.cpp.o.d"
+  "libspider_workload.a"
+  "libspider_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

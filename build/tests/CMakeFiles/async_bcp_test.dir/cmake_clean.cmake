@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_bcp_test.dir/async_bcp_test.cpp.o"
+  "CMakeFiles/async_bcp_test.dir/async_bcp_test.cpp.o.d"
+  "async_bcp_test"
+  "async_bcp_test.pdb"
+  "async_bcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_bcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcp_test.dir/bcp_test.cpp.o"
+  "CMakeFiles/bcp_test.dir/bcp_test.cpp.o.d"
+  "bcp_test"
+  "bcp_test.pdb"
+  "bcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

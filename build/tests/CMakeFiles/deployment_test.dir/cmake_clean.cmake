@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_test.dir/deployment_test.cpp.o"
+  "CMakeFiles/deployment_test.dir/deployment_test.cpp.o.d"
+  "deployment_test"
+  "deployment_test.pdb"
+  "deployment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_test.dir/dht_test.cpp.o"
+  "CMakeFiles/dht_test.dir/dht_test.cpp.o.d"
+  "dht_test"
+  "dht_test.pdb"
+  "dht_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_test.dir/discovery_test.cpp.o"
+  "CMakeFiles/discovery_test.dir/discovery_test.cpp.o.d"
+  "discovery_test"
+  "discovery_test.pdb"
+  "discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_test.dir/evaluator_test.cpp.o"
+  "CMakeFiles/evaluator_test.dir/evaluator_test.cpp.o.d"
+  "evaluator_test"
+  "evaluator_test.pdb"
+  "evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_spec_test.dir/request_spec_test.cpp.o"
+  "CMakeFiles/request_spec_test.dir/request_spec_test.cpp.o.d"
+  "request_spec_test"
+  "request_spec_test.pdb"
+  "request_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

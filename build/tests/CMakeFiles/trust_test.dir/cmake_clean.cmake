@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_test.dir/trust_test.cpp.o"
+  "CMakeFiles/trust_test.dir/trust_test.cpp.o.d"
+  "trust_test"
+  "trust_test.pdb"
+  "trust_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
