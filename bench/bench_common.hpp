@@ -13,12 +13,17 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace spider::bench {
 
 struct BenchArgs {
   /// 0 = quick smoke, 1 = default, 2 = full paper scale.
   int scale = 1;
   std::uint64_t seed = 42;
+  /// When non-empty, the bench writes a MetricsRegistry JSON snapshot of
+  /// the campaign's cumulative counters/gauges/histograms to this path.
+  std::string metrics_out;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -30,8 +35,25 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.seed = std::strtoull(argv[i + 1], nullptr, 10);
       ++i;
     }
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      args.metrics_out = argv[i + 1];
+      ++i;
+    }
   }
   return args;
+}
+
+/// Writes `metrics` to `args.metrics_out` if set; prints the outcome.
+inline void maybe_write_metrics(const BenchArgs& args,
+                                const obs::MetricsRegistry& metrics) {
+  if (args.metrics_out.empty()) return;
+  if (metrics.write_json(args.metrics_out)) {
+    std::printf("metrics: wrote %zu instruments to %s\n", metrics.size(),
+                args.metrics_out.c_str());
+  } else {
+    std::fprintf(stderr, "metrics: failed to write %s\n",
+                 args.metrics_out.c_str());
+  }
 }
 
 /// Fixed-width table printer for figure output.

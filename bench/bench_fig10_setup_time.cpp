@@ -34,6 +34,14 @@ int main(int argc, char** argv) {
   core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim,
                       bcp_config);
 
+  obs::MetricsRegistry metrics;
+  if (!args.metrics_out.empty()) {
+    bcp.set_observability(&metrics, nullptr);
+    s->alloc->set_metrics(&metrics);
+    s->deployment->registry().set_metrics(&metrics);
+    s->deployment->dht().set_metrics(&metrics);
+  }
+
   std::printf("Figure 10: service session setup time (synthetic PlanetLab, "
               "%zu hosts)\n", scenario.hosts);
   std::printf("%zu requests per function count, seed=%llu\n\n", requests_per_k,
@@ -77,5 +85,6 @@ int main(int argc, char** argv) {
       "\npaper shape: setup time grows with the function number and stays "
       "within a few seconds; discovery contributes a significant, roughly "
       "constant-per-function share.\n");
+  maybe_write_metrics(args, metrics);
   return 0;
 }

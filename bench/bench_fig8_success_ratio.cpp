@@ -70,6 +70,10 @@ int main(int argc, char** argv) {
       {Algo::kStatic, 0.0, "static"},
   };
 
+  // One registry accumulates across every cell of the sweep; BCP, the
+  // allocator, discovery and the DHT all publish into it.
+  obs::MetricsRegistry metrics;
+
   Table table({"workload (req/unit)", "optimal", "probing-0.2", "probing-0.1",
                "random", "static"});
   for (double workload : workloads) {
@@ -77,7 +81,9 @@ int main(int argc, char** argv) {
     for (const Series& sr : series) {
       CampaignConfig cell = config;
       cell.budget_fraction = sr.fraction;
-      const CampaignResult r = run_campaign(cell, sr.algo, workload);
+      const CampaignResult r = run_campaign(cell, sr.algo, workload,
+                                            args.metrics_out.empty() ? nullptr
+                                                                     : &metrics);
       row.push_back(fmt(r.success.ratio(), 3));
       std::fprintf(stderr, "  [fig8] %-12s workload=%3.0f success=%.3f (%llu req)\n",
                    sr.label, workload, r.success.ratio(),
@@ -89,5 +95,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper shape: optimal >= probing-0.2 >= probing-0.1 >> random > "
       "static, all decreasing with workload.\n");
+  maybe_write_metrics(args, metrics);
   return 0;
 }

@@ -15,6 +15,8 @@
 #include "core/baselines.hpp"
 #include "core/bcp.hpp"
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "workload/scenario.hpp"
 
@@ -86,8 +88,13 @@ inline std::uint64_t optimal_probe_count(const core::Deployment& deployment,
 }
 
 /// Runs one campaign cell. Deterministic for a fixed (config, algo, seed).
+/// When `metrics`/`trace` are given, the cell's BCP engine, allocator,
+/// service registry and DHT publish into them for the whole run (cells
+/// sharing one registry accumulate across cells).
 inline CampaignResult run_campaign(const CampaignConfig& config, Algo algo,
-                                   double workload_per_unit) {
+                                   double workload_per_unit,
+                                   obs::MetricsRegistry* metrics = nullptr,
+                                   obs::ProbeTrace* trace = nullptr) {
   auto s = workload::build_sim_scenario(config.scenario);
   auto& sim = s->sim;
   CampaignResult result;
@@ -98,6 +105,10 @@ inline CampaignResult run_campaign(const CampaignConfig& config, Algo algo,
   bcp_config.probe_timeout_ms = config.time_unit_ms;
   core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim,
                       bcp_config);
+  bcp.set_observability(metrics, trace);
+  s->alloc->set_metrics(metrics);
+  s->deployment->registry().set_metrics(metrics);
+  s->deployment->dht().set_metrics(metrics);
   core::OptimalComposer optimal(*s->deployment, *s->alloc, *s->evaluator,
                                 config.use_commutation);
   core::RandomComposer random_composer(*s->deployment, *s->evaluator);

@@ -7,17 +7,31 @@
 //     service graph.
 //  4. Establish the session (confirm the soft-allocated resources), then
 //     tear it down.
+//  5. Inspect the run through the observability layer: per-request probe
+//     trace counts and the cumulative metrics registry, optionally dumped
+//     as JSON with --metrics-out <file>.json.
 //
 // Build: cmake --build build && ./build/examples/quickstart
 #include <cstdio>
+#include <cstring>
 
 #include "core/bcp.hpp"
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/scenario.hpp"
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* metrics_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[i + 1];
+      ++i;
+    }
+  }
+
   // 1. A small deployment: 400-node IP network, 60 peers, 12 functions.
   workload::SimScenarioConfig config;
   config.seed = 7;
@@ -40,11 +54,19 @@ int main() {
   request.source = 3;
   request.dest = 42;
 
-  // 3. Bounded composition probing.
+  // 3. Bounded composition probing, with the observability layer attached:
+  //    the registry collects cumulative counters from every instrumented
+  //    subsystem, the trace records this request's per-probe events.
   core::BcpConfig bcp_config;
   bcp_config.probing_budget = 32;
   core::BcpEngine bcp(deployment, *scenario->alloc, *scenario->evaluator,
                       scenario->sim, bcp_config);
+  obs::MetricsRegistry metrics;
+  obs::ProbeTrace trace;
+  bcp.set_observability(&metrics, &trace);
+  scenario->alloc->set_metrics(&metrics);
+  deployment.registry().set_metrics(&metrics);
+  deployment.dht().set_metrics(&metrics);
   core::ComposeResult composed = bcp.compose(request, scenario->rng);
   if (!composed.success) {
     std::printf("no qualified composition found\n");
@@ -75,6 +97,7 @@ int main() {
   core::SessionManager sessions(deployment, *scenario->alloc,
                                 *scenario->evaluator, bcp, scenario->sim,
                                 recovery);
+  sessions.set_metrics(&metrics);
   const core::SessionId id = sessions.establish(request, std::move(composed));
   if (id == core::kInvalidSession) {
     std::printf("admission lost (holds expired)\n");
@@ -84,5 +107,24 @@ int main() {
               (unsigned long long)id, sessions.backup_count_of(id));
   sessions.teardown(id);
   std::printf("session torn down; all resources released\n");
+
+  // 5. What the observability layer saw.
+  std::printf("\nprobe trace: %zu events (%llu hops, %llu drops, "
+              "%llu skips, %llu holds acquired, %llu reused)\n",
+              trace.events().size(),
+              (unsigned long long)trace.count(obs::TraceEvent::kHopTaken),
+              (unsigned long long)trace.count(obs::TraceEvent::kProbeDropped),
+              (unsigned long long)trace.count(obs::TraceEvent::kCandidateSkipped),
+              (unsigned long long)trace.count(obs::TraceEvent::kHoldAcquired),
+              (unsigned long long)trace.count(obs::TraceEvent::kHoldReused));
+  std::printf("metrics registry: %zu instruments\n", metrics.size());
+  if (metrics_out != nullptr) {
+    if (metrics.write_json(metrics_out)) {
+      std::printf("metrics written to %s\n", metrics_out);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -3,33 +3,77 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace spider::core {
+
+void AllocationManager::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    m_reserved_ = m_reserve_failures_ = m_confirmed_ = m_confirm_failures_ =
+        m_released_ = m_expired_ = m_direct_grants_ =
+            m_direct_grant_failures_ = nullptr;
+    m_holds_outstanding_ = m_grants_outstanding_ = nullptr;
+    return;
+  }
+  m_reserved_ = &metrics->counter("alloc.holds_reserved");
+  m_reserve_failures_ = &metrics->counter("alloc.reserve_failures");
+  m_confirmed_ = &metrics->counter("alloc.holds_confirmed");
+  m_confirm_failures_ = &metrics->counter("alloc.confirm_failures");
+  m_released_ = &metrics->counter("alloc.holds_released");
+  m_expired_ = &metrics->counter("alloc.holds_expired");
+  m_direct_grants_ = &metrics->counter("alloc.direct_grants");
+  m_direct_grant_failures_ = &metrics->counter("alloc.direct_grant_failures");
+  m_holds_outstanding_ = &metrics->gauge("alloc.holds_outstanding");
+  m_grants_outstanding_ = &metrics->gauge("alloc.grants_outstanding");
+  update_outstanding_gauges();
+}
+
+void AllocationManager::update_outstanding_gauges() {
+  if (m_holds_outstanding_ != nullptr) {
+    m_holds_outstanding_->set(double(holds_.size()));
+  }
+  if (m_grants_outstanding_ != nullptr) {
+    m_grants_outstanding_->set(double(grants_.size()));
+  }
+}
+
+void AllocationManager::count_expired(HoldId hold) {
+  // A path hold spans several links and its purge may be observed from
+  // any of them; count only the erase that actually removed the record.
+  if (holds_.erase(hold) > 0 && m_expired_ != nullptr) {
+    m_expired_->inc();
+  }
+}
 
 void AllocationManager::purge_expired_peer(PeerState& state) {
   const sim::Time now = sim_->now();
+  bool purged = false;
   for (auto it = state.soft.begin(); it != state.soft.end();) {
     if (it->second.expire_at <= now) {
-      holds_.erase(it->first);
+      count_expired(it->first);
       it = state.soft.erase(it);
+      purged = true;
     } else {
       ++it;
     }
   }
+  if (purged) update_outstanding_gauges();
 }
 
 void AllocationManager::purge_expired_link(LinkState& state) {
   const sim::Time now = sim_->now();
+  bool purged = false;
   for (auto it = state.soft.begin(); it != state.soft.end();) {
     if (it->second.expire_at <= now) {
-      // The owning Hold may span several links; it is erased from holds_
-      // when its peer/first-link purge discovers it — erasing here too is
-      // safe because erase by key is idempotent.
-      holds_.erase(it->first);
+      count_expired(it->first);
       it = state.soft.erase(it);
+      purged = true;
     } else {
       ++it;
     }
   }
+  if (purged) update_outstanding_gauges();
 }
 
 service::Resources AllocationManager::peer_available(PeerId peer) {
@@ -54,7 +98,10 @@ double AllocationManager::link_available_kbps(overlay::OverlayLinkId link) {
 std::optional<HoldId> AllocationManager::soft_reserve_peer(
     PeerId peer, const service::Resources& amount, sim::Time expire_at) {
   SPIDER_REQUIRE(amount.non_negative());
-  if (!amount.fits_within(peer_available(peer))) return std::nullopt;
+  if (!amount.fits_within(peer_available(peer))) {
+    if (m_reserve_failures_ != nullptr) m_reserve_failures_->inc();
+    return std::nullopt;
+  }
   const HoldId id = next_hold_id_++;
   peer_state_[peer].soft.emplace(id, PeerHold{amount, expire_at});
   Hold hold;
@@ -62,6 +109,10 @@ std::optional<HoldId> AllocationManager::soft_reserve_peer(
   hold.peer_amount = amount;
   hold.expire_at = expire_at;
   holds_.emplace(id, std::move(hold));
+  if (m_reserved_ != nullptr) {
+    m_reserved_->inc();
+    update_outstanding_gauges();
+  }
   return id;
 }
 
@@ -69,7 +120,10 @@ std::optional<HoldId> AllocationManager::soft_reserve_path(
     const overlay::OverlayPath& path, double kbps, sim::Time expire_at) {
   SPIDER_REQUIRE(kbps >= 0.0);
   for (overlay::OverlayLinkId link : path.links) {
-    if (link_available_kbps(link) < kbps) return std::nullopt;
+    if (link_available_kbps(link) < kbps) {
+      if (m_reserve_failures_ != nullptr) m_reserve_failures_->inc();
+      return std::nullopt;
+    }
   }
   const HoldId id = next_hold_id_++;
   for (overlay::OverlayLinkId link : path.links) {
@@ -80,15 +134,23 @@ std::optional<HoldId> AllocationManager::soft_reserve_path(
   hold.kbps = kbps;
   hold.expire_at = expire_at;
   holds_.emplace(id, std::move(hold));
+  if (m_reserved_ != nullptr) {
+    m_reserved_->inc();
+    update_outstanding_gauges();
+  }
   return id;
 }
 
 bool AllocationManager::confirm(HoldId hold_id, SessionId session) {
   auto it = holds_.find(hold_id);
-  if (it == holds_.end()) return false;
+  if (it == holds_.end()) {
+    if (m_confirm_failures_ != nullptr) m_confirm_failures_->inc();
+    return false;
+  }
   const Hold& hold = it->second;
   if (hold.expire_at <= sim_->now()) {
     release_hold(hold_id);
+    if (m_confirm_failures_ != nullptr) m_confirm_failures_->inc();
     return false;
   }
   Grant grant;
@@ -109,6 +171,10 @@ bool AllocationManager::confirm(HoldId hold_id, SessionId session) {
   }
   grants_[session].push_back(std::move(grant));
   holds_.erase(it);
+  if (m_confirmed_ != nullptr) {
+    m_confirmed_->inc();
+    update_outstanding_gauges();
+  }
   return true;
 }
 
@@ -123,6 +189,10 @@ void AllocationManager::release_hold(HoldId hold_id) {
     link_state_[link].soft.erase(hold_id);
   }
   holds_.erase(it);
+  if (m_released_ != nullptr) {
+    m_released_->inc();
+    update_outstanding_gauges();
+  }
 }
 
 void AllocationManager::release_session(SessionId session) {
@@ -137,6 +207,7 @@ void AllocationManager::release_session(SessionId session) {
     }
   }
   grants_.erase(it);
+  update_outstanding_gauges();
 }
 
 bool AllocationManager::grant_direct(
@@ -155,10 +226,16 @@ bool AllocationManager::grant_direct(
     per_link[link] += kbps;
   }
   for (const auto& [peer, amount] : per_peer) {
-    if (!amount.fits_within(peer_available(peer))) return false;
+    if (!amount.fits_within(peer_available(peer))) {
+      if (m_direct_grant_failures_ != nullptr) m_direct_grant_failures_->inc();
+      return false;
+    }
   }
   for (const auto& [link, kbps] : per_link) {
-    if (link_available_kbps(link) < kbps) return false;
+    if (link_available_kbps(link) < kbps) {
+      if (m_direct_grant_failures_ != nullptr) m_direct_grant_failures_->inc();
+      return false;
+    }
   }
   auto& grant_list = grants_[session];
   for (const auto& [peer, amount] : per_peer) {
@@ -176,6 +253,10 @@ bool AllocationManager::grant_direct(
     g.kbps = kbps;
     link_state_[link].confirmed_kbps += kbps;
     grant_list.push_back(std::move(g));
+  }
+  if (m_direct_grants_ != nullptr) {
+    m_direct_grants_->inc();
+    update_outstanding_gauges();
   }
   return true;
 }

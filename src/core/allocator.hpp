@@ -28,6 +28,12 @@
 #include "service/qos.hpp"
 #include "sim/simulator.hpp"
 
+namespace spider::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace spider::obs
+
 namespace spider::core {
 
 using HoldId = std::uint64_t;
@@ -109,6 +115,12 @@ class AllocationManager : public AvailabilityView {
   std::size_t active_holds() const { return holds_.size(); }
   std::size_t active_grants() const { return grants_.size(); }
 
+  /// Attaches a metrics registry (null detaches). Publishes cumulative
+  /// "alloc.*" counters (reserve/confirm/release/expire outcomes) and
+  /// outstanding-hold/grant gauges. Costs one null check per event when
+  /// detached.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct PeerHold {
     service::Resources amount;
@@ -143,6 +155,8 @@ class AllocationManager : public AvailabilityView {
 
   void purge_expired_peer(PeerState& state);
   void purge_expired_link(LinkState& state);
+  void count_expired(HoldId hold);
+  void update_outstanding_gauges();
 
   Deployment* deployment_;
   sim::Simulator* sim_;
@@ -152,6 +166,19 @@ class AllocationManager : public AvailabilityView {
   std::unordered_map<SessionId, std::vector<Grant>> grants_;
   HoldId next_hold_id_ = 1;
   SessionId next_session_id_ = 1;
+
+  // Observability (all null when no registry is attached).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_reserved_ = nullptr;
+  obs::Counter* m_reserve_failures_ = nullptr;
+  obs::Counter* m_confirmed_ = nullptr;
+  obs::Counter* m_confirm_failures_ = nullptr;
+  obs::Counter* m_released_ = nullptr;
+  obs::Counter* m_expired_ = nullptr;
+  obs::Counter* m_direct_grants_ = nullptr;
+  obs::Counter* m_direct_grant_failures_ = nullptr;
+  obs::Gauge* m_holds_outstanding_ = nullptr;
+  obs::Gauge* m_grants_outstanding_ = nullptr;
 };
 
 }  // namespace spider::core

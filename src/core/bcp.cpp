@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/hold_keys.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 
 namespace spider::core {
@@ -18,21 +21,6 @@ using service::ServiceGraph;
 using service::ServiceLinkHop;
 
 namespace {
-
-/// Key identifying what a soft hold covers, so merged graphs can dedupe
-/// holds made by different branch probes for the same node/edge.
-///  - node hold:  (1<<63) | node
-///  - edge hold:  (from<<32) | to   (kEndpoint sentinels included)
-std::uint64_t node_hold_key(FnNode node) {
-  return (std::uint64_t(1) << 63) | node;
-}
-std::uint64_t edge_hold_key(FnNode from, FnNode to) {
-  return (std::uint64_t(from) << 32) | to;
-}
-
-std::uint64_t shared_peer_key(FnNode node, service::ComponentId comp) {
-  return (std::uint64_t(node) << 48) ^ comp;
-}
 
 /// splitmix64-based hash -> uniform double in [0, 1). The next-hop
 /// metric's noise/jitter terms are derived from a per-request salt and
@@ -46,11 +34,6 @@ double unit_hash(std::uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   x ^= x >> 31;
   return double(x >> 11) * 0x1.0p-53;
-}
-std::uint64_t shared_path_key(FnNode from, FnNode to, overlay::PeerId a,
-                              overlay::PeerId b) {
-  return (std::uint64_t(from) << 48) ^ (std::uint64_t(to) << 32) ^
-         (std::uint64_t(a) << 16) ^ b;
 }
 
 /// ψ ranking must not be distorted by a request's own soft holds (probes
@@ -91,7 +74,7 @@ struct BcpEngine::Probe {
   std::uint32_t level = 0;  ///< quality level of the stream at this point
   int budget = 1;
   std::vector<ComponentMetadata> chosen;  ///< prefix of the branch
-  std::vector<std::pair<std::uint64_t, HoldId>> holds;
+  std::vector<std::pair<HoldCoverKey, HoldId>> holds;
   bool final_leg_done = false;
 };
 
@@ -111,8 +94,10 @@ struct BcpEngine::ComposeState {
   sim::Time hold_expiry = 0.0;
   std::vector<HoldId> all_holds;
   OwnHoldsView own_view;
-  std::unordered_map<std::uint64_t, HoldId> shared_peer_holds;
-  std::unordered_map<std::uint64_t, HoldId> shared_path_holds;
+  std::unordered_map<SharedPeerKey, HoldId, SharedPeerKeyHash>
+      shared_peer_holds;
+  std::unordered_map<SharedPathKey, HoldId, SharedPathKeyHash>
+      shared_path_holds;
   std::vector<service::FunctionGraph> patterns;
   std::vector<std::vector<std::vector<FnNode>>> branches;
   std::unordered_map<std::uint64_t, DiscoveryEntry> discovery_cache;
@@ -145,11 +130,16 @@ const BcpEngine::DiscoveryEntry& BcpEngine::discover(ComposeState& state,
 int BcpEngine::quota_for(std::size_t replica_count) const {
   switch (config_.quota_policy) {
     case QuotaPolicy::kUniform:
-      return std::min(config_.quota_base, config_.max_quota);
-    case QuotaPolicy::kReplicaProportional:
-      // More replicas -> more probes, half the replica pool, capped.
-      return int(std::clamp<std::size_t>((replica_count + 1) / 2, 1,
+      return std::max(1, std::min(config_.quota_base, config_.max_quota));
+    case QuotaPolicy::kReplicaProportional: {
+      // α_k = ⌈replicas · quota_base / 8⌉: quota_base anchors the fraction
+      // of the replica pool probed (8 = all of it; the default 4 = half,
+      // matching the pre-anchor behavior ⌈replicas / 2⌉).
+      const std::size_t base = std::size_t(std::max(config_.quota_base, 1));
+      const std::size_t alpha = (replica_count * base + 7) / 8;
+      return int(std::clamp<std::size_t>(alpha, 1,
                                          std::size_t(config_.max_quota)));
+    }
   }
   return 1;
 }
@@ -194,6 +184,15 @@ bool BcpEngine::init_state(ComposeState& state,
       seed.level = request.source_level;
       state.seeds.push_back(std::move(seed));
       ++state.result.stats.probes_spawned;
+      if (trace_ != nullptr) {
+        obs::TraceRecord rec;
+        rec.event = obs::TraceEvent::kSeedSpawned;
+        rec.pattern = std::int64_t(pi);
+        rec.branch = std::int64_t(bi);
+        rec.peer = std::int64_t(request.source);
+        rec.value = double(seed_budget);
+        trace_->record(std::move(rec));
+      }
     }
   }
   return true;
@@ -208,6 +207,41 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
   const auto& branch = state.branches[probe.pattern_idx][probe.branch_idx];
   const auto& pattern = state.patterns[probe.pattern_idx];
 
+  // Trace emitters (no-ops without an attached trace).
+  auto trace_drop = [&](const Probe& p, const char* reason) {
+    if (trace_ == nullptr) return;
+    obs::TraceRecord rec;
+    rec.event = obs::TraceEvent::kProbeDropped;
+    rec.time_ms = p.arrival;
+    rec.pattern = std::int64_t(p.pattern_idx);
+    rec.branch = std::int64_t(p.branch_idx);
+    rec.peer = std::int64_t(p.at);
+    rec.note = reason;
+    trace_->record(std::move(rec));
+  };
+  auto trace_skip = [&](FnNode node, PeerId host, const char* reason) {
+    if (trace_ == nullptr) return;
+    obs::TraceRecord rec;
+    rec.event = obs::TraceEvent::kCandidateSkipped;
+    rec.time_ms = probe.arrival;
+    rec.pattern = std::int64_t(probe.pattern_idx);
+    rec.branch = std::int64_t(probe.branch_idx);
+    rec.node = std::int64_t(node);
+    rec.peer = std::int64_t(host);
+    rec.note = reason;
+    trace_->record(std::move(rec));
+  };
+  auto trace_hold = [&](obs::TraceEvent event, double t, FnNode node,
+                        HoldId hold) {
+    if (trace_ == nullptr) return;
+    obs::TraceRecord rec;
+    rec.event = event;
+    rec.time_ms = t;
+    rec.node = std::int64_t(node);
+    rec.value = double(hold);
+    trace_->record(std::move(rec));
+  };
+
   if (probe.chosen.size() == branch.size()) {
     // Final leg: stream exits the last component toward the destination.
     ++stats.probe_messages;
@@ -217,6 +251,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
       const overlay::OverlayPath& path = ov.route(probe.at, request.dest);
       if (!path.valid) {
         ++stats.probes_dropped_resources;
+        trace_drop(probe, "no_route_to_dest");
         return;
       }
       leg_delay = path.delay_ms;
@@ -225,30 +260,38 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
           // Check-only mode (ablation A4): no reservation is made.
           if (alloc_->path_available_kbps(path) < request.bandwidth_kbps) {
             ++stats.probes_dropped_resources;
+            trace_drop(probe, "dest_leg_bandwidth");
             return;
           }
         } else {
-          const std::uint64_t skey = shared_path_key(
-              last, ServiceLinkHop::kEndpoint, probe.at, request.dest);
+          const SharedPathKey skey{last, ServiceLinkHop::kEndpoint, probe.at,
+                                   request.dest};
           auto existing = state.shared_path_holds.find(skey);
           if (existing != state.shared_path_holds.end()) {
+            ++stats.holds_reused;
+            trace_hold(obs::TraceEvent::kHoldReused, probe.arrival, last,
+                       existing->second);
             probe.holds.emplace_back(
-                edge_hold_key(last, ServiceLinkHop::kEndpoint),
+                HoldCoverKey::edge(last, ServiceLinkHop::kEndpoint),
                 existing->second);
           } else {
             auto hold = alloc_->soft_reserve_path(path, request.bandwidth_kbps,
                                                   state.hold_expiry);
             if (!hold.has_value()) {
               ++stats.probes_dropped_resources;
+              trace_drop(probe, "dest_leg_bandwidth");
               return;
             }
+            ++stats.holds_acquired;
+            trace_hold(obs::TraceEvent::kHoldAcquired, probe.arrival, last,
+                       *hold);
             state.all_holds.push_back(*hold);
             state.shared_path_holds.emplace(skey, *hold);
             for (auto link : path.links) {
               state.own_view.link_extra[link] += request.bandwidth_kbps;
             }
             probe.holds.emplace_back(
-                edge_hold_key(last, ServiceLinkHop::kEndpoint), *hold);
+                HoldCoverKey::edge(last, ServiceLinkHop::kEndpoint), *hold);
           }
         }
       }
@@ -257,15 +300,27 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     probe.qos_acc[Qos::kDelay] += leg_delay;
     if (probe.arrival > config_.probe_timeout_ms) {
       ++stats.probes_dropped_timeout;
+      trace_drop(probe, "timeout");
       return;
     }
     if (!probe.qos_acc.within(request.qos_req) ||
         probe.level < request.min_dest_level) {
       ++stats.probes_dropped_qos;
+      trace_drop(probe, "qos_violation");
       return;
     }
     probe.final_leg_done = true;
     ++stats.probes_arrived;
+    if (trace_ != nullptr) {
+      obs::TraceRecord rec;
+      rec.event = obs::TraceEvent::kHopTaken;
+      rec.time_ms = probe.arrival;
+      rec.pattern = std::int64_t(probe.pattern_idx);
+      rec.branch = std::int64_t(probe.branch_idx);
+      rec.peer = std::int64_t(request.dest);
+      rec.note = "arrived";
+      trace_->record(std::move(rec));
+    }
     state.arrived.push_back(std::move(probe));
     return;
   }
@@ -285,6 +340,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
   }
   if (candidates.empty() || probe.budget < 1) {
     ++stats.probes_dropped_resources;
+    trace_drop(probe, candidates.empty() ? "no_candidates" : "no_budget");
     return;
   }
 
@@ -363,6 +419,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
   const int child_budget =
       std::max(1, probe.budget / int(fanout >= z ? z : fanout));
 
+  const std::size_t children_before = out_children->size();
   for (std::size_t ci = 0; ci < fanout; ++ci) {
     const ComponentMetadata& cand = *candidates[ci];
     Probe child = probe;  // copy: chosen prefix, holds, timing
@@ -374,7 +431,8 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     if (probe.at != cand.host) {
       const overlay::OverlayPath& path = ov.route(probe.at, cand.host);
       if (!path.valid) {
-        ++stats.probes_dropped_resources;
+        ++stats.candidates_skipped_route;
+        trace_skip(next_node, cand.host, "no_route");
         continue;
       }
       leg_path = &path;
@@ -383,7 +441,8 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     child.arrival += disc.time_ms + config_.per_hop_processing_ms + leg_delay;
     child.disc_acc += disc.time_ms;
     if (child.arrival > config_.probe_timeout_ms) {
-      ++stats.probes_dropped_timeout;
+      ++stats.candidates_skipped_timeout;
+      trace_skip(next_node, cand.host, "would_arrive_late");
       continue;
     }
 
@@ -392,7 +451,8 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     child.qos_acc[Qos::kDelay] += leg_delay;
     child.qos_acc += cand.perf.resized(request.qos_req.size());
     if (!child.qos_acc.within(request.qos_req)) {
-      ++stats.probes_dropped_qos;
+      ++stats.candidates_skipped_qos;
+      trace_skip(next_node, cand.host, "qos_violation");
       continue;
     }
 
@@ -405,11 +465,13 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
       if (leg_path != nullptr && request.bandwidth_kbps > 0.0 &&
           !leg_path->links.empty() &&
           alloc_->path_available_kbps(*leg_path) < request.bandwidth_kbps) {
-        ++stats.probes_dropped_resources;
+        ++stats.candidates_skipped_resources;
+        trace_skip(next_node, cand.host, "link_bandwidth");
         continue;
       }
       if (!cand.required.fits_within(alloc_->peer_available(cand.host))) {
-        ++stats.probes_dropped_resources;
+        ++stats.candidates_skipped_resources;
+        trace_skip(next_node, cand.host, "peer_resources");
         continue;
       }
     } else {
@@ -418,28 +480,37 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
       bool bw_hold_fresh = false;
       if (leg_path != nullptr && request.bandwidth_kbps > 0.0 &&
           !leg_path->links.empty()) {
-        const std::uint64_t skey =
-            shared_path_key(prev_node, next_node, probe.at, cand.host);
+        const SharedPathKey skey{prev_node, next_node, probe.at, cand.host};
         if (auto it = state.shared_path_holds.find(skey);
             it != state.shared_path_holds.end()) {
           bw_hold = it->second;
+          ++stats.holds_reused;
+          trace_hold(obs::TraceEvent::kHoldReused, child.arrival, next_node,
+                     *bw_hold);
         } else {
           bw_hold = alloc_->soft_reserve_path(
               *leg_path, request.bandwidth_kbps, state.hold_expiry);
           if (!bw_hold.has_value()) {
-            ++stats.probes_dropped_resources;
+            ++stats.candidates_skipped_resources;
+            trace_skip(next_node, cand.host, "link_bandwidth");
             continue;
           }
           bw_hold_fresh = true;
+          ++stats.holds_acquired;
+          trace_hold(obs::TraceEvent::kHoldAcquired, child.arrival, next_node,
+                     *bw_hold);
           state.shared_path_holds.emplace(skey, *bw_hold);
         }
       }
       // Component resources on the candidate host (shared per request).
       std::optional<HoldId> res_hold;
-      const std::uint64_t pkey = shared_peer_key(next_node, cand.id);
+      const SharedPeerKey pkey{next_node, cand.id};
       if (auto it = state.shared_peer_holds.find(pkey);
           it != state.shared_peer_holds.end()) {
         res_hold = it->second;
+        ++stats.holds_reused;
+        trace_hold(obs::TraceEvent::kHoldReused, child.arrival, next_node,
+                   *res_hold);
       } else {
         res_hold = alloc_->soft_reserve_peer(cand.host, cand.required,
                                              state.hold_expiry);
@@ -447,11 +518,15 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
           if (bw_hold_fresh) {
             alloc_->release_hold(*bw_hold);
             state.shared_path_holds.erase(
-                shared_path_key(prev_node, next_node, probe.at, cand.host));
+                SharedPathKey{prev_node, next_node, probe.at, cand.host});
           }
-          ++stats.probes_dropped_resources;
+          ++stats.candidates_skipped_resources;
+          trace_skip(next_node, cand.host, "peer_resources");
           continue;
         }
+        ++stats.holds_acquired;
+        trace_hold(obs::TraceEvent::kHoldAcquired, child.arrival, next_node,
+                   *res_hold);
         state.shared_peer_holds.emplace(pkey, *res_hold);
         state.all_holds.push_back(*res_hold);
         state.own_view.peer_extra[cand.host] += cand.required;
@@ -463,17 +538,36 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
             state.own_view.link_extra[link] += request.bandwidth_kbps;
           }
         }
-        child.holds.emplace_back(edge_hold_key(prev_node, next_node),
+        child.holds.emplace_back(HoldCoverKey::edge(prev_node, next_node),
                                  *bw_hold);
       }
-      child.holds.emplace_back(node_hold_key(next_node), *res_hold);
+      child.holds.emplace_back(HoldCoverKey::node(next_node), *res_hold);
     }
 
     child.chosen.push_back(cand);
     child.at = cand.host;
     child.level = cand.output_level;
     ++stats.probes_spawned;
+    if (trace_ != nullptr) {
+      obs::TraceRecord rec;
+      rec.event = obs::TraceEvent::kHopTaken;
+      rec.time_ms = child.arrival;
+      rec.pattern = std::int64_t(child.pattern_idx);
+      rec.branch = std::int64_t(child.branch_idx);
+      rec.node = std::int64_t(next_node);
+      rec.peer = std::int64_t(cand.host);
+      trace_->record(std::move(rec));
+    }
     out_children->push_back(std::move(child));
+  }
+
+  // Terminal accounting for the parent: it either forwarded into >= 1
+  // children or died here because every candidate was skipped.
+  if (out_children->size() > children_before) {
+    ++stats.probes_forwarded;
+  } else {
+    ++stats.probes_dropped_resources;
+    trace_drop(probe, "all_candidates_skipped");
   }
 }
 
@@ -569,6 +663,16 @@ void BcpEngine::finalize(ComposeState& state) {
     join(0);
   }
   stats.candidates_merged = candidates.size();
+  if (trace_ != nullptr) {
+    for (const Candidate& cand : candidates) {
+      obs::TraceRecord rec;
+      rec.event = obs::TraceEvent::kCandidateMerged;
+      rec.time_ms = last_arrival;
+      rec.pattern = std::int64_t(cand.pattern_idx);
+      rec.value = double(cand.probes.size());
+      trace_->record(std::move(rec));
+    }
+  }
 
   // Evaluate, filter by QoS, rank by the selection objective.
   struct Scored {
@@ -588,9 +692,16 @@ void BcpEngine::finalize(ComposeState& state) {
     if (!evaluator_->qos_qualified(graph, request)) continue;
 
     // Union of constituent probes' holds, deduped by coverage key.
-    std::unordered_map<std::uint64_t, HoldId> by_key;
+    std::unordered_map<HoldCoverKey, HoldId, HoldCoverKeyHash> by_key;
     for (const Probe* probe : cand.probes) {
       for (const auto& [key, hold] : probe->holds) by_key.emplace(key, hold);
+    }
+    if (trace_ != nullptr) {
+      obs::TraceRecord rec;
+      rec.event = obs::TraceEvent::kGraphQualified;
+      rec.time_ms = last_arrival;
+      rec.value = graph.psi_cost;
+      trace_->record(std::move(rec));
     }
     Scored s;
     s.graph = std::move(graph);
@@ -614,6 +725,13 @@ void BcpEngine::finalize(ComposeState& state) {
 
   if (!qualified.empty()) {
     result.success = true;
+    if (trace_ != nullptr) {
+      obs::TraceRecord rec;
+      rec.event = obs::TraceEvent::kGraphSelected;
+      rec.time_ms = last_arrival;
+      rec.value = selection_key(qualified.front().graph);
+      trace_->record(std::move(rec));
+    }
     result.best = std::move(qualified.front().graph);
     result.best_holds = std::move(qualified.front().holds);
     for (std::size_t i = 1; i < qualified.size() &&
@@ -634,8 +752,50 @@ void BcpEngine::finalize(ComposeState& state) {
   std::unordered_set<HoldId> keep(result.best_holds.begin(),
                                   result.best_holds.end());
   for (HoldId hold : state.all_holds) {
-    if (keep.count(hold) == 0) alloc_->release_hold(hold);
+    if (keep.count(hold) == 0) {
+      alloc_->release_hold(hold);
+      if (trace_ != nullptr) {
+        obs::TraceRecord rec;
+        rec.event = obs::TraceEvent::kHoldReleased;
+        rec.time_ms = last_arrival;
+        rec.value = double(hold);
+        trace_->record(std::move(rec));
+      }
+    }
   }
+
+  flush_metrics(stats, result.success);
+}
+
+void BcpEngine::flush_metrics(const ComposeStats& stats, bool success) {
+  if (metrics_ == nullptr) return;
+  obs::MetricsRegistry& m = *metrics_;
+  m.counter("bcp.requests").inc();
+  m.counter(success ? "bcp.compose_success" : "bcp.compose_failure").inc();
+  m.counter("bcp.probes_spawned").inc(stats.probes_spawned);
+  m.counter("bcp.probes_arrived").inc(stats.probes_arrived);
+  m.counter("bcp.probes_forwarded").inc(stats.probes_forwarded);
+  m.counter("bcp.probes_dropped_qos").inc(stats.probes_dropped_qos);
+  m.counter("bcp.probes_dropped_resources")
+      .inc(stats.probes_dropped_resources);
+  m.counter("bcp.probes_dropped_timeout").inc(stats.probes_dropped_timeout);
+  m.counter("bcp.candidates_skipped_route").inc(stats.candidates_skipped_route);
+  m.counter("bcp.candidates_skipped_timeout")
+      .inc(stats.candidates_skipped_timeout);
+  m.counter("bcp.candidates_skipped_qos").inc(stats.candidates_skipped_qos);
+  m.counter("bcp.candidates_skipped_resources")
+      .inc(stats.candidates_skipped_resources);
+  m.counter("bcp.holds_acquired").inc(stats.holds_acquired);
+  m.counter("bcp.holds_reused").inc(stats.holds_reused);
+  m.counter("bcp.probe_messages").inc(stats.probe_messages);
+  m.counter("bcp.discovery_messages").inc(stats.discovery_messages);
+  m.counter("bcp.candidates_merged").inc(stats.candidates_merged);
+  m.counter("bcp.qualified_graphs").inc(stats.qualified_found);
+  static const std::vector<double> kSetupBoundsMs = {
+      1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000};
+  m.histogram("bcp.setup_time_ms", kSetupBoundsMs).observe(stats.setup_time_ms);
+  m.histogram("bcp.probing_time_ms", kSetupBoundsMs)
+      .observe(stats.probing_time_ms);
 }
 
 ComposeResult BcpEngine::compose(const service::CompositeRequest& request,
@@ -684,9 +844,15 @@ void BcpEngine::compose_async(const service::CompositeRequest& request,
 
   const double t0 = sim_->now();
 
+  // Each probe hop is one event at the probe's arrival time. The
+  // recursion goes through a shared function object so that event lambdas
+  // hold a stable copy (a local std::function would die when
+  // compose_async returns).
+  auto scheduler = std::make_shared<std::function<void(Probe)>>();
+
   // Completion: merge/select at the destination, then deliver the result
   // when the ack (or the failure notice) reaches the source.
-  auto complete = [this, run, t0] {
+  auto complete = [this, run, t0, scheduler] {
     if (run->finished) return;
     run->finished = true;
     if (run->timeout_event != sim::kInvalidEvent) {
@@ -698,13 +864,14 @@ void BcpEngine::compose_async(const service::CompositeRequest& request,
     sim_->schedule_after(delay, [run] {
       run->done(std::move(run->state.result));
     });
+    // The scheduler's lambda captures `scheduler` (and, via `complete`,
+    // this whole chain) — an ownership cycle that would leak the run's
+    // state. Clearing the function breaks it; in-flight events hold
+    // their own shared_ptr copies and drain harmlessly via the
+    // `finished` check.
+    *scheduler = nullptr;
   };
 
-  // Each probe hop is one event at the probe's arrival time. The
-  // recursion goes through a shared function object so that event lambdas
-  // hold a stable copy (a local std::function would die when
-  // compose_async returns).
-  auto scheduler = std::make_shared<std::function<void(Probe)>>();
   *scheduler = [this, run, t0, complete, scheduler](Probe probe) {
     ++run->outstanding;
     const double at = t0 + probe.arrival;

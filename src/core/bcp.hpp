@@ -34,6 +34,11 @@
 #include "core/evaluator.hpp"
 #include "util/rng.hpp"
 
+namespace spider::obs {
+class MetricsRegistry;
+class ProbeTrace;
+}  // namespace spider::obs
+
 namespace spider::core {
 
 enum class QuotaPolicy {
@@ -49,8 +54,11 @@ struct BcpConfig {
   /// β: total number of probes available to a request.
   int probing_budget = 64;
   QuotaPolicy quota_policy = QuotaPolicy::kReplicaProportional;
-  /// Base quota (α for uniform policy; per-replica fraction anchor for the
-  /// proportional policy).
+  /// Base quota. Uniform policy: α_k = quota_base for every function.
+  /// Proportional policy: the per-replica fraction anchor — α_k =
+  /// ⌈replicas · quota_base / 8⌉, i.e. quota_base/8 is the fraction of a
+  /// function's replica pool probed (8 probes every replica; the default
+  /// 4 probes half). Both are clamped to [1, max_quota].
   int quota_base = 4;
   /// Hard per-function cap on α_k.
   int max_quota = 16;
@@ -99,11 +107,26 @@ struct BcpConfig {
 };
 
 struct ComposeStats {
+  // Every spawned probe reaches exactly one terminal outcome:
+  //   spawned == arrived + dropped_qos + dropped_resources
+  //            + dropped_timeout + forwarded
+  // where "forwarded" means the probe continued as >= 1 child probes.
   std::uint64_t probes_spawned = 0;
+  std::uint64_t probes_arrived = 0;
+  std::uint64_t probes_forwarded = 0;   ///< continued as child probes
   std::uint64_t probes_dropped_qos = 0;
   std::uint64_t probes_dropped_resources = 0;
   std::uint64_t probes_dropped_timeout = 0;
-  std::uint64_t probes_arrived = 0;
+  // Next-hop candidates rejected before a child probe existed (invalid
+  // route, would-arrive-late, QoS violation, failed reservation). These
+  // were never probes, so they are accounted separately from drops.
+  std::uint64_t candidates_skipped_route = 0;
+  std::uint64_t candidates_skipped_timeout = 0;
+  std::uint64_t candidates_skipped_qos = 0;
+  std::uint64_t candidates_skipped_resources = 0;
+  // Soft-hold dedup effectiveness: fresh reservations vs sibling reuse.
+  std::uint64_t holds_acquired = 0;
+  std::uint64_t holds_reused = 0;
   std::uint64_t probe_messages = 0;      ///< probe + ack transmissions
   std::uint64_t discovery_messages = 0;  ///< DHT lookup hops
   double discovery_time_ms = 0.0;        ///< critical-path discovery share
@@ -111,6 +134,15 @@ struct ComposeStats {
   double setup_time_ms = 0.0;            ///< probing + ack/confirm leg
   std::size_t candidates_merged = 0;
   std::size_t qualified_found = 0;
+
+  std::uint64_t probes_dropped_total() const {
+    return probes_dropped_qos + probes_dropped_resources +
+           probes_dropped_timeout;
+  }
+  std::uint64_t candidates_skipped_total() const {
+    return candidates_skipped_route + candidates_skipped_timeout +
+           candidates_skipped_qos + candidates_skipped_resources;
+  }
 };
 
 struct ComposeResult {
@@ -154,6 +186,23 @@ class BcpEngine {
   const BcpConfig& config() const { return config_; }
   void set_config(const BcpConfig& config) { config_ = config; }
 
+  /// α_k for a function with `replica_count` live replicas under the
+  /// current quota policy (exposed for tests and capacity planning).
+  int quota_for(std::size_t replica_count) const;
+
+  /// Attaches observability sinks (either may be null; both default off).
+  /// `metrics` receives cumulative "bcp.*" counters/histograms flushed
+  /// once per compose; `trace` receives the per-request structured event
+  /// log (seeds, hops, drops, holds, merge/selection). The engine never
+  /// clears the trace — callers scope it per request or per campaign.
+  void set_observability(obs::MetricsRegistry* metrics,
+                         obs::ProbeTrace* trace) {
+    metrics_ = metrics;
+    trace_ = trace;
+  }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  obs::ProbeTrace* trace() const { return trace_; }
+
  private:
   struct Probe;
   struct DiscoveryEntry;
@@ -175,13 +224,16 @@ class BcpEngine {
 
   const DiscoveryEntry& discover(ComposeState& state, PeerId peer,
                                  service::FunctionId fn);
-  int quota_for(std::size_t replica_count) const;
+  /// Accumulates one request's ComposeStats into the metrics registry.
+  void flush_metrics(const ComposeStats& stats, bool success);
 
   Deployment* deployment_;
   AllocationManager* alloc_;
   GraphEvaluator* evaluator_;
   sim::Simulator* sim_;
   BcpConfig config_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::ProbeTrace* trace_ = nullptr;
 };
 
 }  // namespace spider::core

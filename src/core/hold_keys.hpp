@@ -1,0 +1,91 @@
+// Composite keys for the BCP soft-hold dedup maps.
+//
+// During probing, sibling probes of one request routinely need the same
+// reservation — the same component on the same host, or the same overlay
+// path between the same pair of service-graph nodes. The engine dedupes
+// those through per-request maps so one request never double-reserves.
+//
+// The seed implementation packed each tuple into a single uint64 with
+// overlapping shifts (e.g. `(from << 48) ^ (to << 32) ^ (a << 16) ^ b`),
+// which aliases distinct tuples: two different (node, peer, peer) triples
+// could produce one key, silently REUSING a hold made for a different
+// path/component and under-reserving bandwidth or peer resources. These
+// struct keys carry every field at full width with field-wise equality,
+// so a collision in the map requires an actual hash-table collision,
+// which the map resolves correctly.
+#pragma once
+
+#include <cstddef>
+
+#include "overlay/overlay.hpp"
+#include "service/component.hpp"
+#include "service/service_graph.hpp"
+#include "util/hash.hpp"
+
+namespace spider::core {
+
+/// A request-shared bandwidth reservation: the overlay path carrying the
+/// service link (from -> to) between two concrete peers.
+struct SharedPathKey {
+  service::FnNode from = 0;
+  service::FnNode to = 0;
+  overlay::PeerId src = 0;
+  overlay::PeerId dst = 0;
+
+  bool operator==(const SharedPathKey& o) const {
+    return from == o.from && to == o.to && src == o.src && dst == o.dst;
+  }
+};
+
+/// A request-shared component reservation: one replica bound to a
+/// function-graph node.
+struct SharedPeerKey {
+  service::FnNode node = 0;
+  service::ComponentId component = service::kInvalidComponent;
+
+  bool operator==(const SharedPeerKey& o) const {
+    return node == o.node && component == o.component;
+  }
+};
+
+/// What a hold carried by a probe covers, used at the destination to
+/// union the constituent probes' holds without double-counting: either a
+/// node's component resources or a service edge's bandwidth.
+struct HoldCoverKey {
+  enum class Kind : unsigned char { kNode, kEdge };
+
+  Kind kind = Kind::kNode;
+  service::FnNode from = 0;  ///< edge source (kEdge only)
+  service::FnNode to = 0;    ///< node for kNode; edge target for kEdge
+
+  static HoldCoverKey node(service::FnNode n) {
+    return HoldCoverKey{Kind::kNode, 0, n};
+  }
+  static HoldCoverKey edge(service::FnNode from, service::FnNode to) {
+    return HoldCoverKey{Kind::kEdge, from, to};
+  }
+
+  bool operator==(const HoldCoverKey& o) const {
+    return kind == o.kind && from == o.from && to == o.to;
+  }
+};
+
+struct SharedPathKeyHash {
+  std::size_t operator()(const SharedPathKey& k) const {
+    return util::hash_values(k.from, k.to, k.src, k.dst);
+  }
+};
+
+struct SharedPeerKeyHash {
+  std::size_t operator()(const SharedPeerKey& k) const {
+    return util::hash_values(k.node, k.component);
+  }
+};
+
+struct HoldCoverKeyHash {
+  std::size_t operator()(const HoldCoverKey& k) const {
+    return util::hash_values(static_cast<unsigned char>(k.kind), k.from, k.to);
+  }
+};
+
+}  // namespace spider::core

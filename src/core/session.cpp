@@ -3,11 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/require.hpp"
 
 namespace spider::core {
 
 using service::ServiceGraph;
+
+void SessionManager::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    m_established_ = m_teardowns_ = m_breaks_ = m_backup_switches_ =
+        m_reactive_recoveries_ = m_losses_ = m_maintenance_messages_ = nullptr;
+    m_active_sessions_ = nullptr;
+    return;
+  }
+  m_established_ = &metrics->counter("session.established");
+  m_teardowns_ = &metrics->counter("session.teardowns");
+  m_breaks_ = &metrics->counter("session.breaks");
+  m_backup_switches_ = &metrics->counter("session.backup_switches");
+  m_reactive_recoveries_ = &metrics->counter("session.reactive_recoveries");
+  m_losses_ = &metrics->counter("session.losses");
+  m_maintenance_messages_ = &metrics->counter("session.maintenance_messages");
+  m_active_sessions_ = &metrics->gauge("session.active");
+  update_active_gauge();
+}
+
+void SessionManager::count_established() {
+  if (m_established_ != nullptr) m_established_->inc();
+  update_active_gauge();
+}
+
+void SessionManager::update_active_gauge() {
+  if (m_active_sessions_ != nullptr) {
+    m_active_sessions_->set(double(sessions_.size()));
+  }
+}
 
 int SessionManager::backup_count(const ServiceGraph& graph,
                                  const service::CompositeRequest& request,
@@ -177,6 +208,7 @@ SessionId SessionManager::establish(const service::CompositeRequest& request,
   }
 
   sessions_.emplace(id, std::move(session));
+  count_established();
   return id;
 }
 
@@ -226,12 +258,16 @@ SessionId SessionManager::establish_direct(
     ++stats_.backup_count_samples;
   }
   sessions_.emplace(id, std::move(session));
+  count_established();
   return id;
 }
 
 void SessionManager::teardown(SessionId id) {
   alloc_->release_session(id);
-  sessions_.erase(id);
+  if (sessions_.erase(id) > 0 && m_teardowns_ != nullptr) {
+    m_teardowns_->inc();
+  }
+  update_active_gauge();
 }
 
 bool SessionManager::admit(Session& session, ServiceGraph graph) {
@@ -263,6 +299,7 @@ bool SessionManager::admit(Session& session, ServiceGraph graph) {
 
 RecoveryOutcome SessionManager::recover(Session& session, Rng& rng) {
   ++stats_.breaks;
+  if (m_breaks_ != nullptr) m_breaks_->inc();
   if (config_.proactive) {
     // Fast path: first surviving, admissible backup.
     while (!session.backups.empty()) {
@@ -281,6 +318,7 @@ RecoveryOutcome SessionManager::recover(Session& session, Rng& rng) {
           double(candidate.overlap(session.active));
       if (admit(session, std::move(candidate))) {
         ++stats_.backup_switches;
+        if (m_backup_switches_ != nullptr) m_backup_switches_->inc();
         stats_.switch_disruption_sum += disruption;
         refill_backups(session);
         return RecoveryOutcome::kSwitchedToBackup;
@@ -307,11 +345,13 @@ RecoveryOutcome SessionManager::recover(Session& session, Rng& rng) {
         refill_backups(session);
       }
       ++stats_.reactive_recoveries;
+      if (m_reactive_recoveries_ != nullptr) m_reactive_recoveries_->inc();
       return RecoveryOutcome::kReactiveRecovered;
     }
     for (HoldId hold : re.best_holds) alloc_->release_hold(hold);
   }
   ++stats_.losses;
+  if (m_losses_ != nullptr) m_losses_->inc();
   return RecoveryOutcome::kLost;
 }
 
@@ -362,6 +402,9 @@ std::vector<RecoveryOutcome> SessionManager::monitor_active_sessions(
     Session& session = sessions_.at(id);
     // Liveness probes along the active graph (maintenance traffic).
     stats_.maintenance_messages += session.active.hops.size();
+    if (m_maintenance_messages_ != nullptr) {
+      m_maintenance_messages_->inc(session.active.hops.size());
+    }
     bool broken = !deployment_->peer_alive(session.active.source) ||
                   !deployment_->peer_alive(session.active.dest);
     for (const auto& meta : session.active.mapping) {
@@ -404,6 +447,9 @@ void SessionManager::run_maintenance() {
       // Low-rate liveness probe along the backup graph: one message per
       // service link hop (the paper's maintenance overhead).
       stats_.maintenance_messages += backup.hops.size();
+      if (m_maintenance_messages_ != nullptr) {
+        m_maintenance_messages_->inc(backup.hops.size());
+      }
       bool alive = deployment_->peer_alive(backup.source) &&
                    deployment_->peer_alive(backup.dest);
       for (const auto& meta : backup.mapping) {

@@ -25,6 +25,12 @@
 #include "core/deployment.hpp"
 #include "core/evaluator.hpp"
 
+namespace spider::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace spider::obs
+
 namespace spider::core {
 
 /// How backups are chosen from the qualified pool (ablation A3 compares
@@ -135,6 +141,12 @@ class SessionManager {
 
   std::size_t active_sessions() const { return sessions_.size(); }
   const SessionStats& stats() const { return stats_; }
+
+  /// Attaches a metrics registry (null detaches). Publishes cumulative
+  /// "session.*" counters (establishments, breaks, recovery outcomes,
+  /// maintenance traffic) and an active-session gauge.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   const service::ServiceGraph* active_graph(SessionId session) const;
   std::size_t backup_count_of(SessionId session) const;
 
@@ -151,6 +163,8 @@ class SessionManager {
   bool admit(Session& session, service::ServiceGraph graph);
   void refill_backups(Session& session);
   RecoveryOutcome recover(Session& session, Rng& rng);
+  void count_established();
+  void update_active_gauge();
 
   Deployment* deployment_;
   AllocationManager* alloc_;
@@ -161,6 +175,17 @@ class SessionManager {
   std::unordered_map<SessionId, Session> sessions_;
   SessionStats stats_;
   Rng policy_rng_{0x5b5b};  ///< consulted only by BackupPolicy::kRandom
+
+  // Observability (all null when no registry is attached).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_established_ = nullptr;
+  obs::Counter* m_teardowns_ = nullptr;
+  obs::Counter* m_breaks_ = nullptr;
+  obs::Counter* m_backup_switches_ = nullptr;
+  obs::Counter* m_reactive_recoveries_ = nullptr;
+  obs::Counter* m_losses_ = nullptr;
+  obs::Counter* m_maintenance_messages_ = nullptr;
+  obs::Gauge* m_active_sessions_ = nullptr;
 };
 
 }  // namespace spider::core

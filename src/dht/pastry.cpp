@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/require.hpp"
 
 namespace spider::dht {
+
+void PastryNetwork::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    m_routes_ = m_route_hops_ = nullptr;
+    return;
+  }
+  m_routes_ = &metrics->counter("dht.routes");
+  m_route_hops_ = &metrics->counter("dht.route_hops");
+}
 
 PastryNetwork::PastryNetwork(int leaf_set_size, int replication)
     : leaf_half_(leaf_set_size / 2), replication_(replication) {
@@ -245,16 +256,17 @@ RouteResult PastryNetwork::route(PeerId from, NodeId key) {
   Node* cur = &node(from);
   for (int guard = 0; guard < 2 * kDigitsPerId + int(leaf_half_) * 4; ++guard) {
     std::optional<NodeId> nxt = next_hop(*cur, key);
-    if (!nxt.has_value()) {
-      result.ok = true;
-      return result;
-    }
+    if (!nxt.has_value()) break;
     cur = &node_by_id(*nxt);
     result.path.push_back(cur->peer);
     ++messages_;
   }
-  // Routing loop guard tripped; deliver best effort at current node.
+  // If the loop guard tripped, deliver best effort at the current node.
   result.ok = true;
+  if (m_routes_ != nullptr) {
+    m_routes_->inc();
+    m_route_hops_->inc(result.hops());
+  }
   return result;
 }
 

@@ -29,6 +29,11 @@
 #include "dht/routing_state.hpp"
 #include "overlay/overlay.hpp"
 
+namespace spider::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace spider::obs
+
 namespace spider::dht {
 
 using overlay::PeerId;
@@ -126,6 +131,10 @@ class PastryNetwork {
   std::uint64_t messages_sent() const { return messages_; }
   void reset_message_counter() { messages_ = 0; }
 
+  /// Attaches a metrics registry (null detaches). Publishes cumulative
+  /// "dht.*" counters: routed operations and the hops they took.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   const LeafSet& leaf_set(PeerId peer) const;
   const RoutingTable& routing_table(PeerId peer) const;
 
@@ -175,6 +184,11 @@ class PastryNetwork {
   std::map<NodeId, PeerId> ring_;  // all (incl. dead) for oracle + id map
   std::size_t live_count_ = 0;
   std::uint64_t messages_ = 0;
+
+  // Observability (all null when no registry is attached).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_routes_ = nullptr;
+  obs::Counter* m_route_hops_ = nullptr;
 };
 
 }  // namespace spider::dht

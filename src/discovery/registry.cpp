@@ -3,11 +3,26 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "util/require.hpp"
 
 namespace spider::discovery {
 
 using service::ComponentMetadata;
+
+void ServiceRegistry::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    m_lookups_ = m_lookup_hops_ = m_lookup_failures_ = m_cache_hits_ =
+        m_cache_misses_ = nullptr;
+    return;
+  }
+  m_lookups_ = &metrics->counter("discovery.lookups");
+  m_lookup_hops_ = &metrics->counter("discovery.lookup_hops");
+  m_lookup_failures_ = &metrics->counter("discovery.lookup_failures");
+  m_cache_hits_ = &metrics->counter("discovery.cache_hits");
+  m_cache_misses_ = &metrics->counter("discovery.cache_misses");
+}
 
 std::string serialize(const ComponentMetadata& meta) {
   char buf[256];
@@ -62,16 +77,19 @@ void ServiceRegistry::unregister_component(const ComponentMetadata& meta) {
 
 DiscoveryResult ServiceRegistry::discover(dht::PeerId from,
                                           service::FunctionId function) {
+  if (m_lookups_ != nullptr) m_lookups_->inc();
   const std::uint64_t cache_key = (std::uint64_t(from) << 32) | function;
   if (sim_ != nullptr && cache_ttl_ > 0.0) {
     if (auto it = cache_.find(cache_key);
         it != cache_.end() && it->second.expires_at > sim_->now()) {
       ++cache_hits_;
+      if (m_cache_hits_ != nullptr) m_cache_hits_->inc();
       DiscoveryResult cached = it->second.result;
       cached.path.assign(1, from);  // no DHT hops: answered locally
       return cached;
     }
     ++cache_misses_;
+    if (m_cache_misses_ != nullptr) m_cache_misses_->inc();
   }
 
   DiscoveryResult result;
@@ -84,6 +102,10 @@ DiscoveryResult ServiceRegistry::discover(dht::PeerId from,
     }
   }
   if (result.components.empty()) result.found = false;
+  if (m_lookup_hops_ != nullptr) m_lookup_hops_->inc(result.hops());
+  if (!result.found && m_lookup_failures_ != nullptr) {
+    m_lookup_failures_->inc();
+  }
 
   if (sim_ != nullptr && cache_ttl_ > 0.0) {
     cache_[cache_key] = CacheEntry{result, sim_->now() + cache_ttl_};

@@ -21,6 +21,11 @@
 #include "sim/simulator.hpp"
 #include "service/component.hpp"
 
+namespace spider::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace spider::obs
+
 namespace spider::discovery {
 
 /// Binary-free, debuggable wire format for component meta-data.
@@ -55,6 +60,10 @@ class ServiceRegistry {
   /// Drops all cached entries (e.g. after bulk re-registration).
   void invalidate_cache() { cache_.clear(); }
 
+  /// Attaches a metrics registry (null detaches). Publishes cumulative
+  /// "discovery.*" counters: lookups, per-lookup DHT hops, cache outcomes.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Key under which a function's replicas are registered.
   dht::NodeId key_for(service::FunctionId function) const;
 
@@ -84,6 +93,14 @@ class ServiceRegistry {
   std::unordered_map<std::uint64_t, CacheEntry> cache_;  // (peer, fn) key
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+
+  // Observability (all null when no registry is attached).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_lookups_ = nullptr;
+  obs::Counter* m_lookup_hops_ = nullptr;
+  obs::Counter* m_lookup_failures_ = nullptr;
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
 };
 
 }  // namespace spider::discovery

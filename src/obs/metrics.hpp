@@ -1,0 +1,106 @@
+// Lightweight metrics registry: named counters, gauges and fixed-bucket
+// histograms, with JSON snapshot export.
+//
+// Design constraints (ROADMAP observability item):
+//  * no dependencies beyond util;
+//  * zero cost when disabled — instrumented components hold a nullable
+//    `MetricsRegistry*` plus instrument pointers resolved once at wiring
+//    time, so a disabled hot path pays exactly one null check;
+//  * instrument references are stable for the registry's lifetime
+//    (node-based storage), so callers may cache them.
+//
+// Naming convention: dotted lowercase paths grouped by subsystem, e.g.
+// "bcp.probes_spawned", "alloc.holds_outstanding", "discovery.lookup_hops".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spider::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level (outstanding holds, active sessions, ...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  void sub(double delta) { value_ -= delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Histogram over fixed, caller-supplied upper bounds (ascending). A
+/// sample lands in the first bucket whose bound is >= the sample; values
+/// above the last bound land in the implicit overflow bucket, so
+/// `counts()` has `bounds().size() + 1` entries.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / double(count_); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_{0};  // overflow-only when unbounded
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named instrument. References stay valid for the
+  /// registry's lifetime. A histogram's bounds are fixed by its first
+  /// registration; later lookups ignore the argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Full snapshot as a JSON object:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"bounds": [...], "counts": [...],
+  ///                          "count": n, "sum": s}, ...}}
+  std::string to_json() const;
+
+  /// Writes to_json() to `path` (newline-terminated). Returns false on
+  /// I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  // std::map: stable references, deterministic (sorted) export order.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace spider::obs

@@ -1,0 +1,140 @@
+#include "obs/trace.hpp"
+
+#include "util/json.hpp"
+
+namespace spider::obs {
+
+namespace {
+
+struct EventName {
+  TraceEvent event;
+  const char* name;
+};
+
+constexpr EventName kEventNames[] = {
+    {TraceEvent::kSeedSpawned, "seed_spawned"},
+    {TraceEvent::kHopTaken, "hop_taken"},
+    {TraceEvent::kProbeDropped, "probe_dropped"},
+    {TraceEvent::kCandidateSkipped, "candidate_skipped"},
+    {TraceEvent::kHoldAcquired, "hold_acquired"},
+    {TraceEvent::kHoldReused, "hold_reused"},
+    {TraceEvent::kHoldReleased, "hold_released"},
+    {TraceEvent::kCandidateMerged, "candidate_merged"},
+    {TraceEvent::kGraphQualified, "graph_qualified"},
+    {TraceEvent::kGraphSelected, "graph_selected"},
+};
+
+}  // namespace
+
+const char* trace_event_name(TraceEvent event) {
+  for (const EventName& e : kEventNames) {
+    if (e.event == event) return e.name;
+  }
+  return "?";
+}
+
+std::optional<TraceEvent> trace_event_from_name(const std::string& name) {
+  for (const EventName& e : kEventNames) {
+    if (name == e.name) return e.event;
+  }
+  return std::nullopt;
+}
+
+bool TraceRecord::operator==(const TraceRecord& other) const {
+  return event == other.event && time_ms == other.time_ms &&
+         pattern == other.pattern && branch == other.branch &&
+         node == other.node && peer == other.peer && value == other.value &&
+         note == other.note;
+}
+
+void ProbeTrace::record(TraceRecord record) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(record));
+}
+
+void ProbeTrace::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::size_t ProbeTrace::count(TraceEvent event) const {
+  std::size_t n = 0;
+  for (const TraceRecord& r : events_) n += r.event == event ? 1 : 0;
+  return n;
+}
+
+std::string ProbeTrace::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("events");
+  w.begin_array();
+  for (const TraceRecord& r : events_) {
+    w.begin_object();
+    w.key("event");
+    w.value(trace_event_name(r.event));
+    w.key("t");
+    w.value(r.time_ms);
+    if (r.pattern >= 0) {
+      w.key("pattern");
+      w.value(r.pattern);
+    }
+    if (r.branch >= 0) {
+      w.key("branch");
+      w.value(r.branch);
+    }
+    if (r.node >= 0) {
+      w.key("node");
+      w.value(r.node);
+    }
+    if (r.peer >= 0) {
+      w.key("peer");
+      w.value(r.peer);
+    }
+    if (r.value != 0.0) {
+      w.key("value");
+      w.value(r.value);
+    }
+    if (!r.note.empty()) {
+      w.key("note");
+      w.value(r.note);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("dropped");
+  w.value(dropped_);
+  w.end_object();
+  return w.take();
+}
+
+std::optional<ProbeTrace> ProbeTrace::from_json(const std::string& text) {
+  const std::optional<util::JsonValue> root = util::json_parse(text);
+  if (!root.has_value() || !root->is_object()) return std::nullopt;
+  const util::JsonValue* events = root->find("events");
+  if (events == nullptr || !events->is_array()) return std::nullopt;
+
+  ProbeTrace trace(events->array.size());
+  for (const util::JsonValue& e : events->array) {
+    if (!e.is_object()) return std::nullopt;
+    const std::optional<TraceEvent> event =
+        trace_event_from_name(e.string_or("event", ""));
+    if (!event.has_value()) return std::nullopt;
+    TraceRecord r;
+    r.event = *event;
+    r.time_ms = e.number_or("t", 0.0);
+    r.pattern = std::int64_t(e.number_or("pattern", -1.0));
+    r.branch = std::int64_t(e.number_or("branch", -1.0));
+    r.node = std::int64_t(e.number_or("node", -1.0));
+    r.peer = std::int64_t(e.number_or("peer", -1.0));
+    r.value = e.number_or("value", 0.0);
+    r.note = e.string_or("note", "");
+    trace.record(std::move(r));
+  }
+  trace.dropped_ = std::uint64_t(root->number_or("dropped", 0.0));
+  return trace;
+}
+
+}  // namespace spider::obs

@@ -1,0 +1,78 @@
+// Per-request probe trace: a structured event log of one composition's
+// life — seeds spawned, hops taken, drops with reasons, soft-hold
+// acquire/reuse/release, destination-side merge and selection. Attached
+// to a BcpEngine via set_observability(); exportable to JSON and parsable
+// back (offline analysis, tests).
+//
+// The trace is bounded (`max_events`) so a runaway request cannot exhaust
+// memory; `dropped_events()` reports how many records the cap swallowed —
+// a truncated trace is explicit, never silent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spider::obs {
+
+enum class TraceEvent : std::uint8_t {
+  kSeedSpawned,      ///< a (pattern, branch) seed probe created at source
+  kHopTaken,         ///< a probe advanced to a next-hop component
+  kProbeDropped,     ///< a probe terminated; note carries the reason
+  kCandidateSkipped, ///< a next-hop candidate rejected before spawning
+  kHoldAcquired,     ///< fresh soft reservation made
+  kHoldReused,       ///< an existing hold covered a sibling probe's need
+  kHoldReleased,     ///< hold cancelled at finalize (non-best graphs)
+  kCandidateMerged,  ///< destination joined branch probes into a graph
+  kGraphQualified,   ///< a merged graph passed QoS qualification
+  kGraphSelected,    ///< the best graph chosen
+};
+
+/// Stable wire names ("seed_spawned", "hop_taken", ...).
+const char* trace_event_name(TraceEvent event);
+std::optional<TraceEvent> trace_event_from_name(const std::string& name);
+
+/// One trace record. Field meaning varies by event (see the emit sites in
+/// core/bcp.cpp); unused int fields stay -1, unused doubles 0.
+struct TraceRecord {
+  TraceEvent event = TraceEvent::kSeedSpawned;
+  double time_ms = 0.0;        ///< virtual ms since the request started
+  std::int64_t pattern = -1;   ///< composition pattern index
+  std::int64_t branch = -1;    ///< branch index within the pattern
+  std::int64_t node = -1;      ///< function-graph node
+  std::int64_t peer = -1;      ///< overlay peer involved
+  double value = 0.0;          ///< event-specific magnitude (kbps, ψ, ...)
+  std::string note;            ///< drop/skip reason or free-form detail
+
+  bool operator==(const TraceRecord& other) const;
+};
+
+class ProbeTrace {
+ public:
+  explicit ProbeTrace(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  void record(TraceRecord record);
+  void clear();
+
+  const std::vector<TraceRecord>& events() const { return events_; }
+  std::uint64_t dropped_events() const { return dropped_; }
+
+  /// Counts records of one kind (test/report convenience).
+  std::size_t count(TraceEvent event) const;
+
+  /// {"events": [{"event": "...", "t": ..., ...}, ...], "dropped": n}
+  /// Fields at defaults are omitted for compactness.
+  std::string to_json() const;
+
+  /// Inverse of to_json(); nullopt on malformed input or unknown events.
+  static std::optional<ProbeTrace> from_json(const std::string& text);
+
+ private:
+  std::size_t max_events_;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceRecord> events_;
+};
+
+}  // namespace spider::obs

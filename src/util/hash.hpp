@@ -1,0 +1,39 @@
+// Hash combining for composite keys.
+//
+// The soft-hold dedup maps in core key on multi-field tuples (function
+// nodes, peers, component ids). Bit-packing those fields into one word is
+// collision-prone (overlapping shifts silently alias distinct tuples —
+// the bug family fixed in PR 1); instead, composite keys are structs with
+// field-wise equality and a mixed hash built from these helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace spider::util {
+
+/// splitmix64 finalizer — a strong 64-bit mixer.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Folds `value` into `seed` (boost-style, with the stronger mixer).
+inline std::size_t hash_combine(std::size_t seed, std::uint64_t value) {
+  return std::size_t(mix64(std::uint64_t(seed) ^ mix64(value)));
+}
+
+/// Hash of an arbitrary-arity tuple of integer-convertible fields. Every
+/// field contributes its full width — distinct tuples cannot cancel each
+/// other the way XOR-packed fields can.
+template <typename... Ts>
+std::size_t hash_values(const Ts&... fields) {
+  std::size_t seed = 0x51de7a11u;
+  ((seed = hash_combine(seed, std::uint64_t(fields))), ...);
+  return seed;
+}
+
+}  // namespace spider::util

@@ -1,0 +1,313 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spider::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a "key": pair; no comma, no first-flag touch
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::key(const std::string& name) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return;
+  }
+  // Round-trippable and compact: integers print without a fraction.
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma();
+  out_ += "null";
+}
+
+const JsonValue* JsonValue::find(const std::string& name) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(name);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(const std::string& name, double fallback) const {
+  const JsonValue* v = find(name);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& name,
+                                 const std::string& fallback) const {
+  const JsonValue* v = find(name);
+  return (v != nullptr && v->is_string()) ? v->string : fallback;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* lit) {
+    const char* q = p;
+    while (*lit != '\0') {
+      if (q >= end || *q != *lit) return false;
+      ++q;
+      ++lit;
+    }
+    p = q;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+        switch (*p) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (end - p < 5) return false;
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= unsigned(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= unsigned(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= unsigned(c - 'A' + 10);
+              else return false;
+            }
+            p += 4;
+            // UTF-8 encode (BMP only; surrogate pairs are not produced by
+            // our writer and are rejected here).
+            if (code >= 0xD800 && code <= 0xDFFF) return false;
+            if (code < 0x80) {
+              *out += char(code);
+            } else if (code < 0x800) {
+              *out += char(0xC0 | (code >> 6));
+              *out += char(0x80 | (code & 0x3F));
+            } else {
+              *out += char(0xE0 | (code >> 12));
+              *out += char(0x80 | ((code >> 6) & 0x3F));
+              *out += char(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return false;
+        }
+        ++p;
+      } else {
+        *out += *p;
+        ++p;
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    skip_ws();
+    if (p >= end) return false;
+    switch (*p) {
+      case '{': {
+        ++p;
+        out->kind = JsonValue::Kind::kObject;
+        skip_ws();
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string name;
+          if (!parse_string(&name)) return false;
+          skip_ws();
+          if (p >= end || *p != ':') return false;
+          ++p;
+          JsonValue member;
+          if (!parse_value(&member)) return false;
+          out->object.emplace(std::move(name), std::move(member));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        ++p;
+        out->kind = JsonValue::Kind::kArray;
+        skip_ws();
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          JsonValue item;
+          if (!parse_value(&item)) return false;
+          out->array.push_back(std::move(item));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: {
+        char* num_end = nullptr;
+        out->kind = JsonValue::Kind::kNumber;
+        out->number = std::strtod(p, &num_end);
+        if (num_end == p || num_end > end) return false;
+        p = num_end;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  JsonValue value;
+  if (!parser.parse_value(&value)) return std::nullopt;
+  parser.skip_ws();
+  if (parser.p != parser.end) return std::nullopt;  // trailing garbage
+  return value;
+}
+
+}  // namespace spider::util

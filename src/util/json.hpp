@@ -1,0 +1,82 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// (used to export metrics snapshots and probe traces) and a small
+// recursive-descent parser (used to round-trip traces back in, e.g. for
+// offline analysis tools and the obs tests).
+//
+// Deliberately tiny: UTF-8 pass-through, no comments, doubles only for
+// numbers (exact for the integer ranges the metrics layer emits, which
+// stay below 2^53).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spider::util {
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+/// Streaming JSON writer producing compact output. The caller is
+/// responsible for well-formedness (begin/end pairing); commas and key
+/// quoting are handled here.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Starts a key inside an object; follow with a value or begin_*.
+  void key(const std::string& name);
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void null();
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value (null / bool / number / string / array / object).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  const JsonValue* find(const std::string& name) const;
+  /// Convenience getters with defaults (no throw).
+  double number_or(const std::string& name, double fallback) const;
+  std::string string_or(const std::string& name,
+                        const std::string& fallback) const;
+};
+
+/// Parses a complete JSON document; nullopt on any syntax error or
+/// trailing garbage.
+std::optional<JsonValue> json_parse(const std::string& text);
+
+}  // namespace spider::util

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "core/bcp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "test_scenario.hpp"
 
 namespace spider::core {
@@ -73,6 +75,68 @@ TEST_F(AsyncBcpTest, MatchesSynchronousDecisionsUncontended) {
   EXPECT_NEAR(async_result.stats.setup_time_ms, sync.stats.setup_time_ms,
               1e-6);
   EXPECT_NEAR(async_result.best.psi_cost, sync.best.psi_cost, 1e-9);
+}
+
+TEST_F(AsyncBcpTest, MatchesSynchronousStatsAndMetricsSnapshot) {
+  // Full-parity check on fresh, identical scenarios: the two execution
+  // modes must produce the same ComposeStats field by field AND flush the
+  // same cumulative metrics snapshot (counter for counter).
+  auto run_one = [](bool async_mode, ComposeResult* out,
+                    obs::MetricsRegistry* metrics) {
+    auto s = spider::testing::small_scenario(/*seed=*/77, /*peers=*/48);
+    BcpEngine engine(*s->deployment, *s->alloc, *s->evaluator, s->sim,
+                     BcpConfig{});
+    engine.set_observability(metrics, nullptr);
+    auto req = spider::testing::easy_request(*s);
+    Rng rng(9);
+    if (async_mode) {
+      engine.compose_async(req, rng,
+                           [out](ComposeResult r) { *out = std::move(r); });
+      s->sim.run();
+    } else {
+      *out = engine.compose(req, rng);
+    }
+  };
+
+  ComposeResult sync, async_result;
+  obs::MetricsRegistry sync_metrics, async_metrics;
+  run_one(false, &sync, &sync_metrics);
+  run_one(true, &async_result, &async_metrics);
+  ASSERT_TRUE(sync.success);
+  ASSERT_TRUE(async_result.success);
+  EXPECT_TRUE(async_result.best.same_mapping(sync.best));
+
+  const ComposeStats& a = sync.stats;
+  const ComposeStats& b = async_result.stats;
+  EXPECT_EQ(a.probes_spawned, b.probes_spawned);
+  EXPECT_EQ(a.probes_arrived, b.probes_arrived);
+  EXPECT_EQ(a.probes_forwarded, b.probes_forwarded);
+  EXPECT_EQ(a.probes_dropped_qos, b.probes_dropped_qos);
+  EXPECT_EQ(a.probes_dropped_resources, b.probes_dropped_resources);
+  EXPECT_EQ(a.probes_dropped_timeout, b.probes_dropped_timeout);
+  EXPECT_EQ(a.candidates_skipped_route, b.candidates_skipped_route);
+  EXPECT_EQ(a.candidates_skipped_timeout, b.candidates_skipped_timeout);
+  EXPECT_EQ(a.candidates_skipped_qos, b.candidates_skipped_qos);
+  EXPECT_EQ(a.candidates_skipped_resources, b.candidates_skipped_resources);
+  EXPECT_EQ(a.holds_acquired, b.holds_acquired);
+  EXPECT_EQ(a.holds_reused, b.holds_reused);
+  EXPECT_EQ(a.probe_messages, b.probe_messages);
+  EXPECT_EQ(a.discovery_messages, b.discovery_messages);
+  EXPECT_EQ(a.candidates_merged, b.candidates_merged);
+  EXPECT_EQ(a.qualified_found, b.qualified_found);
+
+  // Both modes flush through the same finalize path, so the registries
+  // agree counter for counter and histogram bucket for bucket.
+  ASSERT_EQ(sync_metrics.counters().size(), async_metrics.counters().size());
+  for (const auto& [name, counter] : sync_metrics.counters()) {
+    EXPECT_EQ(counter.value(), async_metrics.counter(name).value()) << name;
+  }
+  ASSERT_EQ(sync_metrics.histograms().size(),
+            async_metrics.histograms().size());
+  for (const auto& [name, hist] : sync_metrics.histograms()) {
+    EXPECT_EQ(hist.counts(), async_metrics.histograms().at(name).counts())
+        << name;
+  }
 }
 
 TEST_F(AsyncBcpTest, FailsAsynchronouslyOnDeadSource) {

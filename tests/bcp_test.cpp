@@ -3,8 +3,11 @@
 // commutation handling, stats accounting.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "core/bcp.hpp"
 #include "core/baselines.hpp"
+#include "core/hold_keys.hpp"
 #include "test_scenario.hpp"
 
 namespace spider::core {
@@ -298,6 +301,122 @@ TEST_F(BcpTest, StatsTimingOrdering) {
   ASSERT_TRUE(r.success);
   EXPECT_GE(r.stats.probing_time_ms, r.stats.discovery_time_ms);
   EXPECT_GE(r.stats.setup_time_ms, r.stats.probing_time_ms);
+}
+
+TEST_F(BcpTest, ProbeAccountingIsExhaustive) {
+  auto req = spider::testing::easy_request(*scenario_);
+  ComposeResult r = engine_->compose(req, rng_);
+  ASSERT_TRUE(r.success);
+  // Every spawned probe ends in exactly one terminal outcome; candidate
+  // skips are not probe drops and are tracked on their own.
+  EXPECT_EQ(r.stats.probes_spawned,
+            r.stats.probes_arrived + r.stats.probes_dropped_total() +
+                r.stats.probes_forwarded);
+  EXPECT_GT(r.stats.probes_arrived, 0u);
+  EXPECT_GT(r.stats.holds_acquired, 0u);
+}
+
+// --------------------------------------------------------- quota policy
+
+TEST_F(BcpTest, ReplicaProportionalQuotaHonorsQuotaBase) {
+  BcpConfig config = engine_->config();
+  config.quota_policy = QuotaPolicy::kReplicaProportional;
+  config.max_quota = 100;
+
+  // quota_base is the per-8 replica fraction: 8 probes every replica,
+  // 4 (the default) probes half, 2 a quarter — always at least one.
+  config.quota_base = 8;
+  engine_->set_config(config);
+  EXPECT_EQ(engine_->quota_for(1), 1);
+  EXPECT_EQ(engine_->quota_for(10), 10);
+  EXPECT_EQ(engine_->quota_for(100), 100);
+
+  config.quota_base = 4;
+  engine_->set_config(config);
+  EXPECT_EQ(engine_->quota_for(1), 1);
+  EXPECT_EQ(engine_->quota_for(9), 5);  // ceil(9/2), the seed default
+  EXPECT_EQ(engine_->quota_for(10), 5);
+
+  config.quota_base = 2;
+  engine_->set_config(config);
+  EXPECT_EQ(engine_->quota_for(10), 3);  // ceil(10/4)
+  EXPECT_EQ(engine_->quota_for(1), 1);
+
+  // The hard cap still applies.
+  config.quota_base = 8;
+  config.max_quota = 6;
+  engine_->set_config(config);
+  EXPECT_EQ(engine_->quota_for(100), 6);
+
+  // Uniform policy keeps its meaning: α_k = quota_base.
+  config.quota_policy = QuotaPolicy::kUniform;
+  config.quota_base = 3;
+  config.max_quota = 16;
+  engine_->set_config(config);
+  EXPECT_EQ(engine_->quota_for(1), 3);
+  EXPECT_EQ(engine_->quota_for(1000), 3);
+}
+
+// ------------------------------------------------- hold-key regression
+
+// The seed packed soft-hold dedup keys into a single uint64 with
+// overlapping shift ranges; distinct tuples could alias, making the
+// engine silently reuse a hold made for a *different* service link or
+// component (under-reservation). These tests pin tuples that collided
+// under the old packing and assert the struct keys keep them distinct.
+TEST(HoldKeyRegression, PathTuplesCollidingUnderOldPackingStayDistinct) {
+  // Seed: (from << 48) ^ (to << 32) ^ (src << 16) ^ dst. src overlaps dst
+  // whenever dst >= 2^16.
+  auto old_key = [](std::uint64_t from, std::uint64_t to, std::uint64_t src,
+                    std::uint64_t dst) {
+    return (from << 48) ^ (to << 32) ^ (src << 16) ^ dst;
+  };
+  const SharedPathKey a{2, 3, 1, 0};
+  const SharedPathKey b{2, 3, 0, 1u << 16};
+  ASSERT_EQ(old_key(a.from, a.to, a.src, a.dst),
+            old_key(b.from, b.to, b.src, b.dst))
+      << "tuples must collide under the old packing for this regression "
+         "test to be meaningful";
+  EXPECT_FALSE(a == b);
+
+  std::unordered_map<SharedPathKey, HoldId, SharedPathKeyHash> holds;
+  holds.emplace(a, HoldId(1));
+  holds.emplace(b, HoldId(2));
+  ASSERT_EQ(holds.size(), 2u) << "distinct paths must map to distinct holds";
+  EXPECT_EQ(holds.at(a), HoldId(1));
+  EXPECT_EQ(holds.at(b), HoldId(2));
+}
+
+TEST(HoldKeyRegression, PeerTuplesCollidingUnderOldPackingStayDistinct) {
+  // Seed: (node << 48) ^ component. ComponentId packs (host << 32) |
+  // local, so any host >= 2^16 reaches into the node bits.
+  auto old_key = [](std::uint64_t node, std::uint64_t comp) {
+    return (node << 48) ^ comp;
+  };
+  const SharedPeerKey a{1, 0};
+  const SharedPeerKey b{0, std::uint64_t(1) << 48};
+  ASSERT_EQ(old_key(a.node, a.component), old_key(b.node, b.component));
+  EXPECT_FALSE(a == b);
+
+  std::unordered_map<SharedPeerKey, HoldId, SharedPeerKeyHash> holds;
+  holds.emplace(a, HoldId(1));
+  holds.emplace(b, HoldId(2));
+  ASSERT_EQ(holds.size(), 2u)
+      << "distinct components must map to distinct holds";
+  EXPECT_EQ(holds.at(a), HoldId(1));
+  EXPECT_EQ(holds.at(b), HoldId(2));
+}
+
+TEST(HoldKeyRegression, HoldCoverNodeAndEdgeNamespacesAreDisjoint) {
+  // node(n) and edge(0, n) carried identical bits in several old
+  // packings; the kind tag now separates the namespaces.
+  const HoldCoverKey node = HoldCoverKey::node(5);
+  const HoldCoverKey edge = HoldCoverKey::edge(0, 5);
+  EXPECT_FALSE(node == edge);
+  std::unordered_map<HoldCoverKey, HoldId, HoldCoverKeyHash> by_key;
+  by_key.emplace(node, HoldId(1));
+  by_key.emplace(edge, HoldId(2));
+  EXPECT_EQ(by_key.size(), 2u);
 }
 
 }  // namespace

@@ -296,6 +296,11 @@ TEST_P(BcpProperty, ComposeInvariantsAcrossSeeds) {
     auto req = spider::testing::easy_request(
         *s, 3, overlay::PeerId(round % 8), overlay::PeerId(8 + round % 8));
     core::ComposeResult r = bcp.compose(req, rng);
+    // Probe accounting: every spawned probe reaches exactly one terminal
+    // outcome (arrival, a drop, or continuation as child probes).
+    EXPECT_EQ(r.stats.probes_spawned,
+              r.stats.probes_arrived + r.stats.probes_dropped_total() +
+                  r.stats.probes_forwarded);
     if (r.success) {
       // QoS soundness: reported QoS satisfies the request bound.
       EXPECT_TRUE(r.best.qos.within(req.qos_req));

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Configure, build and run the test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer.
+#
+#   tools/sanitize.sh            # full cycle in build-sanitize/
+#   tools/sanitize.sh -R Bcp     # extra args are forwarded to ctest
+#
+# The sanitized tree lives next to the regular build/ so the two configs
+# never thrash each other's object files.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${SPIDER_SANITIZE_BUILD_DIR:-$repo_root/build-sanitize}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPIDER_SANITIZE=address,undefined
+
+cmake --build "$build_dir" -j"$(nproc)"
+
+# halt_on_error: make UBSan findings fail the run instead of just logging.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" "$@"
