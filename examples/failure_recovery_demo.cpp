@@ -96,6 +96,9 @@ int main() {
         what = "SLOW: re-composed via reactive BCP";
         break;
       case core::RecoveryOutcome::kLost: what = "LOST"; break;
+      case core::RecoveryOutcome::kNotificationLost:
+        what = "notification lost in transit (monitor will detect)";
+        break;
     }
     std::printf("  -> %s\n", what);
     if (sessions.active_graph(id) != nullptr) {

@@ -8,8 +8,10 @@
 #include <unordered_set>
 
 #include "core/hold_keys.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/hash.hpp"
 #include "util/require.hpp"
 
 namespace spider::core {
@@ -73,6 +75,11 @@ struct BcpEngine::Probe {
   Qos qos_acc = Qos::delay_loss(0.0);
   std::uint32_t level = 0;  ///< quality level of the stream at this point
   int budget = 1;
+  /// Deterministic delivery-sampling key. Derived from the request salt
+  /// and the probe's (pattern, branch, chosen-component) path — NOT from
+  /// processing order — so fault outcomes are identical between the
+  /// synchronous and message-level modes.
+  std::uint64_t fault_key = 0;
   std::vector<ComponentMetadata> chosen;  ///< prefix of the branch
   std::vector<std::pair<HoldCoverKey, HoldId>> holds;
   bool final_leg_done = false;
@@ -103,6 +110,15 @@ struct BcpEngine::ComposeState {
   std::unordered_map<std::uint64_t, DiscoveryEntry> discovery_cache;
   std::vector<Probe> seeds;    ///< filled by init_state
   std::vector<Probe> arrived;  ///< probes that completed their final leg
+  bool faults_active = false;  ///< fault model attached AND non-clean
+};
+
+/// Outcome of delivering one probe hop under the fault model.
+struct BcpEngine::HopDelivery {
+  bool delivered = true;
+  /// Retransmission waits + link jitter — added to the probe's arrival
+  /// time (setup latency) but not to its measured path QoS.
+  double added_latency_ms = 0.0;
 };
 
 const BcpEngine::DiscoveryEntry& BcpEngine::discover(ComposeState& state,
@@ -125,6 +141,42 @@ const BcpEngine::DiscoveryEntry& BcpEngine::discover(ComposeState& state,
   }
   if (found.found) entry.components = std::move(found.components);
   return state.discovery_cache.emplace(key, std::move(entry)).first->second;
+}
+
+BcpEngine::HopDelivery BcpEngine::deliver_hop(ComposeState& state,
+                                              const overlay::OverlayPath& path,
+                                              std::uint64_t hop_key,
+                                              int* budget) {
+  HopDelivery out;
+  if (!state.faults_active) return out;  // reliable network: one send, on time
+  ComposeStats& stats = state.result.stats;
+  // Initial timeout tracks the path RTT; each retry backs off.
+  double rto = std::max(config_.retx_min_rto_ms,
+                        config_.retx_rtt_factor * path.delay_ms);
+  double waited = 0.0;
+  const int attempts = 1 + std::max(config_.probe_retx_limit, 0);
+  for (int a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      // A retransmission happened: the sender's timer fired and one more
+      // transmission goes out, paid for from the probe's budget.
+      ++stats.probe_messages;
+      ++stats.probe_retransmits;
+      if (budget != nullptr) *budget = std::max(1, *budget - 1);
+    }
+    const fault::DeliveryOutcome d = fault_->sample_path(
+        path.links, util::hash_values(hop_key, std::uint64_t(a)));
+    if (d.delivered) {
+      out.added_latency_ms = waited + d.extra_delay_ms;
+      return out;
+    }
+    ++stats.probe_messages_lost;
+    ++stats.probe_hop_timeouts;  // the sender times out on this attempt
+    waited += rto;
+    rto *= config_.retx_backoff;
+  }
+  out.delivered = false;
+  out.added_latency_ms = waited;
+  return out;
 }
 
 int BcpEngine::quota_for(std::size_t replica_count) const {
@@ -157,6 +209,7 @@ bool BcpEngine::init_state(ComposeState& state,
   state.noise_salt = rng();  // one draw per request; see unit_hash
   state.hold_expiry = sim_->now() + config_.probe_timeout_ms;
   state.own_view.base = alloc_;
+  state.faults_active = fault_ != nullptr && fault_->active();
 
   // ---- Step 1: patterns, branches, seed probes ------------------------
   state.patterns =
@@ -182,6 +235,7 @@ bool BcpEngine::init_state(ComposeState& state,
       seed.budget = seed_budget;
       seed.qos_acc = Qos(request.qos_req.size());
       seed.level = request.source_level;
+      seed.fault_key = util::hash_values(state.noise_salt, pi, bi);
       state.seeds.push_back(std::move(seed));
       ++state.result.stats.probes_spawned;
       if (trace_ != nullptr) {
@@ -247,6 +301,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     ++stats.probe_messages;
     const FnNode last = branch.back();
     double leg_delay = 0.0;
+    double leg_extra = 0.0;  ///< retransmission waits + jitter
     if (probe.at != request.dest) {
       const overlay::OverlayPath& path = ov.route(probe.at, request.dest);
       if (!path.valid) {
@@ -295,8 +350,20 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
           }
         }
       }
+      // The probe message itself must survive the trip (holds a lost
+      // probe left behind are reclaimed by finalize's cleanup, exactly
+      // like the paper's timeout-based cancellation).
+      const HopDelivery hd =
+          deliver_hop(state, path, util::hash_values(probe.fault_key, 0x0fu),
+                      &probe.budget);
+      if (!hd.delivered) {
+        ++stats.probes_dropped_lost;
+        trace_drop(probe, "msg_lost");
+        return;
+      }
+      leg_extra = hd.added_latency_ms;
     }
-    probe.arrival += config_.per_hop_processing_ms + leg_delay;
+    probe.arrival += config_.per_hop_processing_ms + leg_delay + leg_extra;
     probe.qos_acc[Qos::kDelay] += leg_delay;
     if (probe.arrival > config_.probe_timeout_ms) {
       ++stats.probes_dropped_timeout;
@@ -427,7 +494,12 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     ++stats.probe_messages;
 
     double leg_delay = 0.0;
+    double leg_extra = 0.0;  ///< retransmission waits + jitter
     const overlay::OverlayPath* leg_path = nullptr;
+    // Sibling probes are distinguished by the component they extend the
+    // branch with, so the child key stays processing-order independent.
+    child.fault_key =
+        util::hash_values(probe.fault_key, std::uint64_t(cand.id));
     if (probe.at != cand.host) {
       const overlay::OverlayPath& path = ov.route(probe.at, cand.host);
       if (!path.valid) {
@@ -437,8 +509,17 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
       }
       leg_path = &path;
       leg_delay = path.delay_ms;
+      const HopDelivery hd =
+          deliver_hop(state, path, child.fault_key, &child.budget);
+      if (!hd.delivered) {
+        ++stats.candidates_skipped_lost;
+        trace_skip(next_node, cand.host, "msg_lost");
+        continue;
+      }
+      leg_extra = hd.added_latency_ms;
     }
-    child.arrival += disc.time_ms + config_.per_hop_processing_ms + leg_delay;
+    child.arrival +=
+        disc.time_ms + config_.per_hop_processing_ms + leg_delay + leg_extra;
     child.disc_acc += disc.time_ms;
     if (child.arrival > config_.probe_timeout_ms) {
       ++stats.candidates_skipped_timeout;
@@ -785,6 +866,24 @@ void BcpEngine::flush_metrics(const ComposeStats& stats, bool success) {
   m.counter("bcp.candidates_skipped_qos").inc(stats.candidates_skipped_qos);
   m.counter("bcp.candidates_skipped_resources")
       .inc(stats.candidates_skipped_resources);
+  // Unreliable-delivery counters (stay zero without a fault model; the
+  // per-hop retx timer firings live under the cross-layer "probe.*"
+  // namespace shared with session liveness probing).
+  if (stats.probes_dropped_lost > 0) {
+    m.counter("bcp.probes_dropped_lost").inc(stats.probes_dropped_lost);
+  }
+  if (stats.candidates_skipped_lost > 0) {
+    m.counter("bcp.candidates_skipped_lost").inc(stats.candidates_skipped_lost);
+  }
+  if (stats.probe_retransmits > 0) {
+    m.counter("bcp.retransmit").inc(stats.probe_retransmits);
+  }
+  if (stats.probe_hop_timeouts > 0) {
+    m.counter("probe.timeout").inc(stats.probe_hop_timeouts);
+  }
+  if (stats.probe_messages_lost > 0) {
+    m.counter("bcp.probe_messages_lost").inc(stats.probe_messages_lost);
+  }
   m.counter("bcp.holds_acquired").inc(stats.holds_acquired);
   m.counter("bcp.holds_reused").inc(stats.holds_reused);
   m.counter("bcp.probe_messages").inc(stats.probe_messages);

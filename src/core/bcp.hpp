@@ -39,6 +39,10 @@ class MetricsRegistry;
 class ProbeTrace;
 }  // namespace spider::obs
 
+namespace spider::fault {
+class LinkFaultModel;
+}  // namespace spider::fault
+
 namespace spider::core {
 
 enum class QuotaPolicy {
@@ -104,12 +108,28 @@ struct BcpConfig {
   /// in the next-hop metric. Null disables trust awareness.
   std::function<double(overlay::PeerId)> trust_fn;
   double metric_w_trust = 400.0;  ///< ms-equivalent at zero trust
+
+  // ---- unreliable delivery (consulted only with a fault model attached,
+  // see set_fault_model; a clean/absent model never samples) ------------
+  /// Max retransmissions of one probe hop after the initial send. Each
+  /// retransmission is charged against the probe's budget (floor 1), so
+  /// β still bounds total probing overhead: a probe that burned budget
+  /// on retransmissions explores fewer replicas downstream, and total
+  /// transmissions stay <= (1 + probe_retx_limit) x the loss-free count.
+  int probe_retx_limit = 3;
+  /// Initial per-hop retransmission timeout is
+  /// max(retx_min_rto_ms, retx_rtt_factor * path delay); each further
+  /// attempt multiplies it by retx_backoff. Waits add to the probe's
+  /// arrival time (setup latency) but not to its measured path QoS.
+  double retx_min_rto_ms = 20.0;
+  double retx_rtt_factor = 2.0;
+  double retx_backoff = 2.0;
 };
 
 struct ComposeStats {
   // Every spawned probe reaches exactly one terminal outcome:
   //   spawned == arrived + dropped_qos + dropped_resources
-  //            + dropped_timeout + forwarded
+  //            + dropped_timeout + dropped_lost + forwarded
   // where "forwarded" means the probe continued as >= 1 child probes.
   std::uint64_t probes_spawned = 0;
   std::uint64_t probes_arrived = 0;
@@ -117,13 +137,21 @@ struct ComposeStats {
   std::uint64_t probes_dropped_qos = 0;
   std::uint64_t probes_dropped_resources = 0;
   std::uint64_t probes_dropped_timeout = 0;
+  /// Final-leg message lost on every retransmission attempt (fault model).
+  std::uint64_t probes_dropped_lost = 0;
   // Next-hop candidates rejected before a child probe existed (invalid
-  // route, would-arrive-late, QoS violation, failed reservation). These
-  // were never probes, so they are accounted separately from drops.
+  // route, would-arrive-late, QoS violation, failed reservation, child
+  // probe message lost despite retransmission). These were never probes,
+  // so they are accounted separately from drops.
   std::uint64_t candidates_skipped_route = 0;
   std::uint64_t candidates_skipped_timeout = 0;
   std::uint64_t candidates_skipped_qos = 0;
   std::uint64_t candidates_skipped_resources = 0;
+  std::uint64_t candidates_skipped_lost = 0;
+  // Unreliable-delivery accounting (all zero without a fault model).
+  std::uint64_t probe_retransmits = 0;     ///< extra sends that happened
+  std::uint64_t probe_hop_timeouts = 0;    ///< per-hop retx timer firings
+  std::uint64_t probe_messages_lost = 0;   ///< transmissions the net dropped
   // Soft-hold dedup effectiveness: fresh reservations vs sibling reuse.
   std::uint64_t holds_acquired = 0;
   std::uint64_t holds_reused = 0;
@@ -137,11 +165,12 @@ struct ComposeStats {
 
   std::uint64_t probes_dropped_total() const {
     return probes_dropped_qos + probes_dropped_resources +
-           probes_dropped_timeout;
+           probes_dropped_timeout + probes_dropped_lost;
   }
   std::uint64_t candidates_skipped_total() const {
     return candidates_skipped_route + candidates_skipped_timeout +
-           candidates_skipped_qos + candidates_skipped_resources;
+           candidates_skipped_qos + candidates_skipped_resources +
+           candidates_skipped_lost;
   }
 };
 
@@ -203,10 +232,20 @@ class BcpEngine {
   obs::MetricsRegistry* metrics() const { return metrics_; }
   obs::ProbeTrace* trace() const { return trace_; }
 
+  /// Attaches a link fault model (null detaches — the default). With a
+  /// model attached, every probe hop samples loss/jitter per overlay
+  /// link; lost hops are retransmitted with exponential backoff up to
+  /// probe_retx_limit times, charged against the probe's budget. A model
+  /// whose probabilities are all zero is never sampled, so attaching one
+  /// does not change fault-free results.
+  void set_fault_model(const fault::LinkFaultModel* model) { fault_ = model; }
+  const fault::LinkFaultModel* fault_model() const { return fault_; }
+
  private:
   struct Probe;
   struct DiscoveryEntry;
   struct ComposeState;
+  struct HopDelivery;
 
   /// Validates the request and seeds the initial probes (returns false if
   /// composition is impossible before probing starts).
@@ -224,6 +263,10 @@ class BcpEngine {
 
   const DiscoveryEntry& discover(ComposeState& state, PeerId peer,
                                  service::FunctionId fn);
+  /// Attempts delivery of one probe transmission (plus bounded
+  /// retransmissions) over `path`, charging stats/budget as it goes.
+  HopDelivery deliver_hop(ComposeState& state, const overlay::OverlayPath& path,
+                          std::uint64_t hop_key, int* budget);
   /// Accumulates one request's ComposeStats into the metrics registry.
   void flush_metrics(const ComposeStats& stats, bool success);
 
@@ -234,6 +277,7 @@ class BcpEngine {
   BcpConfig config_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::ProbeTrace* trace_ = nullptr;
+  const fault::LinkFaultModel* fault_ = nullptr;
 };
 
 }  // namespace spider::core

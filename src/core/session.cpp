@@ -3,15 +3,35 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "util/hash.hpp"
 #include "util/require.hpp"
 
 namespace spider::core {
 
 using service::ServiceGraph;
 
+namespace {
+
+/// Lazily binds and bumps a counter. The fault-path counters are created
+/// on first use, not in set_metrics, so a fault-free run exports exactly
+/// the same metrics JSON as before the fault layer existed.
+void bump(obs::MetricsRegistry* registry, obs::Counter*& counter,
+          const char* name) {
+  if (registry == nullptr) return;
+  if (counter == nullptr) counter = &registry->counter(name);
+  counter->inc();
+}
+
+}  // namespace
+
 void SessionManager::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
+  // The fault-path counters rebind lazily (see bump()) so they only show
+  // up in exports once a miss/loss actually happens.
+  m_probe_misses_ = m_false_suspicions_ = m_notifications_lost_ =
+      m_probe_timeouts_ = nullptr;
   if (metrics == nullptr) {
     m_established_ = m_teardowns_ = m_breaks_ = m_backup_switches_ =
         m_reactive_recoveries_ = m_losses_ = m_maintenance_messages_ = nullptr;
@@ -365,9 +385,25 @@ std::vector<RecoveryOutcome> SessionManager::on_peer_failed(PeerId peer,
   for (const auto& [id, session] : sessions_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
 
+  const bool faults_active = fault_ != nullptr && fault_->active();
   std::vector<SessionId> lost;
   for (SessionId id : ids) {
     Session& session = sessions_.at(id);
+    if (faults_active && session.active.uses_peer(peer)) {
+      // The failure notification to this session's source is one message
+      // subject to the default fault profile (the crashed peer has no
+      // routable path, so a concrete route cannot be sampled). If it is
+      // lost the source learns nothing now — no pruning, no recovery —
+      // and the liveness monitor's miss threshold must time the peer out.
+      const std::uint64_t key = util::hash_values(
+          std::uint64_t{0x4f71fu}, std::uint64_t(peer), notify_nonce_++);
+      if (!fault_->sample_default(key).delivered) {
+        ++stats_.notifications_lost;
+        bump(metrics_, m_notifications_lost_, "session.notifications_lost");
+        outcomes.push_back(RecoveryOutcome::kNotificationLost);
+        continue;
+      }
+    }
     // Backups using the failed peer are silently pruned (their liveness
     // probe would discover it; we prune eagerly and recount maintenance
     // at the next tick).
@@ -382,11 +418,27 @@ std::vector<RecoveryOutcome> SessionManager::on_peer_failed(PeerId peer,
       continue;
     }
     const RecoveryOutcome outcome = recover(session, rng);
+    session.probe_misses.clear();  // fresh graph, fresh suspicion state
     outcomes.push_back(outcome);
     if (outcome == RecoveryOutcome::kLost) lost.push_back(id);
   }
   for (SessionId id : lost) teardown(id);
   return outcomes;
+}
+
+bool SessionManager::probe_responds(PeerId source, PeerId peer) {
+  if (!deployment_->peer_alive(peer)) return false;
+  if (fault_ == nullptr || !fault_->active()) return true;
+  const std::uint64_t key = util::hash_values(
+      std::uint64_t{0x11feu}, std::uint64_t(peer), probe_nonce_++);
+  if (source == peer) return true;  // self-probe, no network traversal
+  const auto& path = deployment_->overlay().route(source, peer);
+  if (!path.valid) return false;  // partitioned: the probe cannot reach
+  // Round trip: the probe and its ack are independent transmissions.
+  return fault_->sample_path(path.links, key).delivered &&
+         fault_->sample_path(path.links,
+                             util::hash_values(key, std::uint64_t{0xacu}))
+             .delivered;
 }
 
 std::vector<RecoveryOutcome> SessionManager::monitor_active_sessions(
@@ -405,15 +457,43 @@ std::vector<RecoveryOutcome> SessionManager::monitor_active_sessions(
     if (m_maintenance_messages_ != nullptr) {
       m_maintenance_messages_->inc(session.active.hops.size());
     }
-    bool broken = !deployment_->peer_alive(session.active.source) ||
-                  !deployment_->peer_alive(session.active.dest);
-    for (const auto& meta : session.active.mapping) {
-      broken = broken || !deployment_->peer_alive(meta.host);
+    // Each monitored peer gets one probe round-trip per pass. A peer is
+    // declared dead only after `liveness_miss_threshold` consecutive
+    // misses, so a single probe lost by the fault model does not trigger
+    // spurious recovery; with a reliable network and the default
+    // threshold of 1 this degenerates to a plain aliveness check.
+    std::vector<PeerId> monitored;
+    monitored.push_back(session.active.source);
+    auto add = [&](PeerId p) {
+      if (std::find(monitored.begin(), monitored.end(), p) == monitored.end()) {
+        monitored.push_back(p);
+      }
+    };
+    add(session.active.dest);
+    for (const auto& meta : session.active.mapping) add(meta.host);
+
+    bool broken = false;
+    for (PeerId peer : monitored) {
+      if (probe_responds(session.active.source, peer)) {
+        session.probe_misses.erase(peer);
+        continue;
+      }
+      ++stats_.liveness_probe_misses;
+      bump(metrics_, m_probe_misses_, "session.probe_misses");
+      bump(metrics_, m_probe_timeouts_, "probe.timeout");
+      if (deployment_->peer_alive(peer)) {
+        ++stats_.false_suspicions;
+        bump(metrics_, m_false_suspicions_, "session.false_suspicions");
+      }
+      if (++session.probe_misses[peer] >= config_.liveness_miss_threshold) {
+        broken = true;
+      }
     }
     // Stale backups referencing dead peers are pruned by run_maintenance;
     // here we only react to an active-graph break.
     if (!broken) continue;
     const RecoveryOutcome outcome = recover(session, rng);
+    session.probe_misses.clear();
     outcomes.push_back(outcome);
     if (outcome == RecoveryOutcome::kLost) lost.push_back(id);
   }

@@ -31,6 +31,10 @@ class Counter;
 class Gauge;
 }  // namespace spider::obs
 
+namespace spider::fault {
+class LinkFaultModel;
+}  // namespace spider::fault
+
 namespace spider::core {
 
 /// How backups are chosen from the qualified pool (ablation A3 compares
@@ -50,6 +54,12 @@ struct RecoveryConfig {
   /// Period of backup liveness probing, in virtual ms.
   double maintenance_period_ms = 1000.0;
   BackupPolicy backup_policy = BackupPolicy::kSpiderNet;
+  /// Consecutive liveness-probe misses before a monitored peer is
+  /// declared dead. 1 reacts to the first miss (the reliable-network
+  /// behavior); under a lossy fault model raise it so a single lost
+  /// probe round-trip does not trigger spurious recovery (the false-
+  /// positive rate per monitor pass is ~loss^threshold).
+  int liveness_miss_threshold = 1;
 };
 
 /// What happened when a peer failure hit a session's active graph.
@@ -57,7 +67,11 @@ enum class RecoveryOutcome {
   kNotAffected,        ///< active graph did not use the failed peer
   kSwitchedToBackup,   ///< fast path: proactive switch succeeded
   kReactiveRecovered,  ///< slow path: BCP re-composition succeeded
-  kLost                ///< no backup and reactive BCP failed
+  kLost,               ///< no backup and reactive BCP failed
+  /// The failure notification never reached the session source (fault
+  /// model): the session stays broken until the periodic liveness
+  /// monitor's timeout-driven detection catches it.
+  kNotificationLost
 };
 
 struct SessionStats {
@@ -66,6 +80,13 @@ struct SessionStats {
   std::uint64_t reactive_recoveries = 0; ///< slow recoveries
   std::uint64_t losses = 0;              ///< unrecovered failures
   std::uint64_t maintenance_messages = 0;
+  /// Liveness probes that went unanswered (dead peer or lost message).
+  std::uint64_t liveness_probe_misses = 0;
+  /// Misses whose peer was actually alive (lost probe or lost ack).
+  std::uint64_t false_suspicions = 0;
+  /// Peer-failure notifications the fault model dropped; the affected
+  /// session was left for the monitor's timeout-driven detection.
+  std::uint64_t notifications_lost = 0;
   double backup_count_sum = 0.0;  ///< for the avg-backups metric (≈2.74)
   std::uint64_t backup_count_samples = 0;
   /// Components replaced per fast switch — the disruption §5.2's overlap
@@ -120,7 +141,10 @@ class SessionManager {
   /// one liveness message per service-link hop, like the backup probes —
   /// and triggers recovery for any session whose graph lost a peer. No
   /// oracle notification is needed; detection latency is the monitoring
-  /// period. Returns the outcomes of every recovery it triggered.
+  /// period times the miss threshold (under a lossy fault model a peer is
+  /// only declared dead after `liveness_miss_threshold` consecutive
+  /// unanswered round-trips). Returns the outcomes of every recovery it
+  /// triggered.
   std::vector<RecoveryOutcome> monitor_active_sessions(Rng& rng);
 
   /// Periodic backup maintenance: probe each backup's liveness and QoS,
@@ -147,6 +171,13 @@ class SessionManager {
   /// maintenance traffic) and an active-session gauge.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Attaches a fault model (null detaches). When active, session
+  /// liveness probes are sampled as round-trip messages over the overlay
+  /// route to the monitored peer, and peer-failure notifications can be
+  /// lost; detection then falls back to the monitor's miss threshold.
+  void set_fault_model(const fault::LinkFaultModel* model) { fault_ = model; }
+  const fault::LinkFaultModel* fault_model() const { return fault_; }
+
   const service::ServiceGraph* active_graph(SessionId session) const;
   std::size_t backup_count_of(SessionId session) const;
 
@@ -157,6 +188,9 @@ class SessionManager {
     service::ServiceGraph active;
     std::vector<service::ServiceGraph> backups;
     std::vector<service::ServiceGraph> pool;  ///< unused qualified graphs
+    /// Consecutive liveness-probe misses per monitored peer; reset on a
+    /// successful probe and after recovery replaces the active graph.
+    std::unordered_map<PeerId, int> probe_misses;
   };
 
   /// Grants a graph's demands directly (backup switch / reactive path).
@@ -166,15 +200,26 @@ class SessionManager {
   void count_established();
   void update_active_gauge();
 
+  /// True if a liveness probe round-trip from `source` reached `peer`
+  /// and its ack came back. Dead peers never respond; a live peer's
+  /// response can still be lost by the fault model.
+  bool probe_responds(PeerId source, PeerId peer);
+
   Deployment* deployment_;
   AllocationManager* alloc_;
   GraphEvaluator* evaluator_;
   BcpEngine* bcp_;
   sim::Simulator* sim_;
   RecoveryConfig config_;
+  const fault::LinkFaultModel* fault_ = nullptr;
   std::unordered_map<SessionId, Session> sessions_;
   SessionStats stats_;
   Rng policy_rng_{0x5b5b};  ///< consulted only by BackupPolicy::kRandom
+  /// Monotonic message keys for fault sampling of liveness probes and
+  /// failure notifications. Deliberately not an Rng: consuming one would
+  /// shift every downstream draw and break fault-free byte-identity.
+  std::uint64_t probe_nonce_ = 0;
+  std::uint64_t notify_nonce_ = 0;
 
   // Observability (all null when no registry is attached).
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -185,6 +230,10 @@ class SessionManager {
   obs::Counter* m_reactive_recoveries_ = nullptr;
   obs::Counter* m_losses_ = nullptr;
   obs::Counter* m_maintenance_messages_ = nullptr;
+  obs::Counter* m_probe_misses_ = nullptr;
+  obs::Counter* m_false_suspicions_ = nullptr;
+  obs::Counter* m_notifications_lost_ = nullptr;
+  obs::Counter* m_probe_timeouts_ = nullptr;  ///< shared "probe.timeout"
   obs::Gauge* m_active_sessions_ = nullptr;
 };
 

@@ -1,0 +1,82 @@
+#include "fault/churn.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/require.hpp"
+
+namespace spider::fault {
+
+ChurnDriver::ChurnDriver(sim::Simulator& sim, Rng& rng, ChurnPlan plan,
+                         Hooks hooks)
+    : sim_(&sim), rng_(&rng), plan_(std::move(plan)), hooks_(std::move(hooks)) {
+  SPIDER_REQUIRE_MSG(hooks_.kill != nullptr, "ChurnDriver needs a kill hook");
+  if (plan_.period_ms > 0.0 && plan_.ticks > 0) {
+    SPIDER_REQUIRE_MSG(hooks_.live_peers != nullptr,
+                       "random churn needs a live_peers hook");
+    SPIDER_REQUIRE_MSG(hooks_.revive != nullptr,
+                       "random churn needs a revive hook");
+    SPIDER_REQUIRE_MSG(plan_.mean_downtime > 0.0,
+                       "random churn needs a positive mean downtime");
+  }
+}
+
+void ChurnDriver::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_crashes_ = m_revives_ = nullptr;
+    return;
+  }
+  m_crashes_ = &metrics->counter("fault.crashes");
+  m_revives_ = &metrics->counter("fault.revives");
+}
+
+void ChurnDriver::do_kill(PeerId peer, std::size_t tick) {
+  hooks_.kill(peer);
+  ++crashes_;
+  if (m_crashes_ != nullptr) m_crashes_->inc();
+  if (hooks_.on_kill) hooks_.on_kill(peer, tick);
+}
+
+void ChurnDriver::do_revive(PeerId peer) {
+  SPIDER_REQUIRE_MSG(hooks_.revive != nullptr,
+                     "plan recovers a peer but no revive hook is set");
+  hooks_.revive(peer);
+  ++revives_;
+  if (m_revives_ != nullptr) m_revives_->inc();
+}
+
+void ChurnDriver::run_tick(std::size_t tick) {
+  const auto live = hooks_.live_peers();
+  const auto kill_count = std::max<std::size_t>(
+      1, std::size_t(double(live.size()) * plan_.fail_fraction));
+  for (std::size_t k = 0; k < kill_count; ++k) {
+    const auto survivors = hooks_.live_peers();
+    if (survivors.size() <= plan_.min_live) break;
+    const PeerId victim = survivors[rng_->next_below(survivors.size())];
+    do_kill(victim, tick);
+    const double downtime =
+        rng_->next_exponential(plan_.mean_downtime) * plan_.downtime_scale_ms;
+    sim_->schedule_after(downtime, [this, victim] { do_revive(victim); });
+  }
+  if (hooks_.on_tick_end) hooks_.on_tick_end(tick);
+}
+
+void ChurnDriver::schedule() {
+  for (const ChurnEvent& ev : plan_.events) {
+    if (ev.crash) {
+      sim_->schedule_at(ev.at_ms, [this, peer = ev.peer] {
+        do_kill(peer, std::size_t(-1));
+      });
+    } else {
+      sim_->schedule_at(ev.at_ms, [this, peer = ev.peer] { do_revive(peer); });
+    }
+  }
+  if (plan_.period_ms > 0.0) {
+    for (std::size_t tick = 0; tick < plan_.ticks; ++tick) {
+      sim_->schedule_at(double(tick + 1) * plan_.period_ms,
+                        [this, tick] { run_tick(tick); });
+    }
+  }
+}
+
+}  // namespace spider::fault

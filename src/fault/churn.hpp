@@ -1,0 +1,111 @@
+// Scheduled peer churn: crash/recover scripts and random churn plans.
+//
+// Benches and tests used to hand-roll churn ticks (kill a random 1% of
+// live peers per time unit, revive after an exponential downtime). The
+// ChurnPlan captures that as data — an explicit event script plus an
+// optional random-churn process — and the ChurnDriver executes it on the
+// discrete-event simulator through caller-supplied hooks, so the fault
+// layer stays below core (it never sees a Deployment or SessionManager;
+// the bench wires kill_peer / on_peer_failed / maintenance in).
+//
+// The random process is deterministic in the caller's Rng and draws in a
+// fixed order (victim, then downtime, per kill), so replacing an ad-hoc
+// churn loop with an equivalent plan reproduces the run bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace spider::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace spider::obs
+
+namespace spider::fault {
+
+using overlay::PeerId;
+
+/// One scripted lifecycle event.
+struct ChurnEvent {
+  double at_ms = 0.0;
+  PeerId peer = overlay::kInvalidPeer;
+  bool crash = true;  ///< false = recover
+};
+
+/// Declarative churn description: an explicit script, an optional random
+/// process, or both.
+struct ChurnPlan {
+  /// Explicit crash/recover script (scheduled verbatim).
+  std::vector<ChurnEvent> events;
+
+  // Random churn: every `period_ms` (ticks 1..`ticks`, the first at
+  // t = period_ms), kill max(1, ⌊live · fail_fraction⌋) random live
+  // peers; each rejoins after Exp(mean_downtime) · downtime_scale_ms.
+  // Downtime is split into a mean and a scale so plans written in
+  // abstract time units (mean in units, scale = unit length in ms)
+  // reproduce pre-existing hand-rolled churn loops bit-for-bit. A tick
+  // never reduces the live population to `min_live` or fewer.
+  double period_ms = 0.0;  ///< 0 disables the random process
+  std::size_t ticks = 0;
+  double fail_fraction = 0.0;
+  double mean_downtime = 0.0;       ///< mean of the exponential draw
+  double downtime_scale_ms = 1.0;   ///< ms per downtime unit
+  std::size_t min_live = 2;
+};
+
+/// Executes a ChurnPlan on the simulator via environment hooks.
+class ChurnDriver {
+ public:
+  struct Hooks {
+    /// Current live peers (random-process victim pool). Required when the
+    /// plan has a random process.
+    std::function<std::vector<PeerId>()> live_peers;
+    /// Marks a peer dead (e.g. Deployment::kill_peer). Required.
+    std::function<void(PeerId)> kill;
+    /// Brings a peer back (e.g. Deployment::revive_peer). Required when
+    /// any peer can recover.
+    std::function<void(PeerId)> revive;
+    /// Called right after `kill` for each victim — the place to run
+    /// failure handling/accounting. `tick` is the random-process tick
+    /// index (0-based), or SIZE_MAX for scripted crashes.
+    std::function<void(PeerId, std::size_t)> on_kill;
+    /// Called at the end of each random-process tick (after all kills) —
+    /// the place for periodic maintenance / workload top-up.
+    std::function<void(std::size_t)> on_tick_end;
+  };
+
+  /// `rng` must outlive the driver; it is consulted only by the random
+  /// process (victim choice, downtime), never by scripted events.
+  ChurnDriver(sim::Simulator& sim, Rng& rng, ChurnPlan plan, Hooks hooks);
+
+  /// Schedules the whole plan onto the simulator (call once, before
+  /// running it). Scripted events first, then the random-process ticks.
+  void schedule();
+
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t revives() const { return revives_; }
+
+  /// Publishes "fault.crashes" / "fault.revives" counters (null detaches).
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+ private:
+  void do_kill(PeerId peer, std::size_t tick);
+  void do_revive(PeerId peer);
+  void run_tick(std::size_t tick);
+
+  sim::Simulator* sim_;
+  Rng* rng_;
+  ChurnPlan plan_;
+  Hooks hooks_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t revives_ = 0;
+  obs::Counter* m_crashes_ = nullptr;
+  obs::Counter* m_revives_ = nullptr;
+};
+
+}  // namespace spider::fault

@@ -1,0 +1,92 @@
+#include "fault/fault.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/hash.hpp"
+
+namespace spider::fault {
+namespace {
+
+/// mix64 output folded to a uniform double in [0, 1).
+double unit_hash(std::uint64_t x) {
+  return double(util::mix64(x) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool LinkFaultModel::active() const {
+  if (!default_.clean()) return true;
+  for (const auto& [link, profile] : overrides_) {
+    if (!profile.clean()) return true;
+  }
+  return false;
+}
+
+DeliveryOutcome LinkFaultModel::sample_path(
+    std::span<const OverlayLinkId> links, std::uint64_t msg_key) const {
+  DeliveryOutcome out;
+  const std::uint64_t base = seed_ ^ util::mix64(msg_key);
+  for (OverlayLinkId link : links) {
+    const LinkFaultProfile& p = profile(link);
+    if (p.clean()) continue;
+    // Three independent draws per (message, link): loss, jitter, reorder.
+    const std::uint64_t k =
+        base ^ (std::uint64_t(link) + 1) * 0x9e3779b97f4a7c15ULL;
+    if (p.loss > 0.0 && unit_hash(k) < p.loss) {
+      out.delivered = false;
+      out.extra_delay_ms = 0.0;
+      out.reordered = false;
+      if (m_lost_ != nullptr) m_lost_->inc();
+      return out;
+    }
+    if (p.jitter_ms > 0.0) {
+      const double extra = p.jitter_ms * unit_hash(k + 1);
+      out.extra_delay_ms += extra;
+      if (extra > 0.0 && m_delayed_ != nullptr) m_delayed_->inc();
+    }
+    if (p.reorder > 0.0 && unit_hash(k + 2) < p.reorder) {
+      out.extra_delay_ms += p.reorder_window_ms * unit_hash(k + 3);
+      out.reordered = true;
+    }
+  }
+  if (out.reordered && m_reordered_ != nullptr) m_reordered_->inc();
+  if (m_delivered_ != nullptr) m_delivered_->inc();
+  return out;
+}
+
+DeliveryOutcome LinkFaultModel::sample_default(std::uint64_t msg_key) const {
+  DeliveryOutcome out;
+  const LinkFaultProfile& p = default_;
+  if (p.clean()) return out;
+  // Same draw layout as sample_path, with a link-independent key.
+  const std::uint64_t k = seed_ ^ util::mix64(msg_key);
+  if (p.loss > 0.0 && unit_hash(k) < p.loss) {
+    out.delivered = false;
+    if (m_lost_ != nullptr) m_lost_->inc();
+    return out;
+  }
+  if (p.jitter_ms > 0.0) {
+    const double extra = p.jitter_ms * unit_hash(k + 1);
+    out.extra_delay_ms += extra;
+    if (extra > 0.0 && m_delayed_ != nullptr) m_delayed_->inc();
+  }
+  if (p.reorder > 0.0 && unit_hash(k + 2) < p.reorder) {
+    out.extra_delay_ms += p.reorder_window_ms * unit_hash(k + 3);
+    out.reordered = true;
+    if (m_reordered_ != nullptr) m_reordered_->inc();
+  }
+  if (m_delivered_ != nullptr) m_delivered_->inc();
+  return out;
+}
+
+void LinkFaultModel::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_delivered_ = m_lost_ = m_delayed_ = m_reordered_ = nullptr;
+    return;
+  }
+  m_delivered_ = &metrics->counter("fault.msg_delivered");
+  m_lost_ = &metrics->counter("fault.msg_lost");
+  m_delayed_ = &metrics->counter("fault.msg_delayed");
+  m_reordered_ = &metrics->counter("fault.msg_reordered");
+}
+
+}  // namespace spider::fault

@@ -1,0 +1,433 @@
+// Tests for the fault-injection layer: hash-determinism of the link
+// fault model, zero-fault byte-identity, loss handling in BCP probing
+// (branch drops, retransmission, budget accounting), the churn driver's
+// bit-for-bit equivalence with a hand-rolled churn loop, and the session
+// layer's miss-threshold / lost-notification behavior.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "fault/churn.hpp"
+#include "fault/fault.hpp"
+#include "test_scenario.hpp"
+
+namespace spider::fault {
+namespace {
+
+using core::BcpConfig;
+using core::BcpEngine;
+using core::ComposeResult;
+
+TEST(LinkFaultModelTest, CleanModelIsInactive) {
+  EXPECT_FALSE(LinkFaultModel().active());
+  EXPECT_FALSE(LinkFaultModel::uniform_loss(0.0).active());
+  EXPECT_TRUE(LinkFaultModel::uniform_loss(0.1).active());
+
+  LinkFaultModel jittery;
+  LinkFaultProfile p;
+  p.jitter_ms = 5.0;
+  jittery.set_link(3, p);
+  EXPECT_TRUE(jittery.active());
+  jittery.clear_link(3);
+  EXPECT_FALSE(jittery.active());
+}
+
+TEST(LinkFaultModelTest, SamplingIsDeterministicInTheKey) {
+  const LinkFaultModel model = LinkFaultModel::uniform_loss(0.5);
+  const overlay::OverlayLinkId links[] = {1, 2, 3};
+  bool any_lost = false, any_delivered = false;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const DeliveryOutcome a = model.sample_path(links, key);
+    const DeliveryOutcome b = model.sample_path(links, key);
+    EXPECT_EQ(a.delivered, b.delivered) << "same key, same outcome";
+    any_lost = any_lost || !a.delivered;
+    any_delivered = any_delivered || a.delivered;
+  }
+  EXPECT_TRUE(any_lost);
+  EXPECT_TRUE(any_delivered);
+}
+
+TEST(LinkFaultModelTest, CertainLossDropsAndEmptyPathDelivers) {
+  const LinkFaultModel model = LinkFaultModel::uniform_loss(1.0);
+  const overlay::OverlayLinkId link = 7;
+  EXPECT_FALSE(model.sample_link(link, 42).delivered);
+  // Local delivery (src == dst) never traverses a link.
+  EXPECT_TRUE(model.sample_path({}, 42).delivered);
+  EXPECT_FALSE(model.sample_default(42).delivered);
+  EXPECT_TRUE(LinkFaultModel::uniform_loss(0.0).sample_default(42).delivered);
+}
+
+TEST(LinkFaultModelTest, PerLinkOverrideWinsOverDefault) {
+  LinkFaultModel model;  // clean default
+  LinkFaultProfile lossy;
+  lossy.loss = 1.0;
+  model.set_link(5, lossy);
+  EXPECT_FALSE(model.sample_link(5, 1).delivered);
+  EXPECT_TRUE(model.sample_link(6, 1).delivered);
+}
+
+TEST(LinkFaultModelTest, JitterIsBoundedAndReorderFlagged) {
+  LinkFaultProfile p;
+  p.jitter_ms = 10.0;
+  p.reorder = 1.0;
+  p.reorder_window_ms = 20.0;
+  const LinkFaultModel model{p};
+  const overlay::OverlayLinkId link = 1;
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    const DeliveryOutcome d = model.sample_link(link, key);
+    ASSERT_TRUE(d.delivered);
+    EXPECT_TRUE(d.reordered);
+    EXPECT_GE(d.extra_delay_ms, 0.0);
+    EXPECT_LE(d.extra_delay_ms, p.jitter_ms + p.reorder_window_ms);
+  }
+}
+
+// --- BCP under the fault model -------------------------------------------
+
+ComposeResult compose_with_model(std::uint64_t seed,
+                                 const LinkFaultModel* model,
+                                 core::ComposeStats* out_stats = nullptr) {
+  auto s = spider::testing::small_scenario(seed);
+  BcpConfig config;
+  config.probing_budget = 64;
+  BcpEngine engine(*s->deployment, *s->alloc, *s->evaluator, s->sim, config);
+  engine.set_fault_model(model);
+  auto req = spider::testing::easy_request(*s);
+  Rng rng(5);
+  ComposeResult r = engine.compose(req, rng);
+  if (out_stats != nullptr) *out_stats = r.stats;
+  return r;
+}
+
+TEST(BcpFaultTest, ZeroProbabilityModelIsByteIdentical) {
+  core::ComposeStats without, with_clean;
+  const ComposeResult a = compose_with_model(7, nullptr, &without);
+  const LinkFaultModel clean = LinkFaultModel::uniform_loss(0.0);
+  const ComposeResult b = compose_with_model(7, &clean, &with_clean);
+
+  ASSERT_EQ(a.success, b.success);
+  EXPECT_EQ(without.probes_spawned, with_clean.probes_spawned);
+  EXPECT_EQ(without.probes_arrived, with_clean.probes_arrived);
+  EXPECT_EQ(without.probe_messages, with_clean.probe_messages);
+  EXPECT_EQ(without.candidates_merged, with_clean.candidates_merged);
+  EXPECT_EQ(with_clean.probe_retransmits, 0u);
+  EXPECT_EQ(with_clean.probe_messages_lost, 0u);
+  ASSERT_TRUE(a.success);
+  EXPECT_EQ(a.best.psi_cost, b.best.psi_cost) << "bit-identical selection";
+  ASSERT_EQ(a.best.mapping.size(), b.best.mapping.size());
+  for (std::size_t i = 0; i < a.best.mapping.size(); ++i) {
+    EXPECT_EQ(a.best.mapping[i].host, b.best.mapping[i].host);
+  }
+}
+
+TEST(BcpFaultTest, ProbeAccountingHoldsUnderLoss) {
+  for (double loss : {0.1, 0.3, 0.6}) {
+    const LinkFaultModel model = LinkFaultModel::uniform_loss(loss);
+    core::ComposeStats stats;
+    compose_with_model(7, &model, &stats);
+    EXPECT_EQ(stats.probes_spawned, stats.probes_arrived +
+                                        stats.probes_dropped_total() +
+                                        stats.probes_forwarded)
+        << "accounting must balance at loss=" << loss;
+  }
+}
+
+TEST(BcpFaultTest, RetransmissionAbsorbsModerateLoss) {
+  const LinkFaultModel model = LinkFaultModel::uniform_loss(0.1);
+  core::ComposeStats stats;
+  const ComposeResult r = compose_with_model(7, &model, &stats);
+  EXPECT_TRUE(r.success) << "10% loss should be absorbed by retransmission";
+  EXPECT_GT(stats.probe_retransmits, 0u);
+  EXPECT_EQ(stats.probe_retransmits, stats.probe_messages_lost -
+                                         stats.probes_dropped_lost -
+                                         stats.candidates_skipped_lost)
+      << "every loss is either retransmitted or gives up a delivery";
+}
+
+TEST(BcpFaultTest, RetransmissionIsBudgetBounded) {
+  // With certain loss every transmission fails, so message count is
+  // bounded by (1 + retx_limit) x the loss-free transmission count.
+  core::ComposeStats clean_stats;
+  compose_with_model(7, nullptr, &clean_stats);
+
+  const LinkFaultModel model = LinkFaultModel::uniform_loss(1.0);
+  core::ComposeStats stats;
+  const ComposeResult r = compose_with_model(7, &model, &stats);
+  EXPECT_FALSE(r.success) << "nothing can be composed when no message lands";
+  const BcpConfig defaults;
+  EXPECT_LE(stats.probe_messages,
+            (1u + std::uint64_t(defaults.probe_retx_limit)) *
+                clean_stats.probe_messages);
+  EXPECT_EQ(stats.probes_arrived, 0u);
+}
+
+TEST(BcpFaultTest, CertainLossOnOneLinkDropsExactlyThatBranch) {
+  // Find the winning first-hop route in a clean run, then make its first
+  // link perfectly lossy: that branch (and only loss-dropped branches)
+  // must disappear while composition still succeeds via others.
+  const ComposeResult clean = compose_with_model(7, nullptr);
+  ASSERT_TRUE(clean.success);
+
+  auto s = spider::testing::small_scenario(7);
+  const overlay::PeerId first_host = clean.best.mapping[0].host;
+  const auto& path =
+      s->deployment->overlay().route(clean.best.source, first_host);
+  ASSERT_TRUE(path.valid);
+  ASSERT_FALSE(path.links.empty());
+
+  LinkFaultModel model;  // clean default, one poisoned link
+  LinkFaultProfile lossy;
+  lossy.loss = 1.0;
+  model.set_link(path.links.front(), lossy);
+
+  BcpConfig config;
+  config.probing_budget = 64;
+  BcpEngine engine(*s->deployment, *s->alloc, *s->evaluator, s->sim, config);
+  engine.set_fault_model(&model);
+  auto req = spider::testing::easy_request(*s);
+  Rng rng(5);
+  const ComposeResult r = engine.compose(req, rng);
+
+  EXPECT_TRUE(r.success) << "other branches must survive";
+  EXPECT_GT(r.stats.probes_dropped_lost + r.stats.candidates_skipped_lost, 0u)
+      << "the poisoned branch must be dropped";
+  if (r.success) {
+    const auto& new_path =
+        s->deployment->overlay().route(r.best.source,
+                                       r.best.mapping[0].host);
+    ASSERT_TRUE(new_path.valid);
+    if (!new_path.links.empty()) {
+      EXPECT_NE(new_path.links.front(), path.links.front())
+          << "the winner cannot start on a link that drops everything";
+    }
+  }
+}
+
+// --- Churn driver ---------------------------------------------------------
+
+TEST(ChurnDriverTest, MatchesHandRolledChurnLoopBitForBit) {
+  // The refactored benches rely on this: replacing the ad-hoc loop with
+  // an equivalent ChurnPlan must reproduce the exact same kill/revive
+  // sequence from the same Rng.
+  const std::size_t kTicks = 6;
+  const double kUnitMs = 1000.0;
+  const double kFailFraction = 0.05;
+  const double kMeanDowntimeUnits = 3.0;
+
+  struct Event {
+    double at_ms;
+    overlay::PeerId peer;
+    bool crash;
+  };
+
+  auto hand_rolled = [&] {
+    auto s = spider::testing::small_scenario(11);
+    std::vector<Event> events;
+    for (std::size_t unit = 0; unit < kTicks; ++unit) {
+      s->sim.schedule_at(double(unit + 1) * kUnitMs, [&, unit] {
+        const auto live = s->deployment->live_peers();
+        const auto kill_count = std::max<std::size_t>(
+            1, std::size_t(double(live.size()) * kFailFraction));
+        for (std::size_t k = 0; k < kill_count; ++k) {
+          const auto survivors = s->deployment->live_peers();
+          if (survivors.size() <= 2) break;
+          const overlay::PeerId victim =
+              survivors[s->rng.next_below(survivors.size())];
+          s->deployment->kill_peer(victim);
+          events.push_back({s->sim.now(), victim, true});
+          const double downtime =
+              s->rng.next_exponential(kMeanDowntimeUnits) * kUnitMs;
+          s->sim.schedule_after(downtime, [&, victim] {
+            s->deployment->revive_peer(victim);
+            events.push_back({s->sim.now(), victim, false});
+          });
+        }
+      });
+    }
+    s->sim.run_until(double(kTicks + 1) * kUnitMs);
+    return events;
+  };
+
+  auto driven = [&] {
+    auto s = spider::testing::small_scenario(11);
+    std::vector<Event> events;
+    ChurnPlan plan;
+    plan.period_ms = kUnitMs;
+    plan.ticks = kTicks;
+    plan.fail_fraction = kFailFraction;
+    plan.mean_downtime = kMeanDowntimeUnits;
+    plan.downtime_scale_ms = kUnitMs;
+    ChurnDriver::Hooks hooks;
+    hooks.live_peers = [&] { return s->deployment->live_peers(); };
+    hooks.kill = [&](PeerId p) {
+      s->deployment->kill_peer(p);
+      events.push_back({s->sim.now(), p, true});
+    };
+    hooks.revive = [&](PeerId p) {
+      s->deployment->revive_peer(p);
+      events.push_back({s->sim.now(), p, false});
+    };
+    ChurnDriver driver(s->sim, s->rng, plan, std::move(hooks));
+    driver.schedule();
+    s->sim.run_until(double(kTicks + 1) * kUnitMs);
+    return events;
+  };
+
+  const auto a = hand_rolled();
+  const auto b = driven();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_ms, b[i].at_ms) << "event " << i;
+    EXPECT_EQ(a[i].peer, b[i].peer) << "event " << i;
+    EXPECT_EQ(a[i].crash, b[i].crash) << "event " << i;
+  }
+}
+
+TEST(ChurnDriverTest, ScriptedEventsFireAtTheirTimes) {
+  auto s = spider::testing::small_scenario(3);
+  ChurnPlan plan;
+  plan.events.push_back({100.0, 4, /*crash=*/true});
+  plan.events.push_back({300.0, 4, /*crash=*/false});
+  std::size_t kills_seen = 0;
+  ChurnDriver::Hooks hooks;
+  hooks.kill = [&](PeerId p) { s->deployment->kill_peer(p); };
+  hooks.revive = [&](PeerId p) { s->deployment->revive_peer(p); };
+  hooks.on_kill = [&](PeerId p, std::size_t tick) {
+    EXPECT_EQ(p, 4u);
+    EXPECT_EQ(tick, std::size_t(-1)) << "scripted crash, not a tick";
+    ++kills_seen;
+  };
+  ChurnDriver driver(s->sim, s->rng, plan, std::move(hooks));
+  driver.schedule();
+  s->sim.schedule_at(200.0, [&] {
+    EXPECT_FALSE(s->deployment->peer_alive(4));
+  });
+  s->sim.run_until(400.0);
+  EXPECT_TRUE(s->deployment->peer_alive(4));
+  EXPECT_EQ(kills_seen, 1u);
+  EXPECT_EQ(driver.crashes(), 1u);
+  EXPECT_EQ(driver.revives(), 1u);
+}
+
+// --- Session layer under faults ------------------------------------------
+
+class SessionFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = spider::testing::small_scenario(/*seed=*/17, /*peers=*/64);
+    BcpConfig config;
+    config.probing_budget = 128;
+    engine_ = std::make_unique<BcpEngine>(*scenario_->deployment,
+                                          *scenario_->alloc,
+                                          *scenario_->evaluator,
+                                          scenario_->sim, config);
+    rng_.reseed(23);
+  }
+
+  void make_manager(core::RecoveryConfig recovery) {
+    recovery.backup_aggressiveness = 30.0;
+    manager_ = std::make_unique<core::SessionManager>(
+        *scenario_->deployment, *scenario_->alloc, *scenario_->evaluator,
+        *engine_, scenario_->sim, recovery);
+  }
+
+  core::SessionId establish_one() {
+    auto req = spider::testing::easy_request(*scenario_);
+    ComposeResult r = engine_->compose(req, rng_);
+    if (!r.success) return core::kInvalidSession;
+    return manager_->establish(req, std::move(r));
+  }
+
+  std::unique_ptr<workload::Scenario> scenario_;
+  std::unique_ptr<BcpEngine> engine_;
+  std::unique_ptr<core::SessionManager> manager_;
+  Rng rng_{23};
+};
+
+TEST_F(SessionFaultTest, MissThresholdDelaysDeclaringAPeerDead) {
+  core::RecoveryConfig recovery;
+  recovery.liveness_miss_threshold = 3;
+  make_manager(recovery);
+  ASSERT_NE(establish_one(), core::kInvalidSession);
+
+  // Every probe round-trip is lost, but all peers are actually alive:
+  // passes 1 and 2 must not trigger recovery, pass 3 must.
+  const LinkFaultModel model = LinkFaultModel::uniform_loss(1.0);
+  manager_->set_fault_model(&model);
+  EXPECT_TRUE(manager_->monitor_active_sessions(rng_).empty());
+  EXPECT_TRUE(manager_->monitor_active_sessions(rng_).empty());
+  EXPECT_FALSE(manager_->monitor_active_sessions(rng_).empty());
+  EXPECT_GT(manager_->stats().false_suspicions, 0u)
+      << "misses of live peers are false suspicions";
+  EXPECT_GT(manager_->stats().liveness_probe_misses, 0u);
+}
+
+TEST_F(SessionFaultTest, SuccessfulProbeResetsMissCount) {
+  core::RecoveryConfig recovery;
+  recovery.liveness_miss_threshold = 2;
+  make_manager(recovery);
+  ASSERT_NE(establish_one(), core::kInvalidSession);
+
+  const LinkFaultModel lossy = LinkFaultModel::uniform_loss(1.0);
+  const LinkFaultModel clean = LinkFaultModel::uniform_loss(0.0);
+  manager_->set_fault_model(&lossy);
+  EXPECT_TRUE(manager_->monitor_active_sessions(rng_).empty());
+  // A clean pass resets every miss counter...
+  manager_->set_fault_model(&clean);
+  EXPECT_TRUE(manager_->monitor_active_sessions(rng_).empty());
+  // ...so one more lossy pass is again below the threshold.
+  manager_->set_fault_model(&lossy);
+  EXPECT_TRUE(manager_->monitor_active_sessions(rng_).empty());
+  EXPECT_FALSE(manager_->monitor_active_sessions(rng_).empty());
+}
+
+TEST_F(SessionFaultTest, LostNotificationFallsBackToMonitorDetection) {
+  core::RecoveryConfig recovery;
+  recovery.liveness_miss_threshold = 1;
+  make_manager(recovery);
+  const core::SessionId id = establish_one();
+  ASSERT_NE(id, core::kInvalidSession);
+
+  // All messages lost: the failure notification cannot reach the source.
+  const LinkFaultModel model = LinkFaultModel::uniform_loss(1.0);
+  manager_->set_fault_model(&model);
+  const auto* active = manager_->active_graph(id);
+  ASSERT_NE(active, nullptr);
+  const PeerId victim = active->mapping.front().host;
+  scenario_->deployment->kill_peer(victim);
+
+  const auto outcomes = manager_->on_peer_failed(victim, rng_);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes.front(), core::RecoveryOutcome::kNotificationLost);
+  EXPECT_EQ(manager_->stats().notifications_lost, 1u);
+  EXPECT_EQ(manager_->stats().breaks, 0u)
+      << "an unaware source cannot have started recovery";
+  ASSERT_NE(manager_->active_graph(id), nullptr)
+      << "the session must still exist, merely broken";
+  EXPECT_TRUE(manager_->active_graph(id)->uses_peer(victim));
+
+  // The periodic monitor times the dead peer out and recovers.
+  const auto monitored = manager_->monitor_active_sessions(rng_);
+  ASSERT_FALSE(monitored.empty());
+  EXPECT_GT(manager_->stats().breaks, 0u);
+}
+
+TEST_F(SessionFaultTest, ZeroFaultMonitorMatchesPlainAlivenessCheck) {
+  core::RecoveryConfig recovery;
+  make_manager(recovery);
+  const core::SessionId id = establish_one();
+  ASSERT_NE(id, core::kInvalidSession);
+
+  const LinkFaultModel clean = LinkFaultModel::uniform_loss(0.0);
+  manager_->set_fault_model(&clean);
+  EXPECT_TRUE(manager_->monitor_active_sessions(rng_).empty());
+  EXPECT_EQ(manager_->stats().liveness_probe_misses, 0u);
+
+  const auto* active = manager_->active_graph(id);
+  ASSERT_NE(active, nullptr);
+  scenario_->deployment->kill_peer(active->mapping.front().host);
+  EXPECT_FALSE(manager_->monitor_active_sessions(rng_).empty())
+      << "default threshold of 1 reacts to the first missed probe";
+}
+
+}  // namespace
+}  // namespace spider::fault

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Reduced-scale benchmark smoke test: run fig8 + fig9 in --quick mode,
+# export their metrics and compare key ratios against the checked-in
+# expectations in bench/baselines.json.
+#
+#   tools/bench_smoke.sh                 # uses ./build
+#   SPIDER_BUILD_DIR=build-ci tools/bench_smoke.sh
+#
+# The runs are deterministic (fixed seed), so a failure means a real
+# behavior change: either a regression, or an intentional tuning that
+# must update bench/baselines.json in the same commit.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${SPIDER_BUILD_DIR:-$repo_root/build}"
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+for bench in bench_fig8_success_ratio bench_fig9_failure_recovery; do
+  if [[ ! -x "$build_dir/bench/$bench" ]]; then
+    echo "error: $build_dir/bench/$bench not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+done
+
+echo "== fig8 (quick) =="
+"$build_dir/bench/bench_fig8_success_ratio" --quick --seed 42 \
+  --metrics-out "$out_dir/fig8.json" | tail -n 3
+echo "== fig9 (quick) =="
+"$build_dir/bench/bench_fig9_failure_recovery" --quick --seed 42 \
+  --metrics-out "$out_dir/fig9.json" | tail -n 3
+
+python3 - "$repo_root/bench/baselines.json" "$out_dir" <<'PY'
+import json
+import sys
+
+baselines_path, out_dir = sys.argv[1], sys.argv[2]
+with open(baselines_path) as f:
+    baselines = json.load(f)
+
+metrics = {}
+failures = 0
+for check in baselines["checks"]:
+    bench = check["bench"]
+    if bench not in metrics:
+        with open(f"{out_dir}/{bench}.json") as f:
+            metrics[bench] = json.load(f)["counters"]
+    counters = metrics[bench]
+    num = sum(counters.get(k, 0) for k in check["numerator"])
+    den = sum(counters.get(k, 0) for k in check["denominator"])
+    if den == 0:
+        print(f"FAIL {bench}:{check['name']}: denominator is zero "
+              f"({check['denominator']})")
+        failures += 1
+        continue
+    actual = num / den
+    delta = abs(actual - check["expected"])
+    status = "ok  " if delta <= check["abs_tol"] else "FAIL"
+    print(f"{status} {bench}:{check['name']}: actual={actual:.4f} "
+          f"expected={check['expected']} (+/- {check['abs_tol']})")
+    if delta > check["abs_tol"]:
+        failures += 1
+
+if failures:
+    print(f"\n{failures} baseline check(s) failed. If the change is "
+          "intentional, update bench/baselines.json in the same commit.")
+    sys.exit(1)
+print("\nall baseline checks passed")
+PY

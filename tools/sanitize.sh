@@ -12,9 +12,26 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${SPIDER_SANITIZE_BUILD_DIR:-$repo_root/build-sanitize}"
 
+# Probe sanitizer support up front so an unsupported toolchain fails
+# with one actionable message, not a wall of compile errors. (CMake also
+# re-checks at configure time; this catches a missing compiler entirely.)
+cxx="${CXX:-c++}"
+if ! command -v "$cxx" >/dev/null 2>&1; then
+  echo "error: no C++ compiler found (set \$CXX); cannot run sanitizers" >&2
+  exit 1
+fi
+if ! echo 'int main(){return 0;}' | "$cxx" -x c++ - -fsanitize=address,undefined \
+     -o /dev/null >/dev/null 2>&1; then
+  echo "error: $cxx cannot build with -fsanitize=address,undefined." >&2
+  echo "       Install the sanitizer runtimes (libasan/libubsan for GCC," >&2
+  echo "       compiler-rt for Clang) or use a toolchain that ships them." >&2
+  exit 1
+fi
+
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSPIDER_SANITIZE=address,undefined
+  -DSPIDER_SANITIZE=address,undefined \
+  -DSPIDER_WERROR="${SPIDER_WERROR:-OFF}"
 
 cmake --build "$build_dir" -j"$(nproc)"
 
