@@ -1,14 +1,31 @@
 #include "core/allocator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "obs/metrics.hpp"
 
 namespace spider::core {
 
+namespace {
+
+/// Lazily binds and bumps a counter (first event registers it), so runs
+/// that never trigger the event export unchanged metrics JSON.
+void bump(obs::MetricsRegistry* registry, obs::Counter*& counter,
+          const char* name, std::uint64_t delta = 1) {
+  if (registry == nullptr || delta == 0) return;
+  if (counter == nullptr) counter = &registry->counter(name);
+  counter->inc(delta);
+}
+
+}  // namespace
+
 void AllocationManager::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
+  // Lease counters rebind lazily (see bump()); they only appear in
+  // exports once a lease event actually happens.
+  m_lease_renewals_ = m_lease_expirations_ = m_lease_reclaimed_kbps_ = nullptr;
   if (metrics == nullptr) {
     m_reserved_ = m_reserve_failures_ = m_confirmed_ = m_confirm_failures_ =
         m_released_ = m_expired_ = m_direct_grants_ =
@@ -38,42 +55,56 @@ void AllocationManager::update_outstanding_gauges() {
   }
 }
 
-void AllocationManager::count_expired(HoldId hold) {
-  // A path hold spans several links and its purge may be observed from
-  // any of them; count only the erase that actually removed the record.
-  if (holds_.erase(hold) > 0 && m_expired_ != nullptr) {
-    m_expired_->inc();
+void AllocationManager::purge_hold(HoldId hold_id) {
+  // A path hold spans several links and its expiry may be observed from
+  // any of them; purge it from *every* structure it touches at once so
+  // no link/peer keeps a dangling entry (and the outstanding-hold gauge
+  // never disagrees with availability).
+  auto it = holds_.find(hold_id);
+  if (it == holds_.end()) return;
+  const Hold& hold = it->second;
+  if (hold.peer != overlay::kInvalidPeer) {
+    peer_state_[hold.peer].soft.erase(hold_id);
   }
+  for (overlay::OverlayLinkId link : hold.links) {
+    link_state_[link].soft.erase(hold_id);
+  }
+  holds_.erase(it);
+  if (m_expired_ != nullptr) m_expired_->inc();
 }
 
 void AllocationManager::purge_expired_peer(PeerState& state) {
   const sim::Time now = sim_->now();
-  bool purged = false;
-  for (auto it = state.soft.begin(); it != state.soft.end();) {
-    if (it->second.expire_at <= now) {
-      count_expired(it->first);
-      it = state.soft.erase(it);
-      purged = true;
-    } else {
-      ++it;
-    }
+  // Collect first: purge_hold mutates state.soft.
+  std::vector<HoldId> expired;
+  for (const auto& [id, ph] : state.soft) {
+    if (ph.expire_at <= now) expired.push_back(id);
   }
-  if (purged) update_outstanding_gauges();
+  if (expired.empty()) return;
+  for (HoldId id : expired) purge_hold(id);
+  update_outstanding_gauges();
 }
 
 void AllocationManager::purge_expired_link(LinkState& state) {
   const sim::Time now = sim_->now();
-  bool purged = false;
-  for (auto it = state.soft.begin(); it != state.soft.end();) {
-    if (it->second.expire_at <= now) {
-      count_expired(it->first);
-      it = state.soft.erase(it);
-      purged = true;
-    } else {
-      ++it;
-    }
+  std::vector<HoldId> expired;
+  for (const auto& [id, lh] : state.soft) {
+    if (lh.expire_at <= now) expired.push_back(id);
   }
-  if (purged) update_outstanding_gauges();
+  if (expired.empty()) return;
+  for (HoldId id : expired) purge_hold(id);
+  update_outstanding_gauges();
+}
+
+void AllocationManager::sweep_expired() {
+  const sim::Time now = sim_->now();
+  std::vector<HoldId> expired;
+  for (const auto& [id, hold] : holds_) {
+    if (hold.expire_at <= now) expired.push_back(id);
+  }
+  if (expired.empty()) return;
+  for (HoldId id : expired) purge_hold(id);
+  update_outstanding_gauges();
 }
 
 service::Resources AllocationManager::peer_available(PeerId peer) {
@@ -171,11 +202,63 @@ bool AllocationManager::confirm(HoldId hold_id, SessionId session) {
   }
   grants_[session].push_back(std::move(grant));
   holds_.erase(it);
+  stamp_lease(session);
   if (m_confirmed_ != nullptr) {
     m_confirmed_->inc();
     update_outstanding_gauges();
   }
   return true;
+}
+
+void AllocationManager::stamp_lease(SessionId session) {
+  if (lease_ttl_ms_ <= 0.0) return;
+  lease_renew_by_[session] = sim_->now() + lease_ttl_ms_;
+}
+
+void AllocationManager::renew_session(SessionId session) {
+  if (lease_ttl_ms_ <= 0.0) return;
+  auto it = lease_renew_by_.find(session);
+  if (it == lease_renew_by_.end()) return;
+  it->second = sim_->now() + lease_ttl_ms_;
+  ++lease_renewals_;
+  bump(metrics_, m_lease_renewals_, "alloc.lease_renewals");
+}
+
+std::optional<sim::Time> AllocationManager::lease_renew_by(
+    SessionId session) const {
+  auto it = lease_renew_by_.find(session);
+  if (it == lease_renew_by_.end()) return std::nullopt;
+  return it->second;
+}
+
+void AllocationManager::count_lease_reclaim(const std::vector<Grant>& grants) {
+  double kbps = 0.0;
+  for (const Grant& grant : grants) {
+    kbps += grant.kbps * double(grant.links.size());
+  }
+  lease_reclaimed_kbps_ += kbps;
+  ++lease_expirations_;
+  bump(metrics_, m_lease_expirations_, "alloc.lease_expirations");
+  bump(metrics_, m_lease_reclaimed_kbps_, "alloc.lease_reclaimed_kbps",
+       std::uint64_t(std::llround(kbps)));
+}
+
+std::size_t AllocationManager::reclaim_expired_leases() {
+  if (lease_ttl_ms_ <= 0.0) return 0;
+  const sim::Time now = sim_->now();
+  std::vector<SessionId> expired;
+  for (const auto& [session, renew_by] : lease_renew_by_) {
+    if (renew_by <= now) expired.push_back(session);
+  }
+  // Deterministic reclaim order (the map iterates in hash order).
+  std::sort(expired.begin(), expired.end());
+  for (SessionId session : expired) {
+    if (auto it = grants_.find(session); it != grants_.end()) {
+      count_lease_reclaim(it->second);
+    }
+    release_session(session);
+  }
+  return expired.size();
 }
 
 void AllocationManager::release_hold(HoldId hold_id) {
@@ -196,6 +279,7 @@ void AllocationManager::release_hold(HoldId hold_id) {
 }
 
 void AllocationManager::release_session(SessionId session) {
+  lease_renew_by_.erase(session);
   auto it = grants_.find(session);
   if (it == grants_.end()) return;
   for (const Grant& grant : it->second) {
@@ -254,11 +338,46 @@ bool AllocationManager::grant_direct(
     link_state_[link].confirmed_kbps += kbps;
     grant_list.push_back(std::move(g));
   }
+  stamp_lease(session);
   if (m_direct_grants_ != nullptr) {
     m_direct_grants_->inc();
     update_outstanding_gauges();
   }
   return true;
+}
+
+std::vector<SessionId> AllocationManager::granted_sessions() const {
+  std::vector<SessionId> ids;
+  ids.reserve(grants_.size());
+  for (const auto& [session, grant_list] : grants_) ids.push_back(session);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+AllocationManager::SessionGrantTotals AllocationManager::session_grant_totals(
+    SessionId session) const {
+  SessionGrantTotals totals;
+  auto it = grants_.find(session);
+  if (it == grants_.end()) return totals;
+  for (const Grant& grant : it->second) {
+    if (grant.peer != overlay::kInvalidPeer) {
+      totals.peer_total += grant.peer_amount;
+    }
+    totals.link_kbps_total += grant.kbps * double(grant.links.size());
+    ++totals.grant_count;
+  }
+  return totals;
+}
+
+std::size_t AllocationManager::dangling_soft_entries() const {
+  std::size_t dangling = 0;
+  for (const PeerState& state : peer_state_) {
+    for (const auto& [id, ph] : state.soft) dangling += holds_.count(id) == 0;
+  }
+  for (const LinkState& state : link_state_) {
+    for (const auto& [id, lh] : state.soft) dangling += holds_.count(id) == 0;
+  }
+  return dangling;
 }
 
 }  // namespace spider::core

@@ -14,7 +14,18 @@
 //   release_session(session)         (teardown / failure)
 //
 // Expiry is lazy: expired holds are purged whenever availability for the
-// same peer/link is inspected, so no simulator events are needed.
+// same peer/link is inspected, so no simulator events are needed. A purge
+// is complete — detecting an expired hold on one link removes it from
+// every structure it touches — and sweep_expired() purges everything at
+// once, so the outstanding-hold gauge never lags availability.
+//
+// Session grants are optionally *leased* (set_lease_ttl_ms > 0): each
+// granted session carries a renew_by deadline that renew_session() pushes
+// forward, and reclaim_expired_leases() returns un-renewed grants to
+// availability — the session-time half of the paper's soft-state story,
+// protecting capacity from sources that crashed or whose teardown was
+// lost. The default ttl of 0 means grants never expire (seed behaviour,
+// bit-for-bit).
 #pragma once
 
 #include <algorithm>
@@ -101,6 +112,33 @@ class AllocationManager : public AvailabilityView {
   /// Frees everything granted to `session`.
   void release_session(SessionId session);
 
+  // ----- session leases (soft session-time state) -----
+
+  /// Lease time-to-live for session grants. 0 (the default) disables
+  /// leasing entirely: grants are permanent until released, the seed
+  /// behaviour. With a positive ttl, confirm()/grant_direct() stamp the
+  /// session's `renew_by = now + ttl`, renew_session() refreshes it, and
+  /// reclaim_expired_leases() frees sessions that missed their deadline.
+  void set_lease_ttl_ms(double ttl_ms) { lease_ttl_ms_ = ttl_ms; }
+  double lease_ttl_ms() const { return lease_ttl_ms_; }
+
+  /// Pushes `session`'s lease deadline to now + ttl. No-op (and uncounted)
+  /// when leasing is off or the session holds no grants.
+  void renew_session(SessionId session);
+
+  /// Reclaims every session whose lease deadline has passed, returning
+  /// its grants to availability. Returns the number of sessions freed.
+  std::size_t reclaim_expired_leases();
+
+  /// The session's lease deadline, if it is granted and leasing is on.
+  std::optional<sim::Time> lease_renew_by(SessionId session) const;
+
+  // Cumulative lease accounting (valid with or without a metrics
+  // registry; mirrored into alloc.lease_* counters when one is attached).
+  std::uint64_t lease_renewals() const { return lease_renewals_; }
+  std::uint64_t lease_expirations() const { return lease_expirations_; }
+  double lease_reclaimed_kbps() const { return lease_reclaimed_kbps_; }
+
   /// Direct session grant without a prior hold (used by the baselines,
   /// which have no probing phase). All-or-nothing across the peer demands
   /// and link demands given. Returns false and changes nothing on failure.
@@ -114,6 +152,28 @@ class AllocationManager : public AvailabilityView {
 
   std::size_t active_holds() const { return holds_.size(); }
   std::size_t active_grants() const { return grants_.size(); }
+
+  /// Purges every expired soft hold right now, across all peers and
+  /// links, so availability and the outstanding-hold gauge agree without
+  /// waiting for a query to touch each peer.
+  void sweep_expired();
+
+  /// Session ids that currently own at least one grant (sorted). The
+  /// anti-entropy audit cross-checks this against live sessions.
+  std::vector<SessionId> granted_sessions() const;
+
+  /// Aggregate of everything granted to one session.
+  struct SessionGrantTotals {
+    service::Resources peer_total;     ///< summed component demands
+    double link_kbps_total = 0.0;      ///< Σ kbps · links over link grants
+    std::size_t grant_count = 0;
+  };
+  SessionGrantTotals session_grant_totals(SessionId session) const;
+
+  /// Soft-map entries whose hold record no longer exists. Always 0 now
+  /// that purges are complete; kept as a cheap consistency probe for
+  /// tests (a partial purge regression would make it positive).
+  std::size_t dangling_soft_entries() const;
 
   /// Attaches a metrics registry (null detaches). Publishes cumulative
   /// "alloc.*" counters (reserve/confirm/release/expire outcomes) and
@@ -155,8 +215,12 @@ class AllocationManager : public AvailabilityView {
 
   void purge_expired_peer(PeerState& state);
   void purge_expired_link(LinkState& state);
-  void count_expired(HoldId hold);
+  /// Removes one expired hold from every structure it touches (its peer's
+  /// soft map, every link's soft map, the hold table) and counts it.
+  void purge_hold(HoldId hold);
   void update_outstanding_gauges();
+  void stamp_lease(SessionId session);
+  void count_lease_reclaim(const std::vector<Grant>& grants);
 
   Deployment* deployment_;
   sim::Simulator* sim_;
@@ -166,6 +230,13 @@ class AllocationManager : public AvailabilityView {
   std::unordered_map<SessionId, std::vector<Grant>> grants_;
   HoldId next_hold_id_ = 1;
   SessionId next_session_id_ = 1;
+
+  // Session leases (empty map while lease_ttl_ms_ == 0).
+  double lease_ttl_ms_ = 0.0;
+  std::unordered_map<SessionId, sim::Time> lease_renew_by_;
+  std::uint64_t lease_renewals_ = 0;
+  std::uint64_t lease_expirations_ = 0;
+  double lease_reclaimed_kbps_ = 0.0;
 
   // Observability (all null when no registry is attached).
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -179,6 +250,11 @@ class AllocationManager : public AvailabilityView {
   obs::Counter* m_direct_grant_failures_ = nullptr;
   obs::Gauge* m_holds_outstanding_ = nullptr;
   obs::Gauge* m_grants_outstanding_ = nullptr;
+  // Lease counters bind lazily (first event), so runs with leasing off
+  // export exactly the same metrics JSON as before leases existed.
+  obs::Counter* m_lease_renewals_ = nullptr;
+  obs::Counter* m_lease_expirations_ = nullptr;
+  obs::Counter* m_lease_reclaimed_kbps_ = nullptr;
 };
 
 }  // namespace spider::core

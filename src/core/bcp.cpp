@@ -805,25 +805,51 @@ void BcpEngine::finalize(ComposeState& state) {
   stats.discovery_time_ms = critical_disc;
 
   if (!qualified.empty()) {
-    result.success = true;
-    if (trace_ != nullptr) {
-      obs::TraceRecord rec;
-      rec.event = obs::TraceEvent::kGraphSelected;
-      rec.time_ms = last_arrival;
-      rec.value = selection_key(qualified.front().graph);
-      trace_->record(std::move(rec));
-    }
-    result.best = std::move(qualified.front().graph);
-    result.best_holds = std::move(qualified.front().holds);
-    for (std::size_t i = 1; i < qualified.size() &&
-                            result.backups.size() < config_.max_backups_returned;
-         ++i) {
-      result.backups.push_back(std::move(qualified[i].graph));
-    }
     // Step 4: the acknowledgement travels the reversed selected graph.
-    stats.probe_messages += result.best.hops.size();
-    stats.setup_time_ms = last_arrival + evaluator_->ack_time_ms(result.best) +
-                          config_.per_hop_processing_ms;
+    // Under the fault model every hop is a real, retransmitted message
+    // (same deliver_hop machinery as forward probes); if a hop stays
+    // undelivered the source never learns which composition was selected
+    // and the request fails — its holds are released below and expire at
+    // the peers, the paper's timeout-based cancellation.
+    bool ack_ok = true;
+    double ack_extra_ms = 0.0;
+    for (std::size_t h = 0; h < qualified.front().graph.hops.size(); ++h) {
+      ++stats.probe_messages;
+      const HopDelivery d = deliver_hop(
+          state, qualified.front().graph.hops[h].path,
+          util::hash_values(state.noise_salt, std::uint64_t{0xac4eu}, h),
+          nullptr);
+      ack_extra_ms += d.added_latency_ms;
+      if (!d.delivered) {
+        ack_ok = false;
+        break;
+      }
+    }
+    if (ack_ok) {
+      result.success = true;
+      if (trace_ != nullptr) {
+        obs::TraceRecord rec;
+        rec.event = obs::TraceEvent::kGraphSelected;
+        rec.time_ms = last_arrival;
+        rec.value = selection_key(qualified.front().graph);
+        trace_->record(std::move(rec));
+      }
+      result.best = std::move(qualified.front().graph);
+      result.best_holds = std::move(qualified.front().holds);
+      for (std::size_t i = 1;
+           i < qualified.size() &&
+           result.backups.size() < config_.max_backups_returned;
+           ++i) {
+        result.backups.push_back(std::move(qualified[i].graph));
+      }
+      stats.setup_time_ms = last_arrival + evaluator_->ack_time_ms(result.best) +
+                            config_.per_hop_processing_ms + ack_extra_ms;
+    } else {
+      ++stats.setup_acks_lost;
+      // The source sat through the ack's retransmission timeouts for
+      // nothing; charge them to the (failed) setup time.
+      stats.setup_time_ms = last_arrival + ack_extra_ms;
+    }
   } else {
     stats.setup_time_ms = last_arrival;
   }
@@ -883,6 +909,9 @@ void BcpEngine::flush_metrics(const ComposeStats& stats, bool success) {
   }
   if (stats.probe_messages_lost > 0) {
     m.counter("bcp.probe_messages_lost").inc(stats.probe_messages_lost);
+  }
+  if (stats.setup_acks_lost > 0) {
+    m.counter("bcp.setup_ack_lost").inc(stats.setup_acks_lost);
   }
   m.counter("bcp.holds_acquired").inc(stats.holds_acquired);
   m.counter("bcp.holds_reused").inc(stats.holds_reused);

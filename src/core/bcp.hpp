@@ -152,6 +152,9 @@ struct ComposeStats {
   std::uint64_t probe_retransmits = 0;     ///< extra sends that happened
   std::uint64_t probe_hop_timeouts = 0;    ///< per-hop retx timer firings
   std::uint64_t probe_messages_lost = 0;   ///< transmissions the net dropped
+  /// Selected compositions abandoned because the step-4 setup ack never
+  /// survived a hop despite retransmission (the request then fails).
+  std::uint64_t setup_acks_lost = 0;
   // Soft-hold dedup effectiveness: fresh reservations vs sibling reuse.
   std::uint64_t holds_acquired = 0;
   std::uint64_t holds_reused = 0;

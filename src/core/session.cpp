@@ -18,11 +18,18 @@ namespace {
 /// on first use, not in set_metrics, so a fault-free run exports exactly
 /// the same metrics JSON as before the fault layer existed.
 void bump(obs::MetricsRegistry* registry, obs::Counter*& counter,
-          const char* name) {
-  if (registry == nullptr) return;
+          const char* name, std::uint64_t delta = 1) {
+  if (registry == nullptr || delta == 0) return;
   if (counter == nullptr) counter = &registry->counter(name);
-  counter->inc();
+  counter->inc(delta);
 }
+
+// Message-kind tags namespacing the fault-sampling keys of lifecycle
+// control legs (arbitrary distinct constants).
+constexpr std::uint64_t kCtrlConfirm = 0xc0f1u;
+constexpr std::uint64_t kCtrlTeardown = 0x7ead0u;
+constexpr std::uint64_t kCtrlSwitch = 0x5a17c4u;
+constexpr std::uint64_t kCtrlRenew = 0x1ea5eu;
 
 }  // namespace
 
@@ -32,6 +39,9 @@ void SessionManager::set_metrics(obs::MetricsRegistry* metrics) {
   // up in exports once a miss/loss actually happens.
   m_probe_misses_ = m_false_suspicions_ = m_notifications_lost_ =
       m_probe_timeouts_ = nullptr;
+  m_ctrl_retransmits_ = m_ctrl_duplicates_ = m_confirms_lost_ =
+      m_teardowns_lost_ = m_switch_activations_lost_ = m_source_crashes_ =
+          m_orphans_reclaimed_ = m_lease_renewals_sent_ = nullptr;
   if (metrics == nullptr) {
     m_established_ = m_teardowns_ = m_breaks_ = m_backup_switches_ =
         m_reactive_recoveries_ = m_losses_ = m_maintenance_messages_ = nullptr;
@@ -58,6 +68,68 @@ void SessionManager::update_active_gauge() {
   if (m_active_sessions_ != nullptr) {
     m_active_sessions_->set(double(sessions_.size()));
   }
+}
+
+std::vector<overlay::OverlayLinkId> SessionManager::graph_route(
+    const ServiceGraph& graph) {
+  std::vector<overlay::OverlayLinkId> links;
+  for (const auto& hop : graph.hops) {
+    links.insert(links.end(), hop.path.links.begin(), hop.path.links.end());
+  }
+  return links;
+}
+
+void SessionManager::erase_session(SessionId id) {
+  std::erase_if(ctrl_applied_,
+                [id](const CtrlKey& k) { return k.session == id; });
+  sessions_.erase(id);
+}
+
+SessionManager::CtrlOutcome SessionManager::send_control(
+    Session& session, std::uint64_t tag,
+    const std::vector<overlay::OverlayLinkId>& links) {
+  CtrlOutcome out;
+  if (fault_ == nullptr || !fault_->active()) {
+    // Reliable network: one attempt, delivered and acked. Nothing is
+    // counted, keeping fault-free runs bit-identical to the seed.
+    out.acked = out.applied = true;
+    return out;
+  }
+  const CtrlKey op{session.id, session.epoch, session.ctrl_seq++};
+  const std::uint64_t op_key =
+      util::hash_values(tag, op.session, op.epoch, op.seq);
+  const int max_attempts = 1 + std::max(config_.ctrl_retry_limit, 0);
+  double rto = std::max(config_.ctrl_min_rto_ms, 1.0);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff between attempts. The exchange is synchronous
+      // in the simulation, so the backoff is latency bookkeeping, not a
+      // scheduled event.
+      ++stats_.ctrl_retransmits;
+      bump(metrics_, m_ctrl_retransmits_, "session.ctrl_retransmits");
+      stats_.ctrl_backoff_ms += rto;
+      rto *= 2.0;
+    }
+    out.attempts = attempt + 1;
+    const std::uint64_t key = util::hash_values(op_key, std::uint64_t(attempt));
+    if (!fault_->sample_path(links, key).delivered) continue;  // request lost
+    // The request arrived. The first delivery applies the operation; any
+    // retransmitted duplicate hits the (session, epoch, seq) dedup set
+    // and is merely re-acked — the operation is idempotent.
+    if (!ctrl_applied_.insert(op).second) {
+      ++stats_.ctrl_duplicates;
+      bump(metrics_, m_ctrl_duplicates_, "session.ctrl_duplicates");
+    }
+    out.applied = true;
+    const std::uint64_t ack_key = util::hash_values(key, std::uint64_t{0xacu});
+    if (fault_->sample_path(links, ack_key).delivered) {
+      out.acked = true;
+      return out;
+    }
+  }
+  // Retry budget exhausted without an ack: the caller must degrade to
+  // abort-and-release (or strand-and-let-leases-reclaim), never hang.
+  return out;
 }
 
 int SessionManager::backup_count(const ServiceGraph& graph,
@@ -206,6 +278,27 @@ SessionId SessionManager::establish(const service::CompositeRequest& request,
   session.request = request;
   session.active = std::move(composed.best);
 
+  // Confirm leg: the source tells the graph's peers their holds are now
+  // session grants. Under the fault model this is a retried round-trip;
+  // without one it trivially succeeds.
+  const CtrlOutcome confirm =
+      send_control(session, kCtrlConfirm, graph_route(session.active));
+  if (!confirm.acked) {
+    ++stats_.confirms_lost;
+    bump(metrics_, m_confirms_lost_, "session.confirm_lost");
+    if (!confirm.applied) {
+      // No peer ever saw the confirm: in the real protocol the holds
+      // would simply expire unconverted; release the grants now.
+      alloc_->release_session(id);
+    }
+    // else: the peers applied the confirm but every ack was lost — the
+    // source aborts, and the grants strand until a lease expires or an
+    // audit() pass reclaims the orphan.
+    erase_session(id);  // drops dedup residue; no session was registered
+    return kInvalidSession;
+  }
+  session.state = SessionState::kActive;
+
   if (config_.proactive) {
     const int gamma = backup_count(session.active, request,
                                    composed.backups.size() + 1);
@@ -258,6 +351,18 @@ SessionId SessionManager::establish_direct(
   session.id = id;
   session.request = request;
   session.active = std::move(graph);
+  // Same confirm leg as establish(): direct admission still has to tell
+  // the graph's peers they are part of a session now.
+  const CtrlOutcome confirm =
+      send_control(session, kCtrlConfirm, graph_route(session.active));
+  if (!confirm.acked) {
+    ++stats_.confirms_lost;
+    bump(metrics_, m_confirms_lost_, "session.confirm_lost");
+    if (!confirm.applied) alloc_->release_session(id);
+    erase_session(id);
+    return kInvalidSession;
+  }
+  session.state = SessionState::kActive;
   if (config_.proactive) {
     const int gamma =
         backup_count(session.active, request, backup_pool.size() + 1);
@@ -283,11 +388,49 @@ SessionId SessionManager::establish_direct(
 }
 
 void SessionManager::teardown(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) {
+    Session& session = it->second;
+    session.state = SessionState::kTornDown;
+    const CtrlOutcome out =
+        send_control(session, kCtrlTeardown, graph_route(session.active));
+    if (!out.applied) {
+      // No teardown request ever arrived: the peers keep the grants
+      // (stranded until lease expiry or audit() reclaims them), but the
+      // source still forgets the session.
+      ++stats_.teardowns_lost;
+      bump(metrics_, m_teardowns_lost_, "session.teardown_lost");
+      erase_session(id);
+      if (m_teardowns_ != nullptr) m_teardowns_->inc();
+      update_active_gauge();
+      return;
+    }
+  }
   alloc_->release_session(id);
-  if (sessions_.erase(id) > 0 && m_teardowns_ != nullptr) {
-    m_teardowns_->inc();
+  if (it != sessions_.end()) {
+    erase_session(id);
+    if (m_teardowns_ != nullptr) m_teardowns_->inc();
   }
   update_active_gauge();
+}
+
+std::size_t SessionManager::on_source_crashed(PeerId source) {
+  std::vector<SessionId> dead;
+  for (const auto& [id, session] : sessions_) {
+    if (session.active.source == source) dead.push_back(id);
+  }
+  std::sort(dead.begin(), dead.end());
+  for (SessionId id : dead) {
+    sessions_.at(id).state = SessionState::kTornDown;
+    ++stats_.source_crashes;
+    bump(metrics_, m_source_crashes_, "session.source_crashes");
+    // Deliberately no release_session: the crashed source cannot tear
+    // anything down. Its grants are exactly what leases and the
+    // anti-entropy audit exist to reclaim.
+    erase_session(id);
+  }
+  update_active_gauge();
+  return dead.size();
 }
 
 bool SessionManager::admit(Session& session, ServiceGraph graph) {
@@ -322,6 +465,7 @@ RecoveryOutcome SessionManager::recover(Session& session, Rng& rng) {
   if (m_breaks_ != nullptr) m_breaks_->inc();
   if (config_.proactive) {
     // Fast path: first surviving, admissible backup.
+    session.state = SessionState::kSwitching;
     while (!session.backups.empty()) {
       ServiceGraph candidate = std::move(session.backups.front());
       session.backups.erase(session.backups.begin());
@@ -333,10 +477,24 @@ RecoveryOutcome SessionManager::recover(Session& session, Rng& rng) {
         }
       }
       if (!alive) continue;
+      // Switch-activation leg: the source must reach the candidate's
+      // peers to activate the backup graph. An unacked activation skips
+      // the candidate — nothing was granted yet, so an applied-but-
+      // unacked activation strands nothing in the allocator.
+      const CtrlOutcome activation =
+          send_control(session, kCtrlSwitch, graph_route(candidate));
+      if (!activation.acked) {
+        ++stats_.switch_activations_lost;
+        bump(metrics_, m_switch_activations_lost_,
+             "session.switch_activation_lost");
+        continue;
+      }
       const double disruption =
           double(session.active.mapping.size()) -
           double(candidate.overlap(session.active));
       if (admit(session, std::move(candidate))) {
+        ++session.epoch;
+        session.state = SessionState::kActive;
         ++stats_.backup_switches;
         if (m_backup_switches_ != nullptr) m_backup_switches_->inc();
         stats_.switch_disruption_sum += disruption;
@@ -346,6 +504,7 @@ RecoveryOutcome SessionManager::recover(Session& session, Rng& rng) {
     }
   }
   // Slow path: reactive re-composition via BCP.
+  session.state = SessionState::kRecovering;
   ComposeResult re = bcp_->compose(session.request, rng);
   if (re.success) {
     // Convert the re-composition's holds into grants.
@@ -359,6 +518,8 @@ RecoveryOutcome SessionManager::recover(Session& session, Rng& rng) {
     }
     if (ok) {
       session.active = std::move(re.best);
+      ++session.epoch;
+      session.state = SessionState::kActive;
       if (config_.proactive) {
         session.backups.clear();
         session.pool = std::move(re.backups);
@@ -370,6 +531,7 @@ RecoveryOutcome SessionManager::recover(Session& session, Rng& rng) {
     }
     for (HoldId hold : re.best_holds) alloc_->release_hold(hold);
   }
+  session.state = SessionState::kTornDown;  // caller tears the session down
   ++stats_.losses;
   if (m_losses_ != nullptr) m_losses_->inc();
   return RecoveryOutcome::kLost;
@@ -435,10 +597,7 @@ bool SessionManager::probe_responds(PeerId source, PeerId peer) {
   const auto& path = deployment_->overlay().route(source, peer);
   if (!path.valid) return false;  // partitioned: the probe cannot reach
   // Round trip: the probe and its ack are independent transmissions.
-  return fault_->sample_path(path.links, key).delivered &&
-         fault_->sample_path(path.links,
-                             util::hash_values(key, std::uint64_t{0xacu}))
-             .delivered;
+  return fault_->sample_round_trip(path.links, key).delivered;
 }
 
 std::vector<RecoveryOutcome> SessionManager::monitor_active_sessions(
@@ -520,7 +679,27 @@ void SessionManager::refill_backups(Session& session) {
 }
 
 void SessionManager::run_maintenance() {
+  const bool leased = alloc_->lease_ttl_ms() > 0.0;
+  const bool faults_active = fault_ != nullptr && fault_->active();
   for (auto& [id, session] : sessions_) {
+    if (leased) {
+      // Lease renewal piggybacks on the maintenance beat: one renewal
+      // message per session per pass. It is fire-and-forget soft state —
+      // a lost renewal is simply retried by the next pass, so the only
+      // penalty of loss is a closer brush with the ttl deadline.
+      ++stats_.lease_renew_messages;
+      ++stats_.maintenance_messages;
+      if (m_maintenance_messages_ != nullptr) m_maintenance_messages_->inc();
+      bump(metrics_, m_lease_renewals_sent_, "session.lease_renewals_sent");
+      bool delivered = true;
+      if (faults_active) {
+        const std::uint64_t key =
+            util::hash_values(kCtrlRenew, id, session.ctrl_seq++);
+        delivered =
+            fault_->sample_path(graph_route(session.active), key).delivered;
+      }
+      if (delivered) alloc_->renew_session(id);
+    }
     std::vector<ServiceGraph> kept;
     kept.reserve(session.backups.size());
     for (ServiceGraph& backup : session.backups) {
@@ -546,6 +725,83 @@ void SessionManager::run_maintenance() {
     session.backups = std::move(kept);
     refill_backups(session);
   }
+}
+
+SessionManager::AuditReport SessionManager::audit() {
+  AuditReport report;
+  // 1. Sweep probe-time soft state: expired holds leave availability and
+  //    the outstanding-hold gauge in agreement right now.
+  const std::size_t holds_before = alloc_->active_holds();
+  alloc_->sweep_expired();
+  report.expired_holds = holds_before - alloc_->active_holds();
+  // 2. Sweep session-time soft state: leases that missed their deadline.
+  report.leases_reclaimed = alloc_->reclaim_expired_leases();
+  // 3. Reclaim orphans: grant sets whose session is not live here —
+  //    crashed sources, lost teardowns, confirm legs whose ack vanished.
+  for (SessionId id : alloc_->granted_sessions()) {
+    if (sessions_.find(id) != sessions_.end()) continue;
+    const auto totals = alloc_->session_grant_totals(id);
+    report.orphan_kbps += totals.link_kbps_total;
+    ++report.orphan_sessions;
+    ++stats_.orphans_reclaimed;
+    bump(metrics_, m_orphans_reclaimed_, "session.orphans_reclaimed");
+    alloc_->release_session(id);
+  }
+  // 4. Conservation: what the allocator holds for each live session must
+  //    equal that session's active-graph demand. A live session with no
+  //    grants at all lost its lease (every renewal was lost, or the ttl
+  //    is shorter than the maintenance period): its peers already
+  //    reclaimed the capacity, so the session is dead — tear it down
+  //    locally rather than flag a violation.
+  std::vector<SessionId> lapsed;
+  for (const auto& [id, session] : sessions_) {
+    const auto totals = alloc_->session_grant_totals(id);
+    if (alloc_->lease_ttl_ms() > 0.0 && totals.grant_count == 0) {
+      lapsed.push_back(id);
+      continue;
+    }
+    service::Resources demand;
+    for (const auto& meta : session.active.mapping) demand += meta.required;
+    double link_kbps = 0.0;
+    if (session.request.bandwidth_kbps > 0.0) {
+      for (const auto& hop : session.active.hops) {
+        link_kbps += session.request.bandwidth_kbps * double(hop.path.links.size());
+      }
+    }
+    constexpr double kTol = 1e-6;
+    bool ok = std::abs(totals.link_kbps_total - link_kbps) <= kTol;
+    for (std::size_t i = 0; i < service::Resources::kTypes && ok; ++i) {
+      ok = std::abs(totals.peer_total.v[i] - demand.v[i]) <= kTol;
+    }
+    if (!ok) report.conserved = false;
+    SPIDER_DCHECK(ok);
+  }
+  std::sort(lapsed.begin(), lapsed.end());
+  for (SessionId id : lapsed) {
+    sessions_.at(id).state = SessionState::kTornDown;
+    ++stats_.losses;
+    if (m_losses_ != nullptr) m_losses_->inc();
+    erase_session(id);
+  }
+  if (!lapsed.empty()) update_active_gauge();
+  return report;
+}
+
+void SessionManager::enable_periodic_audit(double period_ms,
+                                           double first_delay_ms) {
+  audit_timer_.reset();
+  if (period_ms <= 0.0) return;
+  audit_timer_ = std::make_unique<sim::PeriodicTimer>(*sim_, period_ms,
+                                                      [this] { audit(); });
+  // Default phase: half a period, so the audit interleaves with
+  // maintenance timers of the same period instead of colliding.
+  audit_timer_->start(first_delay_ms >= 0.0 ? first_delay_ms
+                                            : period_ms * 0.5);
+}
+
+SessionState SessionManager::session_state(SessionId session) const {
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? SessionState::kTornDown : it->second.state;
 }
 
 const service::ServiceGraph* SessionManager::active_graph(

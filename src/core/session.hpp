@@ -14,16 +14,32 @@
 //    path; if none survives, reactive recovery re-runs BCP (the slow
 //    path); if that also fails the session is lost,
 //  * prunes/replenishes backups that churn invalidates.
+//
+// Lifecycle robustness (soft-state story, completing §4.2/§5): every
+// session moves through an explicit state machine (kEstablishing →
+// kActive → kSwitching/kRecovering → kTornDown) whose control exchanges
+// — the establish confirm leg, teardown, backup switch-activation — are
+// real messages under the fault model: retried with exponential backoff,
+// deduplicated by (session, epoch, seq) so duplicate deliveries are
+// idempotent, and bounded so a lossy network degrades to abort-and-
+// release instead of hanging. State the control plane fails to release
+// (lost teardown, crashed source, confirm whose ack vanished) is
+// reclaimed by session-grant leases (allocator) and the anti-entropy
+// audit() pass. With no fault model and lease_ttl_ms = 0 all of this is
+// inert and behaviour is bit-identical to the seed.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/allocator.hpp"
 #include "core/bcp.hpp"
 #include "core/deployment.hpp"
 #include "core/evaluator.hpp"
+#include "util/hash.hpp"
 
 namespace spider::obs {
 class MetricsRegistry;
@@ -60,6 +76,27 @@ struct RecoveryConfig {
   /// probe round-trip does not trigger spurious recovery (the false-
   /// positive rate per monitor pass is ~loss^threshold).
   int liveness_miss_threshold = 1;
+  /// Retransmissions per lifecycle control leg (confirm / teardown /
+  /// switch-activation) before the sender gives up — each leg gets
+  /// 1 + ctrl_retry_limit attempts. Only consulted under an active
+  /// fault model.
+  int ctrl_retry_limit = 4;
+  /// Base retransmission timeout for control legs; doubles per retry
+  /// (exponential backoff). Only affects latency accounting — lifecycle
+  /// exchanges are synchronous in the simulation.
+  double ctrl_min_rto_ms = 50.0;
+};
+
+/// Lifecycle state of one session (see the file comment's diagram; the
+/// transitional states are only observable *during* a manager call —
+/// every public call returns with each live session back in kActive or
+/// gone, so "stuck" transitional states indicate a bug).
+enum class SessionState {
+  kEstablishing,  ///< holds confirmed, confirm leg in flight
+  kActive,        ///< steady state: grants held, backups maintained
+  kSwitching,     ///< fast path: activating a backup graph
+  kRecovering,    ///< slow path: reactive BCP re-composition
+  kTornDown       ///< terminal; the session is erased on return
 };
 
 /// What happened when a peer failure hit a session's active graph.
@@ -87,6 +124,24 @@ struct SessionStats {
   /// Peer-failure notifications the fault model dropped; the affected
   /// session was left for the monitor's timeout-driven detection.
   std::uint64_t notifications_lost = 0;
+  // --- lifecycle control plane (all zero without an active fault model) ---
+  std::uint64_t ctrl_retransmits = 0;   ///< control-leg retry attempts
+  std::uint64_t ctrl_duplicates = 0;    ///< deduped duplicate deliveries
+  double ctrl_backoff_ms = 0.0;         ///< summed retransmission backoff
+  /// Establishments aborted because the confirm leg's ack never arrived;
+  /// already-applied grants strand until a lease or audit reclaims them.
+  std::uint64_t confirms_lost = 0;
+  /// Teardowns that never reached the session's peers: the source gave
+  /// up and the grants stranded (lease / audit territory).
+  std::uint64_t teardowns_lost = 0;
+  /// Backup switch-activations abandoned mid-recovery (candidate skipped).
+  std::uint64_t switch_activations_lost = 0;
+  /// Sessions whose source peer crashed (no teardown possible).
+  std::uint64_t source_crashes = 0;
+  /// Orphaned grant sets reclaimed by the anti-entropy audit.
+  std::uint64_t orphans_reclaimed = 0;
+  /// Lease renewal beats piggybacked on maintenance passes.
+  std::uint64_t lease_renew_messages = 0;
   double backup_count_sum = 0.0;  ///< for the avg-backups metric (≈2.74)
   std::uint64_t backup_count_samples = 0;
   /// Components replaced per fast switch — the disruption §5.2's overlap
@@ -129,8 +184,18 @@ class SessionManager {
                              service::ServiceGraph graph,
                              std::vector<service::ServiceGraph> backup_pool = {});
 
-  /// Graceful teardown (session completed).
+  /// Graceful teardown (session completed). Under an active fault model
+  /// the teardown message is retried with backoff; if it never gets
+  /// through, the source still forgets the session but its grants strand
+  /// in the allocator (counted in stats().teardowns_lost) until a lease
+  /// expires or an audit reclaims them.
   void teardown(SessionId session);
+
+  /// The source peer of one or more sessions crashed. The sessions die
+  /// with it — no teardown exchange is possible — and their grants stay
+  /// in the allocator until lease expiry or audit() reclaims them.
+  /// Returns the number of sessions erased.
+  std::size_t on_source_crashed(PeerId source);
 
   /// Peer-failure notification: updates every active session. Returns the
   /// per-session outcomes for failure accounting.
@@ -149,7 +214,29 @@ class SessionManager {
 
   /// Periodic backup maintenance: probe each backup's liveness and QoS,
   /// prune invalid ones, replenish from the session's qualified pool.
+  /// When the allocator leases grants (lease_ttl_ms > 0), each pass also
+  /// piggybacks one lease-renewal beat per session, so any ttl larger
+  /// than the maintenance period keeps live sessions granted forever.
   void run_maintenance();
+
+  /// One anti-entropy pass reconciling allocator state with the live
+  /// session set (the backstop for everything the control plane lost).
+  struct AuditReport {
+    std::size_t expired_holds = 0;     ///< stale soft holds swept
+    std::size_t leases_reclaimed = 0;  ///< sessions whose lease lapsed
+    std::size_t orphan_sessions = 0;   ///< granted but not live: reclaimed
+    double orphan_kbps = 0.0;          ///< link bandwidth freed from orphans
+    /// Conservation invariant: every live session's allocator totals
+    /// match its active graph's demand (also SPIDER_DCHECKed).
+    bool conserved = true;
+  };
+  AuditReport audit();
+
+  /// Runs audit() every `period_ms` on the simulator, offset by
+  /// `first_delay_ms` (defaults to half a period, interleaving with
+  /// maintenance timers instead of colliding). Call again to re-arm with
+  /// a new period; pass period_ms <= 0 to disable.
+  void enable_periodic_audit(double period_ms, double first_delay_ms = -1.0);
 
   /// Number of backups Eq. 2 prescribes for the given graph vs request.
   int backup_count(const service::ServiceGraph& graph,
@@ -181,6 +268,10 @@ class SessionManager {
   const service::ServiceGraph* active_graph(SessionId session) const;
   std::size_t backup_count_of(SessionId session) const;
 
+  /// Lifecycle state of a live session, or kTornDown if it is gone (a
+  /// torn-down session is erased, so "not found" IS the terminal state).
+  SessionState session_state(SessionId session) const;
+
  private:
   struct Session {
     SessionId id = kInvalidSession;
@@ -191,7 +282,48 @@ class SessionManager {
     /// Consecutive liveness-probe misses per monitored peer; reset on a
     /// successful probe and after recovery replaces the active graph.
     std::unordered_map<PeerId, int> probe_misses;
+    SessionState state = SessionState::kEstablishing;
+    /// Bumped whenever the active graph changes; control messages from
+    /// a stale epoch are recognizably stale (part of the dedup key).
+    std::uint64_t epoch = 0;
+    /// Per-session control-message sequence (next unused).
+    std::uint64_t ctrl_seq = 0;
   };
+
+  /// Dedup identity of one lifecycle control operation. A retransmitted
+  /// request that already got through is recognized by this key and
+  /// re-acked, not re-applied. Deliberately a struct (not a packed
+  /// integer): XOR/shift packing of ids aliases, see util/hash.hpp.
+  struct CtrlKey {
+    SessionId session = kInvalidSession;
+    std::uint64_t epoch = 0;
+    std::uint64_t seq = 0;
+    bool operator==(const CtrlKey&) const = default;
+  };
+  struct CtrlKeyHash {
+    std::size_t operator()(const CtrlKey& k) const {
+      return std::size_t(util::hash_values(k.session, k.epoch, k.seq));
+    }
+  };
+
+  /// Outcome of one lifecycle control exchange (request + ack, retried).
+  struct CtrlOutcome {
+    bool acked = false;    ///< the sender saw an ack: definitely applied
+    bool applied = false;  ///< some request leg arrived: receiver acted
+    int attempts = 1;
+  };
+  /// Sends one control message over `links` with retries, backoff and
+  /// duplicate dedup. Trivially succeeds (and counts nothing) without an
+  /// active fault model. `tag` namespaces the message kind in the fault
+  /// sampling key.
+  CtrlOutcome send_control(Session& session, std::uint64_t tag,
+                           const std::vector<overlay::OverlayLinkId>& links);
+  /// Concatenated overlay links of every service hop of `graph` — the
+  /// route a source-originated control message traverses.
+  static std::vector<overlay::OverlayLinkId> graph_route(
+      const service::ServiceGraph& graph);
+  /// Erases a session and its control-dedup residue.
+  void erase_session(SessionId id);
 
   /// Grants a graph's demands directly (backup switch / reactive path).
   bool admit(Session& session, service::ServiceGraph graph);
@@ -213,6 +345,10 @@ class SessionManager {
   RecoveryConfig config_;
   const fault::LinkFaultModel* fault_ = nullptr;
   std::unordered_map<SessionId, Session> sessions_;
+  /// Control operations the "receiver side" already applied (dedup set);
+  /// entries die with their session.
+  std::unordered_set<CtrlKey, CtrlKeyHash> ctrl_applied_;
+  std::unique_ptr<sim::PeriodicTimer> audit_timer_;
   SessionStats stats_;
   Rng policy_rng_{0x5b5b};  ///< consulted only by BackupPolicy::kRandom
   /// Monotonic message keys for fault sampling of liveness probes and
@@ -234,6 +370,16 @@ class SessionManager {
   obs::Counter* m_false_suspicions_ = nullptr;
   obs::Counter* m_notifications_lost_ = nullptr;
   obs::Counter* m_probe_timeouts_ = nullptr;  ///< shared "probe.timeout"
+  // Lifecycle control-plane counters; bind lazily (first event) so runs
+  // without faults/leases export exactly the seed's metrics JSON.
+  obs::Counter* m_ctrl_retransmits_ = nullptr;
+  obs::Counter* m_ctrl_duplicates_ = nullptr;
+  obs::Counter* m_confirms_lost_ = nullptr;
+  obs::Counter* m_teardowns_lost_ = nullptr;
+  obs::Counter* m_switch_activations_lost_ = nullptr;
+  obs::Counter* m_source_crashes_ = nullptr;
+  obs::Counter* m_orphans_reclaimed_ = nullptr;
+  obs::Counter* m_lease_renewals_sent_ = nullptr;
   obs::Gauge* m_active_sessions_ = nullptr;
 };
 

@@ -53,6 +53,21 @@ DeliveryOutcome LinkFaultModel::sample_path(
   return out;
 }
 
+DeliveryOutcome LinkFaultModel::sample_round_trip(
+    std::span<const OverlayLinkId> links, std::uint64_t msg_key) const {
+  // Request and ack legs are independent transmissions. The ack is only
+  // sampled when the request survives (the receiver never saw it
+  // otherwise), which also keeps fault.msg_* counts identical to callers
+  // that short-circuited the two sample_path calls by hand.
+  DeliveryOutcome request = sample_path(links, msg_key);
+  if (!request.delivered) return request;
+  DeliveryOutcome ack =
+      sample_path(links, util::hash_values(msg_key, std::uint64_t{0xacu}));
+  ack.extra_delay_ms += request.extra_delay_ms;
+  ack.reordered = ack.reordered || request.reordered;
+  return ack;
+}
+
 DeliveryOutcome LinkFaultModel::sample_default(std::uint64_t msg_key) const {
   DeliveryOutcome out;
   const LinkFaultProfile& p = default_;

@@ -105,6 +105,14 @@ class LinkFaultModel {
     return sample_path(std::span<const OverlayLinkId>(&link, 1), msg_key);
   }
 
+  /// One request/response round trip over `links`: the request and its
+  /// ack are independent transmissions (ack key derived from `msg_key`).
+  /// `delivered` means both legs survived; `extra_delay_ms` sums both
+  /// legs' jitter. Used by session liveness probes and the lifecycle
+  /// control legs (confirm / teardown / switch-activation).
+  DeliveryOutcome sample_round_trip(std::span<const OverlayLinkId> links,
+                                    std::uint64_t msg_key) const;
+
   /// Samples one message over a single virtual link carrying the default
   /// profile — for traffic whose concrete route is not modeled, e.g. a
   /// failure notification originating at a crashed peer's neighborhood

@@ -37,6 +37,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return it->second;
 }
 
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
 std::string MetricsRegistry::to_json() const {
   util::JsonWriter w;
   w.begin_object();

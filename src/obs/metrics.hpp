@@ -75,6 +75,12 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
 
+  /// Read-side lookups that never create the instrument — tests and
+  /// report code can check "was this ever counted?" without perturbing
+  /// the exported JSON. Return nullptr when the name was never registered.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }

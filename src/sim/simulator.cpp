@@ -73,10 +73,13 @@ std::size_t Simulator::step(std::size_t max_events) {
   return ran;
 }
 
-void PeriodicTimer::start() {
+void PeriodicTimer::start() { start(period_); }
+
+void PeriodicTimer::start(Time first_delay) {
+  SPIDER_REQUIRE(first_delay >= 0);
   if (running_) return;
   running_ = true;
-  pending_ = sim_.schedule_after(period_, [this] { tick(); });
+  pending_ = sim_.schedule_after(first_delay, [this] { tick(); });
 }
 
 void PeriodicTimer::stop() {

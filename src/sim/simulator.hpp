@@ -105,6 +105,10 @@ class PeriodicTimer {
 
   /// Schedules the first tick one period from now. No-op if running.
   void start();
+  /// Schedules the first tick `first_delay` from now (>= 0), then every
+  /// `period`. Lets co-periodic processes be phase-shifted so their ticks
+  /// interleave deterministically instead of colliding. No-op if running.
+  void start(Time first_delay);
   /// Cancels the pending tick. Safe to call from inside the callback.
   void stop();
   bool running() const { return running_; }

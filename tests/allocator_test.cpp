@@ -5,6 +5,7 @@
 #include "core/allocator.hpp"
 #include "net/generator.hpp"
 #include "net/router.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace spider::core {
@@ -158,6 +159,142 @@ TEST_F(AllocatorTest, ActiveCountsTrackState) {
   EXPECT_EQ(alloc_->active_grants(), 1u);
   alloc_->release_session(session);
   EXPECT_EQ(alloc_->active_grants(), 0u);
+}
+
+// ---- complete-purge / gauge agreement (regression) ----------------------
+
+// A route with at least `min_links` overlay links, for multi-link path
+// holds. The 16-peer mesh always has non-adjacent pairs.
+static overlay::OverlayPath multi_link_route(Deployment& deployment,
+                                             std::size_t min_links) {
+  for (PeerId a = 0; a < deployment.peer_count(); ++a) {
+    for (PeerId b = 0; b < deployment.peer_count(); ++b) {
+      if (a == b) continue;
+      const auto& path = deployment.overlay().route(a, b);
+      if (path.valid && path.links.size() >= min_links) return path;
+    }
+  }
+  SPIDER_REQUIRE_MSG(false, "no multi-link route in test overlay");
+  return {};
+}
+
+TEST_F(AllocatorTest, ExpiredPathHoldIsPurgedFromEveryLink) {
+  // Regression: an expired multi-link path hold noticed via ONE of its
+  // links used to leave dangling soft entries on the other links (and an
+  // inflated outstanding-hold gauge) until something touched them too.
+  const overlay::OverlayPath path = multi_link_route(*deployment_, 2);
+  ASSERT_TRUE(alloc_->soft_reserve_path(path, 5.0, /*expire_at=*/50.0));
+  EXPECT_EQ(alloc_->dangling_soft_entries(), 0u);
+
+  sim_.schedule_at(100.0, [] {});
+  sim_.run();
+
+  // Touch availability through the FIRST link only.
+  alloc_->link_available_kbps(path.links.front());
+  EXPECT_EQ(alloc_->active_holds(), 0u);
+  EXPECT_EQ(alloc_->dangling_soft_entries(), 0u)
+      << "purge must remove the hold from every link's soft map";
+}
+
+TEST_F(AllocatorTest, SweepMakesGaugeAgreeWithAvailability) {
+  obs::MetricsRegistry metrics;
+  alloc_->set_metrics(&metrics);
+  ASSERT_TRUE(alloc_->soft_reserve_peer(0, Resources::cpu_mem(2, 2), 50.0));
+  ASSERT_TRUE(alloc_->soft_reserve_peer(1, Resources::cpu_mem(2, 2), 50.0));
+  const overlay::OverlayPath path = multi_link_route(*deployment_, 2);
+  ASSERT_TRUE(alloc_->soft_reserve_path(path, 5.0, 50.0));
+  EXPECT_DOUBLE_EQ(metrics.gauge("alloc.holds_outstanding").value(), 3.0);
+
+  sim_.schedule_at(100.0, [] {});
+  sim_.run();
+
+  // Nothing has been queried since expiry: the sweep alone must bring
+  // the gauge, the hold table and availability into agreement.
+  alloc_->sweep_expired();
+  EXPECT_EQ(alloc_->active_holds(), 0u);
+  EXPECT_EQ(alloc_->dangling_soft_entries(), 0u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("alloc.holds_outstanding").value(), 0.0);
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).cpu(), 10.0);
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(1).cpu(), 10.0);
+  EXPECT_EQ(metrics.counters().at("alloc.holds_expired").value(), 3u);
+}
+
+// ---- session-grant leases ----------------------------------------------
+
+TEST_F(AllocatorTest, LeaseTtlZeroTracksNothing) {
+  auto hold = alloc_->soft_reserve_peer(0, Resources::cpu_mem(4, 4), 100.0);
+  const SessionId session = alloc_->new_session_id();
+  ASSERT_TRUE(alloc_->confirm(*hold, session));
+  EXPECT_FALSE(alloc_->lease_renew_by(session).has_value());
+  alloc_->renew_session(session);
+  EXPECT_EQ(alloc_->lease_renewals(), 0u);
+  sim_.schedule_at(10000.0, [] {});
+  sim_.run();
+  EXPECT_EQ(alloc_->reclaim_expired_leases(), 0u);
+  EXPECT_EQ(alloc_->active_grants(), 1u) << "ttl=0 grants are permanent";
+}
+
+TEST_F(AllocatorTest, ExpiredLeaseIsReclaimedIntoAvailability) {
+  alloc_->set_lease_ttl_ms(100.0);
+  auto hold = alloc_->soft_reserve_peer(0, Resources::cpu_mem(4, 4), 100.0);
+  const overlay::OverlayPath path = multi_link_route(*deployment_, 2);
+  auto bw = alloc_->soft_reserve_path(path, 5.0, 100.0);
+  const SessionId session = alloc_->new_session_id();
+  ASSERT_TRUE(alloc_->confirm(*hold, session));
+  ASSERT_TRUE(alloc_->confirm(*bw, session));
+  ASSERT_TRUE(alloc_->lease_renew_by(session).has_value());
+  EXPECT_DOUBLE_EQ(*alloc_->lease_renew_by(session), 100.0);
+
+  sim_.schedule_at(250.0, [] {});
+  sim_.run();
+  EXPECT_EQ(alloc_->reclaim_expired_leases(), 1u);
+  EXPECT_EQ(alloc_->active_grants(), 0u);
+  EXPECT_DOUBLE_EQ(alloc_->peer_available(0).cpu(), 10.0);
+  EXPECT_EQ(alloc_->lease_expirations(), 1u);
+  EXPECT_DOUBLE_EQ(alloc_->lease_reclaimed_kbps(),
+                   5.0 * double(path.links.size()));
+}
+
+TEST_F(AllocatorTest, RenewalPushesLeaseDeadlineForward) {
+  alloc_->set_lease_ttl_ms(100.0);
+  auto hold = alloc_->soft_reserve_peer(0, Resources::cpu_mem(4, 4), 100.0);
+  const SessionId session = alloc_->new_session_id();
+  ASSERT_TRUE(alloc_->confirm(*hold, session));
+
+  sim_.schedule_at(80.0, [] {});
+  sim_.run();
+  alloc_->renew_session(session);
+  EXPECT_EQ(alloc_->lease_renewals(), 1u);
+  EXPECT_DOUBLE_EQ(*alloc_->lease_renew_by(session), 180.0);
+
+  sim_.schedule_at(150.0, [] {});
+  sim_.run();
+  EXPECT_EQ(alloc_->reclaim_expired_leases(), 0u)
+      << "a renewed lease survives past its original deadline";
+  EXPECT_EQ(alloc_->active_grants(), 1u);
+
+  sim_.schedule_at(300.0, [] {});
+  sim_.run();
+  EXPECT_EQ(alloc_->reclaim_expired_leases(), 1u);
+  EXPECT_EQ(alloc_->active_grants(), 0u);
+}
+
+TEST_F(AllocatorTest, SessionGrantTotalsAggregate) {
+  auto hold = alloc_->soft_reserve_peer(0, Resources::cpu_mem(4, 3), 100.0);
+  const overlay::OverlayPath path = multi_link_route(*deployment_, 2);
+  auto bw = alloc_->soft_reserve_path(path, 5.0, 100.0);
+  const SessionId session = alloc_->new_session_id();
+  ASSERT_TRUE(alloc_->confirm(*hold, session));
+  ASSERT_TRUE(alloc_->confirm(*bw, session));
+
+  const auto sessions = alloc_->granted_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions.front(), session);
+  const auto totals = alloc_->session_grant_totals(session);
+  EXPECT_EQ(totals.grant_count, 2u);
+  EXPECT_DOUBLE_EQ(totals.peer_total.cpu(), 4.0);
+  EXPECT_DOUBLE_EQ(totals.peer_total.memory(), 3.0);
+  EXPECT_DOUBLE_EQ(totals.link_kbps_total, 5.0 * double(path.links.size()));
 }
 
 }  // namespace

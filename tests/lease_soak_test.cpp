@@ -1,0 +1,177 @@
+// Randomized lifecycle soak: N concurrent sessions under message loss,
+// peer churn and mid-session source crashes, with grant leases, the
+// loss-safe control legs and periodic anti-entropy all enabled.
+//
+// Property under test — the soft-state story leaks nothing:
+//  * after quiesce the allocator holds zero grants and zero holds, with
+//    no dangling soft-map entries;
+//  * no session is ever observed outside kActive / kTornDown between
+//    manager calls;
+//  * BCP's probe conservation invariant (spawned == arrived + dropped +
+//    forwarded) holds for every composition along the way.
+//
+// SPIDER_SOAK_SCALE multiplies the round count (tools/soak.sh runs 10x).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/session.hpp"
+#include "fault/fault.hpp"
+#include "test_scenario.hpp"
+
+namespace spider::core {
+namespace {
+
+std::size_t soak_scale() {
+  const char* env = std::getenv("SPIDER_SOAK_SCALE");
+  if (env == nullptr) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? std::size_t(v) : 1;
+}
+
+void check_probe_conservation(const ComposeStats& s) {
+  EXPECT_EQ(s.probes_spawned, s.probes_arrived + s.probes_dropped_total() +
+                                  s.probes_forwarded);
+}
+
+TEST(LeaseSoakTest, NoLeaksUnderLossChurnAndSourceCrashes) {
+  constexpr double kRoundMs = 250.0;
+  constexpr double kLeaseTtlMs = 2000.0;
+  constexpr std::size_t kTargetSessions = 8;
+  const std::size_t rounds = 40 * soak_scale();
+
+  for (const std::uint64_t seed : {11ull, 29ull, 47ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto scenario = spider::testing::small_scenario(seed, /*peers=*/64);
+    auto& deployment = *scenario->deployment;
+    auto& alloc = *scenario->alloc;
+    auto& sim = scenario->sim;
+    Rng rng(seed * 977 + 5);
+
+    BcpConfig config;
+    config.probing_budget = 128;
+    BcpEngine engine(deployment, alloc, *scenario->evaluator, sim, config);
+    RecoveryConfig recovery;
+    recovery.backup_aggressiveness = 30.0;
+    recovery.liveness_miss_threshold = 2;
+    SessionManager manager(deployment, alloc, *scenario->evaluator, engine,
+                           sim, recovery);
+
+    const auto model = fault::LinkFaultModel::uniform_loss(0.10, seed);
+    engine.set_fault_model(&model);
+    manager.set_fault_model(&model);
+    alloc.set_lease_ttl_ms(kLeaseTtlMs);
+    manager.enable_periodic_audit(4 * kRoundMs);
+
+    std::vector<PeerId> live_peers;
+    const auto pick_live_peer = [&]() {
+      live_peers.clear();
+      for (PeerId p = 0; p < deployment.peer_count(); ++p) {
+        if (deployment.peer_alive(p)) live_peers.push_back(p);
+      }
+      return live_peers[rng.next_below(live_peers.size())];
+    };
+
+    std::vector<SessionId> sessions;
+    std::vector<std::pair<PeerId, std::size_t>> downed;  // peer, revive round
+
+    for (std::size_t round = 1; round <= rounds; ++round) {
+      sim.run_until(double(round) * kRoundMs);
+
+      // Revive peers whose downtime ended.
+      std::erase_if(downed, [&](const auto& d) {
+        if (d.second > round) return false;
+        deployment.revive_peer(d.first);
+        return true;
+      });
+
+      // Top the workload up to the target concurrency.
+      for (int attempt = 0;
+           sessions.size() < kTargetSessions && attempt < 4; ++attempt) {
+        const PeerId src = pick_live_peer();
+        const PeerId dst = pick_live_peer();
+        if (src == dst) continue;
+        auto req = spider::testing::easy_request(*scenario, 3, src, dst);
+        ComposeResult r = engine.compose(req, rng);
+        check_probe_conservation(r.stats);
+        if (!r.success) continue;
+        const SessionId id = manager.establish(req, std::move(r));
+        if (id != kInvalidSession) sessions.push_back(id);
+      }
+
+      // Random graceful teardown (may itself be lost — that's the point).
+      if (!sessions.empty() && rng.next_double() < 0.15) {
+        const std::size_t i = rng.next_below(sessions.size());
+        manager.teardown(sessions[i]);
+        sessions.erase(sessions.begin() + std::ptrdiff_t(i));
+      }
+
+      // Churn: crash a random peer, notify (lossily), revive later.
+      if (round % 3 == 0 && live_peers.size() > 8) {
+        const PeerId victim = pick_live_peer();
+        deployment.kill_peer(victim);
+        downed.emplace_back(victim, round + 4);
+        manager.on_peer_failed(victim, rng);
+      }
+
+      // Source crash: a session's own source dies mid-session — nobody
+      // can tear it down; leases/audit must reclaim its grants.
+      if (round % 5 == 0 && !sessions.empty()) {
+        const std::size_t i = rng.next_below(sessions.size());
+        const service::ServiceGraph* graph = manager.active_graph(sessions[i]);
+        if (graph != nullptr && deployment.peer_alive(graph->source)) {
+          const PeerId src = graph->source;
+          deployment.kill_peer(src);
+          downed.emplace_back(src, round + 4);
+          manager.on_source_crashed(src);
+        }
+      }
+
+      manager.monitor_active_sessions(rng);
+      manager.run_maintenance();
+
+      // Lifecycle invariant: between manager calls every live session
+      // sits in kActive; everything else reads kTornDown.
+      std::erase_if(sessions, [&](SessionId id) {
+        return manager.session_state(id) == SessionState::kTornDown;
+      });
+      for (SessionId id : sessions) {
+        ASSERT_EQ(manager.session_state(id), SessionState::kActive)
+            << "session " << id << " stuck mid-transition (round " << round
+            << ")";
+      }
+    }
+
+    // ---- quiesce ----
+    for (SessionId id : sessions) manager.teardown(id);
+    sessions.clear();
+    // One lease ttl of idle time: stranded grants (lost teardowns and
+    // crashed sources whose audit hadn't come around) expire, the
+    // periodic audit reclaims them, probe-time holds time out.
+    sim.run_until(sim.now() + kLeaseTtlMs + 4 * kRoundMs);
+    const auto report = manager.audit();
+    EXPECT_TRUE(report.conserved);
+
+    EXPECT_EQ(manager.active_sessions(), 0u);
+    EXPECT_EQ(alloc.active_grants(), 0u) << "leaked session grants";
+    EXPECT_EQ(alloc.active_holds(), 0u) << "leaked soft holds";
+    EXPECT_EQ(alloc.dangling_soft_entries(), 0u) << "partial purge residue";
+    EXPECT_EQ(alloc.granted_sessions().size(), 0u);
+
+    // The lossy run must actually have exercised the robustness paths,
+    // otherwise this soak proves nothing.
+    const SessionStats& stats = manager.stats();
+    EXPECT_GT(stats.maintenance_messages, 0u);
+    EXPECT_GT(stats.lease_renew_messages, 0u);
+    EXPECT_GT(stats.ctrl_retransmits + stats.confirms_lost +
+                  stats.teardowns_lost + stats.switch_activations_lost +
+                  stats.source_crashes,
+              0u)
+        << "soak never hit a lossy control path";
+    manager.enable_periodic_audit(0.0);
+  }
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/session.hpp"
+#include "fault/fault.hpp"
 #include "test_scenario.hpp"
 
 namespace spider::core {
@@ -266,6 +267,143 @@ TEST_F(SessionTest, AvgBackupStatisticTracked) {
   ASSERT_NE(id, kInvalidSession);
   EXPECT_EQ(manager_->stats().backup_count_samples, 1u);
   EXPECT_GE(manager_->stats().avg_backups(), 0.0);
+}
+
+// ---- lifecycle state machine, control legs, leases, anti-entropy --------
+
+TEST_F(SessionTest, StateIsActiveWhileLiveAndTornDownAfter) {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  EXPECT_EQ(manager_->session_state(id), SessionState::kActive);
+  manager_->teardown(id);
+  EXPECT_EQ(manager_->session_state(id), SessionState::kTornDown);
+  EXPECT_EQ(manager_->session_state(SessionId{999999}),
+            SessionState::kTornDown)
+      << "unknown sessions read as terminal";
+}
+
+TEST_F(SessionTest, TotalLossAbortsEstablishCleanly) {
+  // Every control message dies: the confirm leg's request never arrives,
+  // so the establishment aborts and nothing is left granted (the peers
+  // never converted their holds).
+  const auto model = fault::LinkFaultModel::uniform_loss(1.0);
+  manager_->set_fault_model(&model);
+  auto req = spider::testing::easy_request(*scenario_);
+  ComposeResult r = engine_->compose(req, rng_);
+  ASSERT_TRUE(r.success);
+  const SessionId id = manager_->establish(req, std::move(r));
+  EXPECT_EQ(id, kInvalidSession);
+  EXPECT_EQ(manager_->stats().confirms_lost, 1u);
+  EXPECT_GT(manager_->stats().ctrl_retransmits, 0u);
+  EXPECT_EQ(scenario_->alloc->active_grants(), 0u);
+  EXPECT_EQ(manager_->active_sessions(), 0u);
+}
+
+TEST_F(SessionTest, LostTeardownStrandsGrantsUntilAuditReclaims) {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  ASSERT_GT(scenario_->alloc->active_grants(), 0u);
+
+  // The network dies just before teardown: the message never arrives.
+  const auto model = fault::LinkFaultModel::uniform_loss(1.0);
+  manager_->set_fault_model(&model);
+  manager_->teardown(id);
+  EXPECT_EQ(manager_->active_sessions(), 0u) << "the source forgets anyway";
+  EXPECT_EQ(manager_->stats().teardowns_lost, 1u);
+  EXPECT_GT(scenario_->alloc->active_grants(), 0u) << "grants stranded";
+
+  // Anti-entropy: the audit sees grants with no live session and reclaims.
+  const auto report = manager_->audit();
+  EXPECT_EQ(report.orphan_sessions, 1u);
+  EXPECT_TRUE(report.conserved);
+  EXPECT_EQ(scenario_->alloc->active_grants(), 0u);
+  EXPECT_EQ(manager_->stats().orphans_reclaimed, 1u);
+}
+
+TEST_F(SessionTest, SourceCrashOrphansAreReclaimedByAudit) {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  const PeerId source = manager_->active_graph(id)->source;
+
+  scenario_->deployment->kill_peer(source);
+  EXPECT_EQ(manager_->on_source_crashed(source), 1u);
+  EXPECT_EQ(manager_->active_sessions(), 0u);
+  EXPECT_EQ(manager_->stats().source_crashes, 1u);
+  EXPECT_GT(scenario_->alloc->active_grants(), 0u)
+      << "a crashed source cannot tear down";
+
+  const auto report = manager_->audit();
+  EXPECT_EQ(report.orphan_sessions, 1u);
+  EXPECT_EQ(scenario_->alloc->active_grants(), 0u);
+}
+
+TEST_F(SessionTest, LeaseExpiryReclaimsAndKillsTheSession) {
+  scenario_->alloc->set_lease_ttl_ms(50.0);
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  ASSERT_TRUE(scenario_->alloc->lease_renew_by(id).has_value());
+
+  // Nobody renews for 200ms (> ttl): the lease lapses; the audit reclaims
+  // the grants and tears the zombie session down.
+  scenario_->sim.schedule_at(200.0, [] {});
+  scenario_->sim.run();
+  const auto report = manager_->audit();
+  EXPECT_EQ(report.leases_reclaimed, 1u);
+  EXPECT_EQ(scenario_->alloc->active_grants(), 0u);
+  EXPECT_EQ(manager_->active_sessions(), 0u);
+  EXPECT_EQ(manager_->session_state(id), SessionState::kTornDown);
+}
+
+TEST_F(SessionTest, MaintenanceRenewalKeepsLeaseAlive) {
+  scenario_->alloc->set_lease_ttl_ms(500.0);
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+
+  // Renew every 200ms for 2s — well past the naked ttl.
+  for (int i = 1; i <= 10; ++i) {
+    scenario_->sim.schedule_at(double(i) * 200.0, [] {});
+    scenario_->sim.run();
+    manager_->run_maintenance();
+  }
+  EXPECT_GE(manager_->stats().lease_renew_messages, 10u);
+  const auto report = manager_->audit();
+  EXPECT_EQ(report.leases_reclaimed, 0u);
+  EXPECT_EQ(manager_->active_sessions(), 1u);
+  EXPECT_EQ(manager_->session_state(id), SessionState::kActive);
+  EXPECT_TRUE(report.conserved);
+}
+
+TEST_F(SessionTest, AuditConservationHoldsOnHealthySessions) {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId a = compose_and_establish(req);
+  const SessionId b = compose_and_establish(req);
+  ASSERT_NE(a, kInvalidSession);
+  ASSERT_NE(b, kInvalidSession);
+  const auto report = manager_->audit();
+  EXPECT_TRUE(report.conserved);
+  EXPECT_EQ(report.orphan_sessions, 0u);
+  EXPECT_EQ(report.leases_reclaimed, 0u);
+}
+
+TEST_F(SessionTest, PeriodicAuditRunsOnTheSimulator) {
+  auto req = spider::testing::easy_request(*scenario_);
+  const SessionId id = compose_and_establish(req);
+  ASSERT_NE(id, kInvalidSession);
+  const PeerId source = manager_->active_graph(id)->source;
+  scenario_->deployment->kill_peer(source);
+  manager_->on_source_crashed(source);
+  ASSERT_GT(scenario_->alloc->active_grants(), 0u);
+
+  manager_->enable_periodic_audit(100.0);
+  scenario_->sim.run_until(1000.0);
+  EXPECT_EQ(scenario_->alloc->active_grants(), 0u)
+      << "the periodic audit reclaimed the crashed source's orphan";
+  manager_->enable_periodic_audit(0.0);  // disarm before teardown
 }
 
 }  // namespace

@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# Configure, build and run the test suite under AddressSanitizer +
-# UndefinedBehaviorSanitizer.
+# Configure, build and run the test suite under sanitizers. Defaults to
+# AddressSanitizer + UndefinedBehaviorSanitizer; set SPIDER_SANITIZE to
+# any -fsanitize= list to pick others (TSan and ASan cannot be combined).
 #
-#   tools/sanitize.sh            # full cycle in build-sanitize/
-#   tools/sanitize.sh -R Bcp     # extra args are forwarded to ctest
+#   tools/sanitize.sh                        # ASan+UBSan in build-sanitize/
+#   tools/sanitize.sh -R Bcp                 # extra args forwarded to ctest
+#   SPIDER_SANITIZE=thread tools/sanitize.sh # TSan in build-sanitize-thread/
 #
-# The sanitized tree lives next to the regular build/ so the two configs
-# never thrash each other's object files.
+# Each sanitizer set gets its own build tree next to the regular build/
+# so the configs never thrash each other's object files.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${SPIDER_SANITIZE_BUILD_DIR:-$repo_root/build-sanitize}"
+sanitizers="${SPIDER_SANITIZE:-address,undefined}"
+if [[ "$sanitizers" == "address,undefined" ]]; then
+  default_build_dir="$repo_root/build-sanitize"
+else
+  default_build_dir="$repo_root/build-sanitize-${sanitizers//[^a-z]/-}"
+fi
+build_dir="${SPIDER_SANITIZE_BUILD_DIR:-$default_build_dir}"
 
 # Probe sanitizer support up front so an unsupported toolchain fails
 # with one actionable message, not a wall of compile errors. (CMake also
@@ -20,17 +28,17 @@ if ! command -v "$cxx" >/dev/null 2>&1; then
   echo "error: no C++ compiler found (set \$CXX); cannot run sanitizers" >&2
   exit 1
 fi
-if ! echo 'int main(){return 0;}' | "$cxx" -x c++ - -fsanitize=address,undefined \
+if ! echo 'int main(){return 0;}' | "$cxx" -x c++ - "-fsanitize=$sanitizers" \
      -o /dev/null >/dev/null 2>&1; then
-  echo "error: $cxx cannot build with -fsanitize=address,undefined." >&2
-  echo "       Install the sanitizer runtimes (libasan/libubsan for GCC," >&2
-  echo "       compiler-rt for Clang) or use a toolchain that ships them." >&2
+  echo "error: $cxx cannot build with -fsanitize=$sanitizers." >&2
+  echo "       Install the sanitizer runtimes (libasan/libubsan/libtsan for" >&2
+  echo "       GCC, compiler-rt for Clang) or use a toolchain that ships them." >&2
   exit 1
 fi
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSPIDER_SANITIZE=address,undefined \
+  -DSPIDER_SANITIZE="$sanitizers" \
   -DSPIDER_WERROR="${SPIDER_WERROR:-OFF}"
 
 cmake --build "$build_dir" -j"$(nproc)"
@@ -38,5 +46,6 @@ cmake --build "$build_dir" -j"$(nproc)"
 # halt_on_error: make UBSan findings fail the run instead of just logging.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
 ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" "$@"

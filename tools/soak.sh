@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Long-running lifecycle soak: the lease_soak_test suite at SPIDER_SOAK_SCALE
+# times its default round count (default 10x). The test drives N concurrent
+# sessions through message loss, peer churn and mid-session source crashes
+# with leases + anti-entropy enabled, and asserts zero leaked grants/holds
+# after quiesce.
+#
+#   tools/soak.sh                          # 10x rounds against ./build
+#   SPIDER_SOAK_SCALE=50 tools/soak.sh     # longer
+#   SPIDER_BUILD_DIR=build-ci tools/soak.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${SPIDER_BUILD_DIR:-$repo_root/build}"
+scale="${SPIDER_SOAK_SCALE:-10}"
+
+if [[ ! -x "$build_dir/tests/lease_soak_test" ]]; then
+  echo "error: $build_dir/tests/lease_soak_test not built" >&2
+  echo "       (cmake --build $build_dir --target lease_soak_test)" >&2
+  exit 1
+fi
+
+echo "== lease soak, ${scale}x rounds =="
+SPIDER_SOAK_SCALE="$scale" "$build_dir/tests/lease_soak_test"
