@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "core/session.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "workload/scenario.hpp"
 
@@ -108,16 +109,24 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation A3: backup selection policy under churn\n\n");
 
+  // Each policy run builds its own scenario — isolated cells, so they
+  // execute --jobs at a time with byte-identical output.
+  const std::vector<core::BackupPolicy> policies = {
+      core::BackupPolicy::kSpiderNet, core::BackupPolicy::kRandom,
+      core::BackupPolicy::kMostDisjoint};
+  std::vector<PolicyResult> results(policies.size());
+  util::parallel_for_each(args.jobs, policies.size(), [&](std::size_t i) {
+    results[i] = run_policy(scenario, policies[i], minutes, sessions);
+  });
+
   Table table({"policy", "breaks", "fast switches", "reactive", "lost",
                "fast-recovery rate", "avg backups",
                "disruption/switch"});
-  for (auto policy : {core::BackupPolicy::kSpiderNet,
-                      core::BackupPolicy::kRandom,
-                      core::BackupPolicy::kMostDisjoint}) {
-    const PolicyResult r = run_policy(scenario, policy, minutes, sessions);
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const PolicyResult& r = results[i];
     const double fast_rate =
         r.breaks ? double(r.switches) / double(r.breaks) : 0.0;
-    table.add_row({policy_name(policy), std::to_string(r.breaks),
+    table.add_row({policy_name(policies[i]), std::to_string(r.breaks),
                    std::to_string(r.switches), std::to_string(r.reactive),
                    std::to_string(r.losses), fmt(fast_rate, 3),
                    fmt(r.avg_backups, 2), fmt(r.avg_disruption, 2)});

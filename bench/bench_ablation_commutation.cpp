@@ -39,13 +39,26 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation A1: commutation-derived composition patterns\n\n");
 
+  const std::vector<double> workloads = {50.0, 100.0, 150.0};
+  const std::vector<bool> variants = {true, false};
+  std::vector<CampaignCell> cells;
+  for (double workload : workloads) {
+    for (bool commutation : variants) {
+      CampaignCell cell;
+      cell.config = config;
+      cell.config.use_commutation = commutation;
+      cell.workload = workload;
+      cells.push_back(cell);
+    }
+  }
+  const auto outputs = run_campaign_cells(cells, args.jobs);
+
   Table table({"workload", "variant", "success", "mean psi", "mean delay (ms)",
                "candidates/req"});
-  for (double workload : {50.0, 100.0, 150.0}) {
-    for (bool commutation : {true, false}) {
-      CampaignConfig cell = config;
-      cell.use_commutation = commutation;
-      const CampaignResult r = run_campaign(cell, Algo::kProbing, workload);
+  std::size_t cell_index = 0;
+  for (double workload : workloads) {
+    for (bool commutation : variants) {
+      const CampaignResult& r = outputs[cell_index++].result;
       table.add_row({fmt(workload, 0),
                      commutation ? "with commutation" : "without",
                      fmt(r.success.ratio(), 3),

@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "core/bcp.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "workload/scenario.hpp"
 
@@ -108,11 +109,18 @@ int main(int argc, char** argv) {
   variants.push_back({"bandwidth-heavy (0.1/0.1/0.8)",
                       core::PsiWeights{{0.1, 0.1}, 0.8}});
 
+  // run_weights builds a fresh world per weighting — isolated cells,
+  // --jobs at a time, byte-identical output.
+  std::vector<WeightRun> results(variants.size());
+  util::parallel_for_each(args.jobs, variants.size(), [&](std::size_t i) {
+    results[i] = run_weights(scenario, variants[i].weights, workload, units);
+  });
+
   Table table({"weighting", "success", "p95 peer CPU util",
                "p95 link bw util"});
-  for (const Variant& v : variants) {
-    const WeightRun r = run_weights(scenario, v.weights, workload, units);
-    table.add_row({v.name, fmt(r.success, 3), fmt(r.cpu_p95_util, 3),
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const WeightRun& r = results[i];
+    table.add_row({variants[i].name, fmt(r.success, 3), fmt(r.cpu_p95_util, 3),
                    fmt(r.bw_p95_util, 3)});
   }
   table.print();

@@ -29,14 +29,27 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation A2: probing quota policy under skewed replication\n\n");
 
+  const std::vector<double> workloads = {50.0, 100.0, 150.0};
+  const std::vector<core::QuotaPolicy> policies = {
+      core::QuotaPolicy::kReplicaProportional, core::QuotaPolicy::kUniform};
+  std::vector<CampaignCell> cells;
+  for (double workload : workloads) {
+    for (auto policy : policies) {
+      CampaignCell cell;
+      cell.config = config;
+      cell.config.quota_policy = policy;
+      cell.workload = workload;
+      cells.push_back(cell);
+    }
+  }
+  const auto outputs = run_campaign_cells(cells, args.jobs);
+
   Table table({"workload", "quota policy", "success", "mean psi",
                "candidates/req"});
-  for (double workload : {50.0, 100.0, 150.0}) {
-    for (auto policy : {core::QuotaPolicy::kReplicaProportional,
-                        core::QuotaPolicy::kUniform}) {
-      CampaignConfig cell = config;
-      cell.quota_policy = policy;
-      const CampaignResult r = run_campaign(cell, Algo::kProbing, workload);
+  std::size_t cell_index = 0;
+  for (double workload : workloads) {
+    for (auto policy : policies) {
+      const CampaignResult& r = outputs[cell_index++].result;
       table.add_row({fmt(workload, 0),
                      policy == core::QuotaPolicy::kUniform
                          ? "uniform"

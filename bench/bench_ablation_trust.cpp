@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "core/session.hpp"
 #include "trust/trust.hpp"
+#include "util/parallel.hpp"
 #include "workload/scenario.hpp"
 
 using namespace spider;
@@ -168,11 +169,19 @@ int main(int argc, char** argv) {
   std::printf("Ablation A5: decentralized trust management (src/trust)\n");
   std::printf("20%% of peers crash ~75x more often than advertised\n\n");
 
+  // run() builds a fresh world per variant — isolated cells, --jobs at a
+  // time, byte-identical output.
+  const std::vector<bool> variants = {false, true};
+  std::vector<TrustRunResult> results(variants.size());
+  util::parallel_for_each(args.jobs, variants.size(), [&](std::size_t i) {
+    results[i] = run(scenario, variants[i], units, sessions);
+  });
+
   Table table({"variant", "breaks (1st half)", "breaks (2nd half)",
                "unreliable hosts/graph (late)", "sessions"});
-  for (bool with_trust : {false, true}) {
-    const TrustRunResult r = run(scenario, with_trust, units, sessions);
-    table.add_row({with_trust ? "trust-aware BCP" : "trust off",
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const TrustRunResult& r = results[i];
+    table.add_row({variants[i] ? "trust-aware BCP" : "trust off",
                    std::to_string(r.breaks_first_half),
                    std::to_string(r.breaks_second_half),
                    fmt(r.mean_unreliable_uses_late, 2),

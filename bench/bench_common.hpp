@@ -21,6 +21,11 @@ struct BenchArgs {
   /// 0 = quick smoke, 1 = default, 2 = full paper scale.
   int scale = 1;
   std::uint64_t seed = 42;
+  /// Campaign cells run `jobs` at a time over a worker pool. Every cell
+  /// is a fully isolated world (own simulator, scenario, RNG stream,
+  /// metrics registry), so output is byte-identical at any value; 1 (the
+  /// default) runs the plain serial loop on the calling thread.
+  std::size_t jobs = 1;
   /// When non-empty, the bench writes a MetricsRegistry JSON snapshot of
   /// the campaign's cumulative counters/gauges/histograms to this path.
   std::string metrics_out;
@@ -33,6 +38,11 @@ inline BenchArgs parse_args(int argc, char** argv) {
     if (std::strcmp(argv[i], "--full") == 0) args.scale = 2;
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[i + 1], nullptr, 10);
+      ++i;
+    }
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      args.jobs = std::strtoull(argv[i + 1], nullptr, 10);
+      if (args.jobs == 0) args.jobs = 1;
       ++i;
     }
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {

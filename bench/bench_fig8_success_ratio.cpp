@@ -70,20 +70,34 @@ int main(int argc, char** argv) {
       {Algo::kStatic, 0.0, "static"},
   };
 
-  // One registry accumulates across every cell of the sweep; BCP, the
-  // allocator, discovery and the DHT all publish into it.
-  obs::MetricsRegistry metrics;
+  // Every (workload, series) coordinate is an isolated cell; the runner
+  // executes them --jobs at a time with byte-identical output at any
+  // parallelism. Per-cell registries merged in cell order reproduce the
+  // old shared-registry accumulation exactly.
+  std::vector<CampaignCell> cells;
+  for (double workload : workloads) {
+    for (const Series& sr : series) {
+      CampaignCell cell;
+      cell.config = config;
+      cell.config.budget_fraction = sr.fraction;
+      cell.algo = sr.algo;
+      cell.workload = workload;
+      cells.push_back(cell);
+    }
+  }
+  const bool with_metrics = !args.metrics_out.empty();
+  const auto outputs = run_campaign_cells(cells, args.jobs, with_metrics);
 
+  obs::MetricsRegistry metrics;
   Table table({"workload (req/unit)", "optimal", "probing-0.2", "probing-0.1",
                "random", "static"});
+  std::size_t cell_index = 0;
   for (double workload : workloads) {
     std::vector<std::string> row{fmt(workload, 0)};
     for (const Series& sr : series) {
-      CampaignConfig cell = config;
-      cell.budget_fraction = sr.fraction;
-      const CampaignResult r = run_campaign(cell, sr.algo, workload,
-                                            args.metrics_out.empty() ? nullptr
-                                                                     : &metrics);
+      const CampaignCellOutput& out = outputs[cell_index++];
+      const CampaignResult& r = out.result;
+      if (with_metrics) metrics.merge(out.metrics);
       row.push_back(fmt(r.success.ratio(), 3));
       std::fprintf(stderr, "  [fig8] %-12s workload=%3.0f success=%.3f (%llu req)\n",
                    sr.label, workload, r.success.ratio(),

@@ -59,32 +59,51 @@ int main(int argc, char** argv) {
               config.scenario.peers, light, busy,
               (unsigned long long)args.seed);
 
+  const std::vector<double> refreshes = {0.1, 0.5, 1.0, 4.0};
+
+  // Cells: BCP at light/busy, then (light, busy) per refresh rate. All
+  // isolated worlds, executed --jobs at a time with byte-identical output.
+  auto make_cell = [&](Algo algo, double refresh, double workload) {
+    CampaignCell cell;
+    cell.config = config;
+    cell.config.centralized_refresh_units = refresh;
+    cell.algo = algo;
+    cell.workload = workload;
+    return cell;
+  };
+  std::vector<CampaignCell> cells;
+  cells.push_back(make_cell(Algo::kProbing, 1.0, light));
+  cells.push_back(make_cell(Algo::kProbing, 1.0, busy));
+  for (double refresh : refreshes) {
+    cells.push_back(make_cell(Algo::kCentralized, refresh, light));
+    cells.push_back(make_cell(Algo::kCentralized, refresh, busy));
+  }
+  const auto outputs = run_campaign_cells(cells, args.jobs);
+
   struct Cell {
     double per_req = 0.0;
     double success = 0.0;
   };
-  auto run_cell = [&](Algo algo, double refresh, double workload) {
-    CampaignConfig cell = config;
-    cell.centralized_refresh_units = refresh;
-    const CampaignResult r = run_campaign(cell, algo, workload);
+  auto summarize = [&](std::size_t index) {
+    const CampaignResult& r = outputs[index].result;
     Cell out;
     out.per_req = r.requests ? double(r.messages) / double(r.requests) : 0.0;
     out.success = r.success.ratio();
     return out;
   };
 
-  const Cell bcp_light = run_cell(Algo::kProbing, 1.0, light);
-  const Cell bcp_busy = run_cell(Algo::kProbing, 1.0, busy);
+  const Cell bcp_light = summarize(0);
+  const Cell bcp_busy = summarize(1);
 
   Table table({"scheme", "refresh", "light msgs/req", "light success",
                "busy msgs/req", "busy success", "light overhead ratio"});
   table.add_row({"SpiderNet BCP", "-", fmt(bcp_light.per_req, 1),
                  fmt(bcp_light.success, 3), fmt(bcp_busy.per_req, 1),
                  fmt(bcp_busy.success, 3), "1.0"});
-  for (double refresh : {0.1, 0.5, 1.0, 4.0}) {
-    const Cell cl = run_cell(Algo::kCentralized, refresh, light);
-    const Cell cb = run_cell(Algo::kCentralized, refresh, busy);
-    table.add_row({"centralized", fmt(refresh, 1) + " units",
+  for (std::size_t i = 0; i < refreshes.size(); ++i) {
+    const Cell cl = summarize(2 + 2 * i);
+    const Cell cb = summarize(3 + 2 * i);
+    table.add_row({"centralized", fmt(refreshes[i], 1) + " units",
                    fmt(cl.per_req, 1), fmt(cl.success, 3), fmt(cb.per_req, 1),
                    fmt(cb.success, 3),
                    fmt(cl.per_req / std::max(bcp_light.per_req, 1e-9), 1)});

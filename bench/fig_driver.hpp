@@ -17,6 +17,7 @@
 #include "core/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "workload/scenario.hpp"
 
@@ -264,6 +265,52 @@ inline CampaignResult run_campaign(const CampaignConfig& config, Algo algo,
         double(centralized.maintenance_messages()) * window_fraction);
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel campaign execution (DESIGN.md §5f).
+//
+// A campaign is a list of cells; every cell is a fully isolated world —
+// run_campaign builds a fresh scenario, simulator and RNG from the cell's
+// own config, and with run_campaign_cells each cell also publishes into
+// its own MetricsRegistry. Nothing mutable is shared across cells, so
+// they can execute on any number of worker threads in any order: results
+// land in a pre-sized vector indexed by cell, and aggregates come from
+// merging the per-cell registries in cell order. Output is therefore
+// byte-identical at every `--jobs` value, including the serial baseline
+// (jobs = 1 runs the exact pre-pool loop on the calling thread).
+//
+// Benches whose cells previously shared one mutable RNG (fig10/fig11)
+// derive an independent per-cell stream via util::hash_values(seed, cell
+// coordinates) instead — see their sources.
+
+/// One (config, algorithm, workload) coordinate of a campaign sweep.
+struct CampaignCell {
+  CampaignConfig config;
+  Algo algo = Algo::kProbing;
+  double workload = 0.0;
+};
+
+/// Cell result plus the cell-local metrics registry (empty unless the
+/// campaign ran with_metrics). Merge registries in cell order for an
+/// aggregate snapshot identical to a serially shared registry's.
+struct CampaignCellOutput {
+  CampaignResult result;
+  obs::MetricsRegistry metrics;
+};
+
+/// Runs every cell, `jobs` at a time. Deterministic for fixed cells and
+/// seed at any `jobs`; jobs <= 1 is the exact serial loop.
+inline std::vector<CampaignCellOutput> run_campaign_cells(
+    const std::vector<CampaignCell>& cells, std::size_t jobs,
+    bool with_metrics = false) {
+  std::vector<CampaignCellOutput> outputs(cells.size());
+  util::parallel_for_each(jobs, cells.size(), [&](std::size_t i) {
+    outputs[i].result =
+        run_campaign(cells[i].config, cells[i].algo, cells[i].workload,
+                     with_metrics ? &outputs[i].metrics : nullptr);
+  });
+  return outputs;
 }
 
 }  // namespace spider::bench

@@ -14,7 +14,7 @@ void ServiceRegistry::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   if (metrics == nullptr) {
     m_lookups_ = m_lookup_hops_ = m_lookup_failures_ = m_cache_hits_ =
-        m_cache_misses_ = nullptr;
+        m_cache_misses_ = m_cache_evictions_ = nullptr;
     return;
   }
   m_lookups_ = &metrics->counter("discovery.lookups");
@@ -22,6 +22,32 @@ void ServiceRegistry::set_metrics(obs::MetricsRegistry* metrics) {
   m_lookup_failures_ = &metrics->counter("discovery.lookup_failures");
   m_cache_hits_ = &metrics->counter("discovery.cache_hits");
   m_cache_misses_ = &metrics->counter("discovery.cache_misses");
+}
+
+void ServiceRegistry::note_evictions(std::size_t count) {
+  if (count == 0) return;
+  cache_evictions_ += count;
+  // Lazily registered so cache-free runs keep their exact metric exports.
+  if (metrics_ != nullptr && m_cache_evictions_ == nullptr) {
+    m_cache_evictions_ = &metrics_->counter("discovery.cache_evictions");
+  }
+  if (m_cache_evictions_ != nullptr) m_cache_evictions_->inc(count);
+}
+
+std::size_t ServiceRegistry::sweep_expired() {
+  if (sim_ == nullptr || cache_ttl_ <= 0.0) return 0;
+  const double now = sim_->now();
+  std::size_t evicted = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.expires_at <= now) {
+      it = cache_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  note_evictions(evicted);
+  return evicted;
 }
 
 std::string serialize(const ComponentMetadata& meta) {
@@ -78,15 +104,26 @@ void ServiceRegistry::unregister_component(const ComponentMetadata& meta) {
 DiscoveryResult ServiceRegistry::discover(dht::PeerId from,
                                           service::FunctionId function) {
   if (m_lookups_ != nullptr) m_lookups_->inc();
-  const std::uint64_t cache_key = (std::uint64_t(from) << 32) | function;
+  const DiscoveryCacheKey cache_key{from, function};
   if (sim_ != nullptr && cache_ttl_ > 0.0) {
-    if (auto it = cache_.find(cache_key);
-        it != cache_.end() && it->second.expires_at > sim_->now()) {
-      ++cache_hits_;
-      if (m_cache_hits_ != nullptr) m_cache_hits_->inc();
-      DiscoveryResult cached = it->second.result;
-      cached.path.assign(1, from);  // no DHT hops: answered locally
-      return cached;
+    // Amortized purge: entries whose (peer, function) is never queried
+    // again are not reachable through touch-eviction below, so sweep the
+    // whole map every kCacheSweepInterval cached lookups.
+    if (++cached_lookups_since_sweep_ >= kCacheSweepInterval) {
+      cached_lookups_since_sweep_ = 0;
+      sweep_expired();
+    }
+    if (auto it = cache_.find(cache_key); it != cache_.end()) {
+      if (it->second.expires_at > sim_->now()) {
+        ++cache_hits_;
+        if (m_cache_hits_ != nullptr) m_cache_hits_->inc();
+        DiscoveryResult cached = it->second.result;
+        cached.path.assign(1, from);  // no DHT hops: answered locally
+        return cached;
+      }
+      // Expired: evict on touch (re-inserted below after the DHT round).
+      cache_.erase(it);
+      note_evictions(1);
     }
     ++cache_misses_;
     if (m_cache_misses_ != nullptr) m_cache_misses_->inc();

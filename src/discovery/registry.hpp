@@ -20,6 +20,7 @@
 #include "dht/pastry.hpp"
 #include "sim/simulator.hpp"
 #include "service/component.hpp"
+#include "util/hash.hpp"
 
 namespace spider::obs {
 class MetricsRegistry;
@@ -40,6 +41,29 @@ struct DiscoveryResult {
   std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
 };
 
+/// Lookup-cache key: which peer resolved which function. A struct key
+/// with field-wise equality, not a bit-packed word — the seed packed
+/// `(peer << 32) | function` into one uint64, the same overlapping-shift
+/// aliasing class PR 1 purged from the soft-hold dedup maps
+/// (core/hold_keys.hpp): any future widening of either id (64-bit peer
+/// ids, namespaced function ids) silently aliases distinct tuples and
+/// serves one peer's cached replica list to another. The struct carries
+/// both fields at full width whatever their type becomes.
+struct DiscoveryCacheKey {
+  dht::PeerId peer = 0;
+  service::FunctionId function = service::kInvalidFunction;
+
+  bool operator==(const DiscoveryCacheKey& o) const {
+    return peer == o.peer && function == o.function;
+  }
+};
+
+struct DiscoveryCacheKeyHash {
+  std::size_t operator()(const DiscoveryCacheKey& k) const {
+    return util::hash_values(k.peer, k.function);
+  }
+};
+
 class ServiceRegistry {
  public:
   ServiceRegistry(dht::PastryNetwork& dht, service::FunctionCatalog& catalog)
@@ -57,8 +81,21 @@ class ServiceRegistry {
   }
   std::uint64_t cache_hits() const { return cache_hits_; }
   std::uint64_t cache_misses() const { return cache_misses_; }
+  /// Entries dropped because their TTL lapsed (touched-on-lookup or via
+  /// sweep_expired); invalidate_cache() drops are not counted.
+  std::uint64_t cache_evictions() const { return cache_evictions_; }
+  std::size_t cache_size() const { return cache_.size(); }
   /// Drops all cached entries (e.g. after bulk re-registration).
   void invalidate_cache() { cache_.clear(); }
+
+  /// Evicts every entry whose TTL has lapsed and returns how many were
+  /// dropped. Lookups already evict the expired entry they touch, but
+  /// entries for (peer, function) pairs that are never queried again
+  /// would otherwise pin their replica lists forever — long soaks grow
+  /// the map without bound. discover() piggybacks a full sweep every
+  /// `kCacheSweepInterval` lookups; call this directly for prompt
+  /// reclamation (mirrors the allocator's sweep_expired()).
+  std::size_t sweep_expired();
 
   /// Attaches a metrics registry (null detaches). Publishes cumulative
   /// "discovery.*" counters: lookups, per-lookup DHT hops, cache outcomes.
@@ -86,13 +123,21 @@ class ServiceRegistry {
     double expires_at = 0.0;
   };
 
+  /// Cached lookups between piggybacked full sweeps in discover().
+  static constexpr std::uint64_t kCacheSweepInterval = 256;
+
+  void note_evictions(std::size_t count);
+
   dht::PastryNetwork* dht_;
   service::FunctionCatalog* catalog_;
   sim::Simulator* sim_ = nullptr;
   double cache_ttl_ = 0.0;
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;  // (peer, fn) key
+  std::unordered_map<DiscoveryCacheKey, CacheEntry, DiscoveryCacheKeyHash>
+      cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+  std::uint64_t cached_lookups_since_sweep_ = 0;
 
   // Observability (all null when no registry is attached).
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -101,6 +146,7 @@ class ServiceRegistry {
   obs::Counter* m_lookup_failures_ = nullptr;
   obs::Counter* m_cache_hits_ = nullptr;
   obs::Counter* m_cache_misses_ = nullptr;
+  obs::Counter* m_cache_evictions_ = nullptr;
 };
 
 }  // namespace spider::discovery

@@ -14,10 +14,22 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::observe(double x) {
+  owner_.check_mutation();
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   ++counts_[std::size_t(it - bounds_.begin())];
   ++count_;
   sum_ += x;
+}
+
+void Histogram::merge(const Histogram& other) {
+  owner_.check_mutation();
+  SPIDER_REQUIRE_MSG(bounds_ == other.bounds_,
+                     "Histogram::merge requires identical bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -35,6 +47,18 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
     it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
   }
   return it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).add(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.bounds()).merge(h);
+  }
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {

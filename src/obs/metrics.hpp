@@ -9,6 +9,16 @@
 //  * instrument references are stable for the registry's lifetime
 //    (node-based storage), so callers may cache them.
 //
+// Threading model: a registry (and every instrument in it) belongs to one
+// thread at a time. The parallel campaign runner gives each cell its own
+// registry on its worker thread and merge()s the cells into an aggregate
+// afterwards; nothing here is locked. Debug builds enforce the contract:
+// every mutation lazily binds the instrument to the mutating thread and
+// aborts if a second thread mutates it later. Const reads (value(),
+// to_json(), merge()'s source) are exempt — they are only safe after the
+// owning thread is done writing, which the campaign runner guarantees by
+// joining workers before merging.
+//
 // Naming convention: dotted lowercase paths grouped by subsystem, e.g.
 // "bcp.probes_spawned", "alloc.holds_outstanding", "discovery.lookup_hops".
 #pragma once
@@ -18,28 +28,76 @@
 #include <string>
 #include <vector>
 
+#ifndef NDEBUG
+#include <thread>
+
+#include "util/require.hpp"
+#endif
+
 namespace spider::obs {
+
+namespace detail {
+
+/// Debug-build single-writer check: binds to the first mutating thread
+/// and aborts when a different thread mutates the same instrument.
+/// Compiles to an empty no-op member in release builds.
+class DebugThreadOwner {
+ public:
+#ifndef NDEBUG
+  void check_mutation() {
+    const std::thread::id self = std::this_thread::get_id();
+    if (owner_ == std::thread::id{}) {
+      owner_ = self;
+      return;
+    }
+    SPIDER_REQUIRE_MSG(owner_ == self,
+                       "metrics instrument mutated from two threads — give "
+                       "each worker its own MetricsRegistry and merge()");
+  }
+
+ private:
+  std::thread::id owner_{};
+#else
+  void check_mutation() {}
+#endif
+};
+
+}  // namespace detail
 
 /// Monotonically increasing event count.
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  void inc(std::uint64_t delta = 1) {
+    owner_.check_mutation();
+    value_ += delta;
+  }
   std::uint64_t value() const { return value_; }
 
  private:
   std::uint64_t value_ = 0;
+  [[no_unique_address]] detail::DebugThreadOwner owner_;
 };
 
 /// Point-in-time level (outstanding holds, active sessions, ...).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double delta) { value_ += delta; }
-  void sub(double delta) { value_ -= delta; }
+  void set(double v) {
+    owner_.check_mutation();
+    value_ = v;
+  }
+  void add(double delta) {
+    owner_.check_mutation();
+    value_ += delta;
+  }
+  void sub(double delta) {
+    owner_.check_mutation();
+    value_ -= delta;
+  }
   double value() const { return value_; }
 
  private:
   double value_ = 0.0;
+  [[no_unique_address]] detail::DebugThreadOwner owner_;
 };
 
 /// Histogram over fixed, caller-supplied upper bounds (ascending). A
@@ -53,6 +111,11 @@ class Histogram {
 
   void observe(double x);
 
+  /// Adds `other`'s samples into this histogram. Requires identical
+  /// bounds (the aggregate registry re-creates each histogram with the
+  /// source's bounds, so merging per-cell registries always matches).
+  void merge(const Histogram& other);
+
   const std::vector<double>& bounds() const { return bounds_; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   std::uint64_t count() const { return count_; }
@@ -64,6 +127,7 @@ class Histogram {
   std::vector<std::uint64_t> counts_{0};  // overflow-only when unbounded
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
+  [[no_unique_address]] detail::DebugThreadOwner owner_;
 };
 
 class MetricsRegistry {
@@ -80,6 +144,14 @@ class MetricsRegistry {
   /// the exported JSON. Return nullptr when the name was never registered.
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
+
+  /// Folds `other` into this registry: counters add their totals, gauges
+  /// add their levels (disjoint worlds' levels sum), histograms add their
+  /// bucket counts (bounds must match), and instruments missing here are
+  /// created. Merging per-cell registries in cell order reproduces, byte
+  /// for byte, the snapshot a single registry shared by serially executed
+  /// cells would have produced.
+  void merge(const MetricsRegistry& other);
 
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();

@@ -1,0 +1,80 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace spider::util {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  SPIDER_REQUIRE(threads >= 1);
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || next_ < batch_n_; });
+    if (stop_) return;
+    while (next_ < batch_n_) {
+      const std::size_t index = next_++;
+      const std::function<void(std::size_t)>* fn = batch_fn_;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        (*fn)(index);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err != nullptr && error_ == nullptr) error_ = err;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  SPIDER_REQUIRE_MSG(batch_fn_ == nullptr,
+                     "WorkerPool::for_each_index is not reentrant");
+  batch_fn_ = &fn;
+  batch_n_ = n;
+  next_ = 0;
+  remaining_ = n;
+  error_ = nullptr;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  batch_fn_ = nullptr;
+  batch_n_ = 0;
+  if (error_ != nullptr) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void parallel_for_each(std::size_t jobs, std::size_t n,
+                       const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  WorkerPool pool(std::min(jobs, n));
+  pool.for_each_index(n, fn);
+}
+
+}  // namespace spider::util

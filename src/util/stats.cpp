@@ -11,7 +11,7 @@ namespace spider {
 void SampleStats::add(double x) {
   samples_.push_back(x);
   sum_ += x;
-  sorted_ = false;
+  sorted_.clear();  // invalidate the percentile cache
 }
 
 double SampleStats::mean() const {
@@ -39,16 +39,18 @@ double SampleStats::stddev() const {
 double SampleStats::percentile(double p) const {
   SPIDER_REQUIRE(!samples_.empty());
   SPIDER_REQUIRE(p >= 0.0 && p <= 100.0);
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  // Sort a private copy: samples() keeps exposing insertion order even
+  // after summary()/percentile() calls.
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
   }
-  if (samples_.size() == 1) return samples_[0];
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
 }
 
 std::string SampleStats::summary() const {

@@ -32,11 +32,13 @@ class SampleStats {
   /// "mean=… p50=… p99=… min=… max=… n=…" one-line summary.
   std::string summary() const;
 
+  /// Samples in insertion order — percentile()/summary() never reorder
+  /// them (they sort a lazily maintained private copy instead).
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;           ///< insertion order, never sorted
+  mutable std::vector<double> sorted_;    ///< lazy sorted copy for percentiles
   double sum_ = 0.0;
 };
 

@@ -7,6 +7,7 @@
 #include "discovery/registry.hpp"
 #include "net/generator.hpp"
 #include "net/router.hpp"
+#include "obs/metrics.hpp"
 #include "overlay/overlay.hpp"
 #include "util/rng.hpp"
 
@@ -192,6 +193,83 @@ TEST_F(RegistryTest, CacheCanServeStaleUntilInvalidated) {
   // ...until explicitly invalidated.
   registry.invalidate_cache();
   EXPECT_FALSE(registry.discover(3, 0).found);
+}
+
+TEST(DiscoveryCacheKey, DistinctTuplesNeverAlias) {
+  // Regression: the cache key used to be (peer << 32) | function packed
+  // into a uint64. That packing silently truncates if either id type ever
+  // widens; the struct key + util::hash_values is width-proof. Check the
+  // equality semantics directly, including the adversarial swapped pairs
+  // that bit-packing schemes tend to confuse.
+  const DiscoveryCacheKey a{1, 2};
+  const DiscoveryCacheKey b{2, 1};
+  const DiscoveryCacheKey c{1, 2};
+  EXPECT_TRUE(a == c);
+  EXPECT_FALSE(a == b);
+  const DiscoveryCacheKeyHash hash;
+  EXPECT_EQ(hash(a), hash(c));
+  EXPECT_NE(hash(a), hash(b));
+  // (peer=0, fn=x) vs (peer=x, fn=0) is the classic packed-key collision
+  // family when shift widths drift.
+  EXPECT_FALSE((DiscoveryCacheKey{0, 7} == DiscoveryCacheKey{7, 0}));
+  EXPECT_NE(hash(DiscoveryCacheKey{0, 7}), hash(DiscoveryCacheKey{7, 0}));
+}
+
+TEST_F(RegistryTest, CacheSlotsIsolatedPerPeerAndFunction) {
+  deployment_->deploy_component(make_component(1, 0));
+  deployment_->deploy_component(make_component(2, 1));
+  auto& registry = deployment_->registry();
+  sim::Simulator sim;
+  registry.enable_cache(sim, /*ttl=*/1000.0);
+  // Four distinct (peer, function) tuples → four misses, four entries.
+  registry.discover(3, 0);
+  registry.discover(3, 1);
+  registry.discover(5, 0);
+  registry.discover(5, 1);
+  EXPECT_EQ(registry.cache_misses(), 4u);
+  EXPECT_EQ(registry.cache_size(), 4u);
+  // Each repeat hits its own slot.
+  registry.discover(3, 0);
+  registry.discover(5, 1);
+  EXPECT_EQ(registry.cache_hits(), 2u);
+  EXPECT_EQ(registry.cache_misses(), 4u);
+}
+
+TEST_F(RegistryTest, ExpiredEntryIsEvictedOnTouch) {
+  deployment_->deploy_component(make_component(1, 0));
+  auto& registry = deployment_->registry();
+  sim::Simulator sim;
+  obs::MetricsRegistry metrics;
+  registry.set_metrics(&metrics);
+  registry.enable_cache(sim, /*ttl=*/50.0);
+  registry.discover(3, 0);
+  EXPECT_EQ(registry.cache_size(), 1u);
+  sim.schedule_at(60.0, [] {});
+  sim.run();
+  // The expired entry is erased (not just bypassed) when re-touched.
+  registry.discover(3, 0);
+  EXPECT_EQ(registry.cache_evictions(), 1u);
+  EXPECT_EQ(registry.cache_size(), 1u);  // re-cached by the fresh miss
+  EXPECT_EQ(metrics.counter("discovery.cache_evictions").value(), 1u);
+}
+
+TEST_F(RegistryTest, SweepPurgesEntriesNeverTouchedAgain) {
+  deployment_->deploy_component(make_component(1, 0));
+  deployment_->deploy_component(make_component(2, 1));
+  auto& registry = deployment_->registry();
+  sim::Simulator sim;
+  registry.enable_cache(sim, /*ttl=*/50.0);
+  registry.discover(3, 0);
+  registry.discover(4, 0);
+  registry.discover(5, 1);
+  EXPECT_EQ(registry.cache_size(), 3u);
+  sim.schedule_at(60.0, [] {});
+  sim.run();
+  // Without the sweep these dead entries would sit in the map forever
+  // (the old code never erased, it only ignored them on lookup).
+  registry.sweep_expired();
+  EXPECT_EQ(registry.cache_size(), 0u);
+  EXPECT_EQ(registry.cache_evictions(), 3u);
 }
 
 TEST_F(RegistryTest, DiscoveryPathTracksHops) {

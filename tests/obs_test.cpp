@@ -173,6 +173,54 @@ TEST(Metrics, WriteJsonToFile) {
   EXPECT_DOUBLE_EQ(parsed->find("counters")->number_or("a", 0.0), 1.0);
 }
 
+TEST(Metrics, MergeSumsAllInstrumentKinds) {
+  MetricsRegistry a, b;
+  a.counter("c").inc(3);
+  b.counter("c").inc(4);
+  b.counter("only_b").inc(1);
+  a.gauge("g").set(2.0);
+  b.gauge("g").set(5.0);
+  a.histogram("h", {1.0, 10.0}).observe(0.5);
+  b.histogram("h", {1.0, 10.0}).observe(5.0);
+  b.histogram("h", {1.0, 10.0}).observe(50.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c").value(), 7u);
+  EXPECT_EQ(a.counter("only_b").value(), 1u);  // created on demand
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 7.0);
+  const obs::Histogram& h = a.histogram("h", {1.0, 10.0});
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.5);
+  ASSERT_EQ(h.counts().size(), 3u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+}
+
+TEST(Metrics, PerCellMergeMatchesSharedRegistrySnapshot) {
+  // The property run_campaign_cells relies on: merging per-cell
+  // registries in cell order must reproduce, byte for byte, the JSON a
+  // single registry shared by serially executed cells would produce.
+  auto record_cell = [](MetricsRegistry& reg, std::uint64_t cell) {
+    reg.counter("bcp.requests").inc(cell + 1);
+    reg.gauge("alloc.holds_outstanding").add(double(cell));
+    reg.gauge("alloc.holds_outstanding").sub(double(cell));  // drains to 0
+    reg.histogram("bcp.setup_time_ms", {10.0, 100.0})
+        .observe(double(cell) * 40.0 + 5.0);
+  };
+
+  MetricsRegistry shared;
+  for (std::uint64_t cell = 0; cell < 3; ++cell) record_cell(shared, cell);
+
+  MetricsRegistry merged;
+  for (std::uint64_t cell = 0; cell < 3; ++cell) {
+    MetricsRegistry per_cell;
+    record_cell(per_cell, cell);
+    merged.merge(per_cell);
+  }
+  EXPECT_EQ(merged.to_json(), shared.to_json());
+}
+
 // ---------------------------------------------------------------- trace
 
 TEST(Trace, EventNamesRoundTrip) {

@@ -1,10 +1,15 @@
 // Unit tests for src/util: RNG determinism and distribution sanity,
-// statistics, SHA-1 known-answer vectors.
+// statistics, SHA-1 known-answer vectors, worker-pool semantics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/sha1.hpp"
 #include "util/stats.hpp"
@@ -162,6 +167,77 @@ TEST(SampleStats, PercentileAfterInterleavedAdds) {
   s.add(1);  // invalidates sorted cache
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
   EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(SampleStats, SamplesPreserveInsertionOrder) {
+  // Regression: percentile() used to std::sort the live sample buffer,
+  // silently reordering what samples() returned afterwards.
+  SampleStats s;
+  const std::vector<double> order = {9.0, 1.0, 7.0, 3.0, 5.0};
+  for (double x : order) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  (void)s.percentile(95);
+  EXPECT_EQ(s.samples(), order);
+  // A summary after percentiles must also leave the order intact.
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.samples(), order);
+}
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  util::WorkerPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.for_each_index(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkerPool, ReusableAcrossBatches) {
+  util::WorkerPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.for_each_index(50, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 250u);
+  pool.for_each_index(0, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 250u);
+}
+
+TEST(WorkerPool, PropagatesFirstException) {
+  util::WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.for_each_index(8,
+                                   [&](std::size_t i) {
+                                     ran.fetch_add(1);
+                                     if (i == 3) throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  // The pool stays usable after an exceptional batch.
+  pool.for_each_index(4, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_GE(ran.load(), 4);
+}
+
+TEST(ParallelForEach, SerialPathRunsOnCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(3);
+  util::parallel_for_each(1, seen.size(), [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForEach, MatchesSerialResults) {
+  auto run = [](std::size_t jobs) {
+    std::vector<std::uint64_t> out(64);
+    util::parallel_for_each(jobs, out.size(), [&](std::size_t i) {
+      Rng rng(util::hash_values(std::uint64_t(42), i));
+      std::uint64_t acc = 0;
+      for (int k = 0; k < 100; ++k) acc ^= rng();
+      out[i] = acc;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(1), run(16));
 }
 
 TEST(TimeSeriesCounter, AccumulatesPerBucket) {

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Reduced-scale benchmark smoke test: run fig8 + fig9 in --quick mode,
 # export their metrics and compare key ratios against the checked-in
-# expectations in bench/baselines.json.
+# expectations in bench/baselines.json. fig8 is additionally re-run with
+# --jobs $SPIDER_SMOKE_JOBS (default 4) and its stdout + metrics JSON are
+# diffed byte-for-byte against the serial run (DESIGN.md §5f).
 #
 #   tools/bench_smoke.sh                 # uses ./build
 #   SPIDER_BUILD_DIR=build-ci tools/bench_smoke.sh
+#   SPIDER_SMOKE_JOBS=8 tools/bench_smoke.sh
 #
 # The runs are deterministic (fixed seed), so a failure means a real
 # behavior change: either a regression, or an intentional tuning that
@@ -13,6 +16,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${SPIDER_BUILD_DIR:-$repo_root/build}"
+smoke_jobs="${SPIDER_SMOKE_JOBS:-4}"
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
 
@@ -23,9 +27,36 @@ for bench in bench_fig8_success_ratio bench_fig9_failure_recovery; do
   fi
 done
 
+# The two fig8 passes run from their own working directories with the
+# same relative --metrics-out path, so their stdout (which echoes the
+# metrics path) can be diffed byte-for-byte.
+mkdir -p "$out_dir/serial" "$out_dir/jobs"
+
 echo "== fig8 (quick) =="
-"$build_dir/bench/bench_fig8_success_ratio" --quick --seed 42 \
-  --metrics-out "$out_dir/fig8.json" | tail -n 3
+serial_start=$SECONDS
+(cd "$out_dir/serial" && "$build_dir/bench/bench_fig8_success_ratio" \
+  --quick --seed 42 --metrics-out fig8.json > fig8.out)
+serial_secs=$((SECONDS - serial_start))
+tail -n 3 "$out_dir/serial/fig8.out"
+cp "$out_dir/serial/fig8.json" "$out_dir/fig8.json"
+
+echo "== fig8 (quick, --jobs $smoke_jobs) =="
+jobs_start=$SECONDS
+(cd "$out_dir/jobs" && "$build_dir/bench/bench_fig8_success_ratio" \
+  --quick --seed 42 --jobs "$smoke_jobs" \
+  --metrics-out fig8.json > fig8.out)
+jobs_secs=$((SECONDS - jobs_start))
+if ! diff -u "$out_dir/serial/fig8.out" "$out_dir/jobs/fig8.out"; then
+  echo "FAIL: fig8 stdout differs between --jobs 1 and --jobs $smoke_jobs" >&2
+  exit 1
+fi
+if ! cmp -s "$out_dir/serial/fig8.json" "$out_dir/jobs/fig8.json"; then
+  echo "FAIL: fig8 metrics JSON differs between --jobs 1 and --jobs $smoke_jobs" >&2
+  exit 1
+fi
+echo "ok   stdout and metrics byte-identical to serial" \
+     "(serial ${serial_secs}s, --jobs $smoke_jobs ${jobs_secs}s)"
+
 echo "== fig9 (quick) =="
 "$build_dir/bench/bench_fig9_failure_recovery" --quick --seed 42 \
   --metrics-out "$out_dir/fig9.json" | tail -n 3
