@@ -80,6 +80,33 @@ void BM_BcpCompose(benchmark::State& state) {
 }
 BENCHMARK(BM_BcpCompose);
 
+// Probe-spawn cost vs request depth: every extra hop adds one more probe
+// generation whose spawn must not get more expensive as the carried
+// prefix grows. Reports per-spawn copy volume alongside wall time so the
+// scaling (or its absence) is visible directly.
+void BM_BcpComposeDepth(benchmark::State& state) {
+  ComposeFixture fx;
+  workload::RequestProfile profile;
+  profile.min_functions = std::size_t(state.range(0));
+  profile.max_functions = std::size_t(state.range(0));
+  profile.dag_probability = 0.0;  // linear chains: depth == function count
+  std::uint64_t spawned = 0;
+  std::uint64_t bytes_copied = 0;
+  for (auto _ : state) {
+    auto gen = workload::sample_request(*fx.scenario, profile);
+    core::ComposeResult r = fx.bcp->compose(gen.request, fx.scenario->rng);
+    for (core::HoldId h : r.best_holds) fx.scenario->alloc->release_hold(h);
+    spawned += r.stats.probes_spawned;
+    bytes_copied += r.stats.probe_bytes_copied;
+    benchmark::DoNotOptimize(r.success);
+  }
+  state.counters["probes_spawned"] =
+      benchmark::Counter(double(spawned), benchmark::Counter::kAvgIterations);
+  state.counters["copied_bytes_per_spawn"] = benchmark::Counter(
+      spawned == 0 ? 0.0 : double(bytes_copied) / double(spawned));
+}
+BENCHMARK(BM_BcpComposeDepth)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
 void BM_OptimalCompose(benchmark::State& state) {
   ComposeFixture fx;
   for (auto _ : state) {

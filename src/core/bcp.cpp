@@ -80,8 +80,14 @@ struct BcpEngine::Probe {
   /// processing order — so fault outcomes are identical between the
   /// synchronous and message-level modes.
   std::uint64_t fault_key = 0;
-  std::vector<ComponentMetadata> chosen;  ///< prefix of the branch
-  std::vector<std::pair<HoldCoverKey, HoldId>> holds;
+  /// Chosen prefix of the branch: component, per-hop holds and leg timing
+  /// live in immutable shared PathSegments (probe_path.hpp), so copying a
+  /// Probe is O(1) regardless of depth. depth() == hops taken so far.
+  PathRef prefix;
+  /// Bandwidth hold on the final leg toward the destination — attached to
+  /// the probe, not the chain: it exists only once the probe leaves its
+  /// last component, which no child ever shares.
+  std::optional<std::pair<HoldCoverKey, HoldId>> dest_hold;
   bool final_leg_done = false;
 };
 
@@ -94,6 +100,10 @@ struct BcpEngine::DiscoveryEntry {
 /// it on the stack; the message-level path keeps it alive on the heap
 /// until the last event fires.
 struct BcpEngine::ComposeState {
+  /// Backs every probe's prefix chain for this request. Declared first:
+  /// members below (seeds, arrived, queued probes in the drivers) hold
+  /// PathRefs into it and must be destroyed before it.
+  PathArena arena;
   service::CompositeRequest request;
   Rng* rng = nullptr;
   std::uint64_t noise_salt = 0;  ///< seeds the hashed metric noise/jitter
@@ -223,11 +233,23 @@ bool BcpEngine::init_state(ComposeState& state,
     total_seeds += state.branches[pi].size();
   }
   SPIDER_REQUIRE(total_seeds > 0);
-  const int seed_budget =
-      std::max(1, config_.probing_budget / int(total_seeds));
+  // β is split exactly across the pattern/branch seeds: every seed gets
+  // ⌊β/S⌋ and the first β mod S seeds one more, so Σ seed budgets == β.
+  // When β < S only the first β seeds spawn at all — the budget is a hard
+  // ceiling on probes in flight, never rounded up per seed.
+  const int budget_total = std::max(config_.probing_budget, 0);
+  const int seed_base = budget_total / int(total_seeds);
+  const int seed_extra = budget_total % int(total_seeds);
 
+  int granted = 0;
+  std::size_t seed_idx = 0;
   for (std::size_t pi = 0; pi < state.patterns.size(); ++pi) {
     for (std::size_t bi = 0; bi < state.branches[pi].size(); ++bi) {
+      const int seed_budget =
+          seed_base + (seed_idx < std::size_t(seed_extra) ? 1 : 0);
+      ++seed_idx;
+      if (seed_budget < 1) continue;  // β exhausted: seed never spawns
+      granted += seed_budget;
       Probe seed;
       seed.pattern_idx = pi;
       seed.branch_idx = bi;
@@ -249,7 +271,9 @@ bool BcpEngine::init_state(ComposeState& state,
       }
     }
   }
-  return true;
+  SPIDER_DCHECK(granted <= budget_total);
+  (void)granted;
+  return !state.seeds.empty();
 }
 
 void BcpEngine::process_probe(ComposeState& state, Probe probe,
@@ -296,7 +320,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     trace_->record(std::move(rec));
   };
 
-  if (probe.chosen.size() == branch.size()) {
+  if (probe.prefix.depth() == branch.size()) {
     // Final leg: stream exits the last component toward the destination.
     ++stats.probe_messages;
     const FnNode last = branch.back();
@@ -326,7 +350,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
             ++stats.holds_reused;
             trace_hold(obs::TraceEvent::kHoldReused, probe.arrival, last,
                        existing->second);
-            probe.holds.emplace_back(
+            probe.dest_hold.emplace(
                 HoldCoverKey::edge(last, ServiceLinkHop::kEndpoint),
                 existing->second);
           } else {
@@ -345,7 +369,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
             for (auto link : path.links) {
               state.own_view.link_extra[link] += request.bandwidth_kbps;
             }
-            probe.holds.emplace_back(
+            probe.dest_hold.emplace(
                 HoldCoverKey::edge(last, ServiceLinkHop::kEndpoint), *hold);
           }
         }
@@ -393,7 +417,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
   }
 
   // Step 2.2/2.3: next-hop function & replica selection.
-  const FnNode next_node = branch[probe.chosen.size()];
+  const FnNode next_node = branch[probe.prefix.depth()];
   const service::FunctionId fn = pattern.function(next_node);
   const DiscoveryEntry& disc = discover(state, probe.at, fn);
 
@@ -478,19 +502,34 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
   candidates.clear();
   for (const auto& [sc, meta] : scored) candidates.push_back(meta);
 
+  // §4.2: fan out to I_k = min(β_k, α_k) replicas (never more than Z_k),
+  // splitting the parent's remaining budget exactly: every child gets
+  // ⌊β_k/I_k⌋ and the first β_k mod I_k children one more. Σ child
+  // budgets == β_k — the parent's grant is conserved: never minted (a
+  // budget-exhausted probe was already dropped above) and never
+  // truncated away by the integer division.
   const std::size_t z = candidates.size();
   const int alpha = quota_for(z);
-  const int allowed = std::min(probe.budget, alpha);
   const std::size_t fanout =
-      std::min<std::size_t>(std::size_t(std::max(allowed, 1)), z);
-  const int child_budget =
-      std::max(1, probe.budget / int(fanout >= z ? z : fanout));
+      std::min<std::size_t>(std::size_t(std::min(probe.budget, alpha)), z);
+  const int child_base = probe.budget / int(fanout);
+  const int child_extra = probe.budget % int(fanout);
 
+  int granted = 0;
   const std::size_t children_before = out_children->size();
   for (std::size_t ci = 0; ci < fanout; ++ci) {
     const ComponentMetadata& cand = *candidates[ci];
-    Probe child = probe;  // copy: chosen prefix, holds, timing
-    child.budget = child_budget;
+    // O(1) spawn: the child copies the probe's scalars and takes a shared
+    // reference on the prefix chain; the hops walked so far are inherited
+    // by reference, never copied (debug_clone_prefixes deep-copies them
+    // below as the equivalence-test oracle, with identical accounting so
+    // both modes report the same stats).
+    Probe child = probe;
+    stats.probe_bytes_copied += sizeof(Probe);
+    stats.prefix_nodes_shared += probe.prefix.depth();
+    child.budget = child_base + (int(ci) < child_extra ? 1 : 0);
+    SPIDER_DCHECK(child.budget >= 1 && child.budget <= probe.budget);
+    granted += child.budget;  // before retransmissions charge it below
     ++stats.probe_messages;
 
     double leg_delay = 0.0;
@@ -537,9 +576,14 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
       continue;
     }
 
-    const FnNode prev_node = child.chosen.empty()
+    const FnNode prev_node = child.prefix.depth() == 0
                                  ? ServiceLinkHop::kEndpoint
-                                 : branch[child.chosen.size() - 1];
+                                 : branch[child.prefix.depth() - 1];
+    // Holds attached at this hop, recorded onto the child's fresh
+    // PathSegment once it exists (bandwidth first, then resources — the
+    // order finalize()'s hold union must observe).
+    std::optional<std::pair<HoldCoverKey, HoldId>> leg_bw_hold;
+    std::optional<std::pair<HoldCoverKey, HoldId>> leg_res_hold;
     if (!config_.soft_allocation) {
       // Check-only mode (ablation A4): availability verified, nothing
       // reserved — concurrent requests may later race to admission.
@@ -619,13 +663,28 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
             state.own_view.link_extra[link] += request.bandwidth_kbps;
           }
         }
-        child.holds.emplace_back(HoldCoverKey::edge(prev_node, next_node),
-                                 *bw_hold);
+        leg_bw_hold.emplace(HoldCoverKey::edge(prev_node, next_node),
+                            *bw_hold);
       }
-      child.holds.emplace_back(HoldCoverKey::node(next_node), *res_hold);
+      leg_res_hold.emplace(HoldCoverKey::node(next_node), *res_hold);
     }
 
-    child.chosen.push_back(cand);
+    // Every skip is behind us: extend the prefix by one segment. The
+    // segment is written (holds attached) before the child is handed to
+    // the driver; from then on it is immutable and shared.
+    child.prefix =
+        config_.debug_clone_prefixes
+            ? state.arena.clone_append(probe.prefix.get(), cand, leg_delay,
+                                       child.arrival)
+            : state.arena.append(probe.prefix.get(), cand, leg_delay,
+                                 child.arrival);
+    PathSegment* leaf = child.prefix.leaf();
+    if (leg_bw_hold.has_value()) {
+      leaf->add_hold(leg_bw_hold->first, leg_bw_hold->second);
+    }
+    if (leg_res_hold.has_value()) {
+      leaf->add_hold(leg_res_hold->first, leg_res_hold->second);
+    }
     child.at = cand.host;
     child.level = cand.output_level;
     ++stats.probes_spawned;
@@ -641,6 +700,9 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     }
     out_children->push_back(std::move(child));
   }
+
+  SPIDER_DCHECK(granted <= probe.budget);
+  (void)granted;
 
   // Terminal accounting for the parent: it either forwarded into >= 1
   // children or died here because every candidate was skipped.
@@ -658,13 +720,19 @@ void BcpEngine::finalize(ComposeState& state) {
   const service::CompositeRequest& request = state.request;
 
   // ---- Step 3: destination merge + optimal composition selection ------
-  // Group arrived probes by (pattern, branch).
+  // Group arrived probes by (pattern, branch). This is the one place
+  // shared prefixes are flattened: the merge below reads each probe's
+  // chain through a positional root-first view, so it observes exactly
+  // the per-probe component vectors the deep-copy implementation carried.
   std::unordered_map<std::uint64_t, std::vector<const Probe*>> by_pb;
+  std::unordered_map<const Probe*, FlatPrefix> flat;
+  flat.reserve(state.arrived.size());
   double last_arrival = 0.0;
   double critical_disc = 0.0;
   for (const Probe& probe : state.arrived) {
     by_pb[(std::uint64_t(probe.pattern_idx) << 32) | probe.branch_idx]
         .push_back(&probe);
+    flat.emplace(&probe, FlatPrefix(probe.prefix.get()));
     if (probe.arrival > last_arrival) {
       last_arrival = probe.arrival;
       critical_disc = probe.disc_acc;
@@ -718,10 +786,11 @@ void BcpEngine::finalize(ComposeState& state) {
       }
       const auto& branch = pattern_branches[bi];
       for (const Probe* probe : *lists[bi]) {
+        const FlatPrefix& chosen = flat.at(probe);
         bool compatible = true;
         for (std::size_t k = 0; k < branch.size(); ++k) {
           if (bound[branch[k]] &&
-              mapping[branch[k]].id != probe->chosen[k].id) {
+              mapping[branch[k]].id != chosen.component(k).id) {
             compatible = false;
             break;
           }
@@ -731,7 +800,7 @@ void BcpEngine::finalize(ComposeState& state) {
         for (std::size_t k = 0; k < branch.size(); ++k) {
           if (!bound[branch[k]]) {
             bound[branch[k]] = true;
-            mapping[branch[k]] = probe->chosen[k];
+            mapping[branch[k]] = chosen.component(k);
             newly_bound.push_back(branch[k]);
           }
         }
@@ -772,10 +841,22 @@ void BcpEngine::finalize(ComposeState& state) {
     evaluator_->evaluate(graph, request, &state.own_view);
     if (!evaluator_->qos_qualified(graph, request)) continue;
 
-    // Union of constituent probes' holds, deduped by coverage key.
+    // Union of constituent probes' holds, deduped by coverage key. Walk
+    // each probe's chain root-first (bandwidth before resources within a
+    // hop), destination-leg hold last — the exact insertion order the
+    // deep-copy implementation's flat hold vectors produced.
     std::unordered_map<HoldCoverKey, HoldId, HoldCoverKeyHash> by_key;
     for (const Probe* probe : cand.probes) {
-      for (const auto& [key, hold] : probe->holds) by_key.emplace(key, hold);
+      const FlatPrefix& path = flat.at(probe);
+      for (std::size_t k = 0; k < path.size(); ++k) {
+        const PathSegment& seg = path.segment(k);
+        for (std::uint8_t h = 0; h < seg.hold_count; ++h) {
+          by_key.emplace(seg.holds[h].first, seg.holds[h].second);
+        }
+      }
+      if (probe->dest_hold.has_value()) {
+        by_key.emplace(probe->dest_hold->first, probe->dest_hold->second);
+      }
     }
     if (trace_ != nullptr) {
       obs::TraceRecord rec;
@@ -871,6 +952,11 @@ void BcpEngine::finalize(ComposeState& state) {
     }
   }
 
+  arena_totals_.segments_allocated += state.arena.segments_allocated();
+  arena_totals_.freelist_reused += state.arena.freelist_reused();
+  arena_totals_.peak_live_segments = std::max(
+      arena_totals_.peak_live_segments, state.arena.peak_live_segments());
+
   flush_metrics(stats, result.success);
 }
 
@@ -915,6 +1001,8 @@ void BcpEngine::flush_metrics(const ComposeStats& stats, bool success) {
   }
   m.counter("bcp.holds_acquired").inc(stats.holds_acquired);
   m.counter("bcp.holds_reused").inc(stats.holds_reused);
+  m.counter("bcp.probe_bytes_copied").inc(stats.probe_bytes_copied);
+  m.counter("bcp.prefix_nodes_shared").inc(stats.prefix_nodes_shared);
   m.counter("bcp.probe_messages").inc(stats.probe_messages);
   m.counter("bcp.discovery_messages").inc(stats.discovery_messages);
   m.counter("bcp.candidates_merged").inc(stats.candidates_merged);

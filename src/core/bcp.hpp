@@ -32,6 +32,7 @@
 #include "core/allocator.hpp"
 #include "core/deployment.hpp"
 #include "core/evaluator.hpp"
+#include "core/probe_path.hpp"
 #include "util/rng.hpp"
 
 namespace spider::obs {
@@ -124,6 +125,23 @@ struct BcpConfig {
   double retx_min_rto_ms = 20.0;
   double retx_rtt_factor = 2.0;
   double retx_backoff = 2.0;
+
+  /// Test-only: spawn children by deep-copying the parent's prefix chain
+  /// instead of sharing its tail. Protocol decisions, results, stats and
+  /// metrics are identical either way — the prefix-sharing equivalence
+  /// suite runs both modes and diffs them; only memory behaviour (arena
+  /// churn) differs.
+  bool debug_clone_prefixes = false;
+};
+
+/// Cumulative PathArena accounting across every compose an engine ran.
+/// `peak_live_segments` is the largest single-request high-water mark —
+/// times sizeof(PathSegment) it is the engine's peak-RSS proxy for probe
+/// state (the scaling benchmark's memory column).
+struct ProbeArenaTotals {
+  std::uint64_t segments_allocated = 0;
+  std::uint64_t freelist_reused = 0;
+  std::uint64_t peak_live_segments = 0;
 };
 
 struct ComposeStats {
@@ -158,6 +176,13 @@ struct ComposeStats {
   // Soft-hold dedup effectiveness: fresh reservations vs sibling reuse.
   std::uint64_t holds_acquired = 0;
   std::uint64_t holds_reused = 0;
+  // Probe-state copy accounting (the spawn hot path). `probe_bytes_copied`
+  // is the volume of probe state physically copied when spawning probes;
+  // `prefix_nodes_shared` counts prefix hops children inherited by
+  // reference instead of copying. Both are identical between the sync and
+  // message-level drivers (they depend on spawn events, not timing).
+  std::uint64_t probe_bytes_copied = 0;
+  std::uint64_t prefix_nodes_shared = 0;
   std::uint64_t probe_messages = 0;      ///< probe + ack transmissions
   std::uint64_t discovery_messages = 0;  ///< DHT lookup hops
   double discovery_time_ms = 0.0;        ///< critical-path discovery share
@@ -244,6 +269,11 @@ class BcpEngine {
   void set_fault_model(const fault::LinkFaultModel* model) { fault_ = model; }
   const fault::LinkFaultModel* fault_model() const { return fault_; }
 
+  /// Probe-path arena accounting accumulated over all composes (see
+  /// ProbeArenaTotals). Peak probe-state bytes ≈ peak_live_segments ×
+  /// sizeof(PathSegment).
+  const ProbeArenaTotals& arena_totals() const { return arena_totals_; }
+
  private:
   struct Probe;
   struct DiscoveryEntry;
@@ -281,6 +311,7 @@ class BcpEngine {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::ProbeTrace* trace_ = nullptr;
   const fault::LinkFaultModel* fault_ = nullptr;
+  ProbeArenaTotals arena_totals_;
 };
 
 }  // namespace spider::core

@@ -156,9 +156,34 @@ int SessionManager::backup_count(const ServiceGraph& graph,
 
 std::vector<ServiceGraph> SessionManager::select_backups(
     const ServiceGraph& current, std::vector<ServiceGraph> pool,
-    std::size_t count, BackupPolicy policy, Rng* rng) {
+    std::size_t count, BackupPolicy policy, Rng* rng,
+    std::vector<ServiceGraph>* leftover) {
   std::vector<ServiceGraph> selected;
-  if (count == 0 || pool.empty()) return selected;
+  std::vector<bool> taken(pool.size(), false);
+  // Every exit path funnels through here: selected graphs have been moved
+  // out of the pool; whatever remains keeps its original pool order and is
+  // handed to the caller's replenishment pool instead of being dropped.
+  // Qualified sets can contain mapping-duplicates (same components reached
+  // via different patterns); a leftover that duplicates a selected backup
+  // is dead weight and is dropped here.
+  auto drain_leftover = [&]() {
+    if (leftover == nullptr) return;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i]) continue;
+      bool duplicate = false;
+      for (const ServiceGraph& b : selected) {
+        if (b.same_mapping(pool[i])) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) leftover->push_back(std::move(pool[i]));
+    }
+  };
+  if (count == 0 || pool.empty()) {
+    drain_leftover();
+    return selected;
+  }
 
   if (policy == BackupPolicy::kRandom) {
     SPIDER_REQUIRE_MSG(rng != nullptr, "kRandom needs an Rng");
@@ -166,22 +191,29 @@ std::vector<ServiceGraph> SessionManager::select_backups(
     for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
     rng->shuffle(idx);
     for (std::size_t i = 0; i < std::min(count, idx.size()); ++i) {
-      selected.push_back(pool[idx[i]]);
+      taken[idx[i]] = true;
+      selected.push_back(std::move(pool[idx[i]]));
     }
+    drain_leftover();
     return selected;
   }
   if (policy == BackupPolicy::kMostDisjoint) {
-    std::stable_sort(pool.begin(), pool.end(),
-                     [&](const ServiceGraph& a, const ServiceGraph& b) {
-                       return a.overlap(current) < b.overlap(current);
+    // Sort indices, not the pool: the leftover must keep its ψ-ranked
+    // pool order for later refills.
+    std::vector<std::size_t> idx(pool.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return pool[a].overlap(current) <
+                              pool[b].overlap(current);
                      });
-    for (std::size_t i = 0; i < std::min(count, pool.size()); ++i) {
-      selected.push_back(pool[i]);
+    for (std::size_t i = 0; i < std::min(count, idx.size()); ++i) {
+      taken[idx[i]] = true;
+      selected.push_back(std::move(pool[idx[i]]));
     }
+    drain_leftover();
     return selected;
   }
-
-  std::vector<bool> taken(pool.size(), false);
 
   // Components of the current graph ordered by failure probability,
   // highest first — bottleneck components get covered first (§5.2).
@@ -227,7 +259,7 @@ std::vector<ServiceGraph> SessionManager::select_backups(
     }
     if (best_idx < pool.size()) {
       taken[best_idx] = true;
-      selected.push_back(pool[best_idx]);
+      selected.push_back(std::move(pool[best_idx]));
       return true;
     }
     return false;
@@ -248,9 +280,10 @@ std::vector<ServiceGraph> SessionManager::select_backups(
   for (std::size_t i = 0; i < pool.size() && selected.size() < count; ++i) {
     if (!taken[i]) {
       taken[i] = true;
-      selected.push_back(pool[i]);
+      selected.push_back(std::move(pool[i]));
     }
   }
+  drain_leftover();
   return selected;
 }
 
@@ -302,20 +335,13 @@ SessionId SessionManager::establish(const service::CompositeRequest& request,
   if (config_.proactive) {
     const int gamma = backup_count(session.active, request,
                                    composed.backups.size() + 1);
-    session.backups =
-        select_backups(session.active, composed.backups, std::size_t(gamma),
-                       config_.backup_policy, &policy_rng_);
-    // Remaining qualified graphs form the replenishment pool.
-    for (auto& g : composed.backups) {
-      bool used = false;
-      for (const auto& b : session.backups) {
-        if (b.same_mapping(g)) {
-          used = true;
-          break;
-        }
-      }
-      if (!used) session.pool.push_back(std::move(g));
-    }
+    // Non-selected qualified graphs flow straight into the replenishment
+    // pool; nothing is copied and nothing needs a same_mapping rescan.
+    session.backups = select_backups(session.active,
+                                     std::move(composed.backups),
+                                     std::size_t(gamma),
+                                     config_.backup_policy, &policy_rng_,
+                                     &session.pool);
     stats_.backup_count_sum += double(session.backups.size());
     ++stats_.backup_count_samples;
   }
@@ -366,19 +392,10 @@ SessionId SessionManager::establish_direct(
   if (config_.proactive) {
     const int gamma =
         backup_count(session.active, request, backup_pool.size() + 1);
-    session.backups =
-        select_backups(session.active, backup_pool, std::size_t(gamma),
-                       config_.backup_policy, &policy_rng_);
-    for (auto& g : backup_pool) {
-      bool used = false;
-      for (const auto& b : session.backups) {
-        if (b.same_mapping(g)) {
-          used = true;
-          break;
-        }
-      }
-      if (!used) session.pool.push_back(std::move(g));
-    }
+    session.backups = select_backups(session.active, std::move(backup_pool),
+                                     std::size_t(gamma),
+                                     config_.backup_policy, &policy_rng_,
+                                     &session.pool);
     stats_.backup_count_sum += double(session.backups.size());
     ++stats_.backup_count_samples;
   }
@@ -665,15 +682,15 @@ void SessionManager::refill_backups(Session& session) {
                                  session.pool.size() + session.backups.size() +
                                      1);
   while (int(session.backups.size()) < gamma && !session.pool.empty()) {
-    // Re-select from the pool against the *new* active graph.
+    // Re-select from the pool against the *new* active graph; the pool
+    // cycles through select_backups by move and comes back without the
+    // picked graph, in its original order.
+    std::vector<ServiceGraph> remainder;
     std::vector<ServiceGraph> pick =
-        select_backups(session.active, session.pool, 1,
-                       config_.backup_policy, &policy_rng_);
+        select_backups(session.active, std::move(session.pool), 1,
+                       config_.backup_policy, &policy_rng_, &remainder);
+    session.pool = std::move(remainder);
     if (pick.empty()) break;
-    // Remove the picked graph from the pool.
-    std::erase_if(session.pool, [&](const ServiceGraph& g) {
-      return g.same_mapping(pick.front());
-    });
     session.backups.push_back(std::move(pick.front()));
   }
 }

@@ -245,10 +245,16 @@ class SessionManager {
 
   /// Backup selection (exposed for tests and ablations). The default
   /// policy is §5.2's; `rng` is only consulted by BackupPolicy::kRandom.
+  /// Selected graphs are moved out of `pool` (qualified graphs carry full
+  /// per-hop route state — they are never deep-copied here, mirroring the
+  /// shared-prefix probe representation they were flattened from); the
+  /// graphs not selected are appended to `*leftover` in their original
+  /// pool order when a leftover vector is supplied.
   static std::vector<service::ServiceGraph> select_backups(
       const service::ServiceGraph& current,
       std::vector<service::ServiceGraph> pool, std::size_t count,
-      BackupPolicy policy = BackupPolicy::kSpiderNet, Rng* rng = nullptr);
+      BackupPolicy policy = BackupPolicy::kSpiderNet, Rng* rng = nullptr,
+      std::vector<service::ServiceGraph>* leftover = nullptr);
 
   std::size_t active_sessions() const { return sessions_.size(); }
   const SessionStats& stats() const { return stats_; }

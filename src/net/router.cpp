@@ -64,6 +64,7 @@ std::vector<NodeIdx> SingleSourcePaths::path_to(NodeIdx dst) const {
 const SingleSourcePaths& Router::from(NodeIdx src) {
   auto it = cache_.find(src);
   if (it == cache_.end()) {
+    if (cache_.size() >= cache_limit_) cache_.clear();
     it = cache_.emplace(src, SingleSourcePaths(*topo_, src)).first;
   }
   return it->second;

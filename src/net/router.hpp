@@ -63,9 +63,20 @@ class Router {
   void clear_cache() { cache_.clear(); }
   std::size_t cached_sources() const { return cache_.size(); }
 
+  /// Caps the number of cached per-source trees (default: unbounded,
+  /// preserving exact historical behaviour). At the cap the whole cache
+  /// is dropped before the next insert — an epoch policy: deterministic,
+  /// no per-entry bookkeeping, and the hot working set refills at once.
+  /// Affects memory and recompute cost only, never routing results.
+  /// With a cap set, a reference returned by from() stays valid only
+  /// until the next from() call for an uncached source; the unbounded
+  /// default never invalidates.
+  void set_cache_limit(std::size_t max_sources) { cache_limit_ = max_sources; }
+
  private:
   const Topology* topo_;
   std::unordered_map<NodeIdx, SingleSourcePaths> cache_;
+  std::size_t cache_limit_ = std::size_t(-1);
 };
 
 }  // namespace spider::net

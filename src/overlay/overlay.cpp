@@ -238,6 +238,7 @@ const OverlayPath& OverlayNetwork::route(PeerId src, PeerId dst) {
   SPIDER_REQUIRE(src < peer_count() && dst < peer_count());
   auto it = route_cache_.find(src);
   if (it == route_cache_.end()) {
+    if (route_cache_.size() >= route_cache_limit_) route_cache_.clear();
     compute_routes_from(src);
     it = route_cache_.find(src);
   }

@@ -107,6 +107,18 @@ class OverlayNetwork {
   /// source until liveness changes.
   const OverlayPath& route(PeerId src, PeerId dst);
 
+  /// Caps the number of sources with cached routes (default: unbounded,
+  /// preserving exact historical behaviour). At the cap the whole cache
+  /// is dropped before the next source is computed — memory/recompute
+  /// cost changes only, never path results. With a cap set, a reference
+  /// returned by route() stays valid only until the next route() call
+  /// for an uncached source (every route() call while one probe hop is
+  /// processed shares that hop's source, so BCP is unaffected); the
+  /// unbounded default never invalidates.
+  void set_route_cache_limit(std::size_t max_sources) {
+    route_cache_limit_ = max_sources;
+  }
+
   /// Direct-delay lookup: delay of overlay link if adjacent, otherwise the
   /// routed path delay (infinity if unreachable).
   double delay_ms(PeerId src, PeerId dst);
@@ -128,6 +140,7 @@ class OverlayNetwork {
 
   // Per-source routed paths; invalidated wholesale on liveness changes.
   std::unordered_map<PeerId, std::vector<OverlayPath>> route_cache_;
+  std::size_t route_cache_limit_ = std::size_t(-1);
 };
 
 }  // namespace spider::overlay

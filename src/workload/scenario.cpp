@@ -42,6 +42,7 @@ std::unique_ptr<Scenario> build_sim_scenario(const SimScenarioConfig& config) {
   s->topology = std::make_unique<net::Topology>(
       net::power_law(config.ip_nodes, config.ip_links_per_node, s->rng));
   s->router = std::make_unique<net::Router>(*s->topology);
+  s->router->set_cache_limit(config.router_cache_limit);
 
   // Pick the overlay peers among the IP nodes.
   SPIDER_REQUIRE(config.peers >= 2 && config.peers <= config.ip_nodes);
@@ -56,6 +57,7 @@ std::unique_ptr<Scenario> build_sim_scenario(const SimScenarioConfig& config) {
       *s->topology, *s->router, std::move(peer_nodes), config.overlay_kind,
       config.overlay_degree, s->rng);
   s->deployment = std::make_unique<core::Deployment>(std::move(ov), s->rng);
+  s->deployment->overlay().set_route_cache_limit(config.route_cache_limit);
   s->alloc =
       std::make_unique<core::AllocationManager>(*s->deployment, s->sim);
   s->evaluator =

@@ -66,6 +66,13 @@ struct SimScenarioConfig {
   double min_fail_prob = 0.0, max_fail_prob = 0.05;
   // Peer capacities.
   double peer_cpu_capacity = 100.0, peer_mem_capacity = 100.0;
+  /// Route-cache caps (see net::Router::set_cache_limit and
+  /// overlay::OverlayNetwork::set_route_cache_limit) applied before the
+  /// overlay is built. Cached shortest-path state is the only O(N²)
+  /// memory in a scenario, so large-N sweeps must cap it; the default
+  /// keeps the exact historical unbounded behaviour.
+  std::size_t router_cache_limit = std::size_t(-1);
+  std::size_t route_cache_limit = std::size_t(-1);
 };
 
 /// §6.2-style prototype testbed over a synthetic PlanetLab delay matrix.

@@ -1,0 +1,133 @@
+// Equivalence oracle for the shared-prefix probe representation: running
+// the same request stream with debug_clone_prefixes on (every spawn
+// deep-copies the prefix chain, the old representation's cost model) and
+// off (children share the parent's chain by reference) must produce
+// identical results — same compositions, same ComposeStats field for
+// field, same metrics snapshot — in both the synchronous driver and the
+// message-level (event-driven) one. Only the arena's allocation totals
+// may differ: cloning allocates one fresh chain per child instead of one
+// segment.
+#include <gtest/gtest.h>
+
+#include "core/bcp.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "test_scenario.hpp"
+
+namespace spider::core {
+namespace {
+
+struct RunOutput {
+  std::vector<ComposeResult> results;
+  obs::MetricsRegistry metrics;
+  ProbeArenaTotals arena;
+};
+
+// Fig-8-style stream: a fresh scenario per run (identical by seed), a
+// handful of sampled requests, holds released between composes.
+RunOutput run_stream(bool clone_prefixes, bool async_mode, double loss) {
+  RunOutput out;
+  auto s = spider::testing::small_scenario(/*seed=*/77, /*peers=*/48);
+  BcpConfig config;
+  config.debug_clone_prefixes = clone_prefixes;
+  BcpEngine engine(*s->deployment, *s->alloc, *s->evaluator, s->sim, config);
+  engine.set_observability(&out.metrics, nullptr);
+  const fault::LinkFaultModel faults = fault::LinkFaultModel::uniform_loss(loss);
+  if (loss > 0.0) engine.set_fault_model(&faults);
+
+  workload::RequestProfile profile;
+  profile.dag_probability = 0.5;
+  s->rng.reseed(1234);
+  for (int i = 0; i < 8; ++i) {
+    auto gen = workload::sample_request(*s, profile);
+    ComposeResult r;
+    if (async_mode) {
+      bool done = false;
+      engine.compose_async(gen.request, s->rng, [&](ComposeResult res) {
+        r = std::move(res);
+        done = true;
+      });
+      s->sim.run();
+      EXPECT_TRUE(done);
+    } else {
+      r = engine.compose(gen.request, s->rng);
+    }
+    for (HoldId h : r.best_holds) s->alloc->release_hold(h);
+    out.results.push_back(std::move(r));
+  }
+  out.arena = engine.arena_totals();
+  return out;
+}
+
+void expect_equal(const RunOutput& shared, const RunOutput& cloned) {
+  ASSERT_EQ(shared.results.size(), cloned.results.size());
+  for (std::size_t i = 0; i < shared.results.size(); ++i) {
+    const ComposeResult& a = shared.results[i];
+    const ComposeResult& b = cloned.results[i];
+    EXPECT_EQ(a.success, b.success) << "request " << i;
+    if (a.success && b.success) {
+      EXPECT_TRUE(a.best.same_mapping(b.best)) << "request " << i;
+      EXPECT_NEAR(a.best.psi_cost, b.best.psi_cost, 1e-12) << "request " << i;
+      EXPECT_EQ(a.best_holds.size(), b.best_holds.size()) << "request " << i;
+    }
+    ASSERT_EQ(a.backups.size(), b.backups.size()) << "request " << i;
+    for (std::size_t k = 0; k < a.backups.size(); ++k) {
+      EXPECT_TRUE(a.backups[k].same_mapping(b.backups[k]))
+          << "request " << i << " backup " << k;
+    }
+    const ComposeStats& x = a.stats;
+    const ComposeStats& y = b.stats;
+    EXPECT_EQ(x.probes_spawned, y.probes_spawned) << "request " << i;
+    EXPECT_EQ(x.probes_arrived, y.probes_arrived) << "request " << i;
+    EXPECT_EQ(x.probes_forwarded, y.probes_forwarded) << "request " << i;
+    EXPECT_EQ(x.probes_dropped_total(), y.probes_dropped_total())
+        << "request " << i;
+    EXPECT_EQ(x.holds_acquired, y.holds_acquired) << "request " << i;
+    EXPECT_EQ(x.holds_reused, y.holds_reused) << "request " << i;
+    EXPECT_EQ(x.probe_messages, y.probe_messages) << "request " << i;
+    EXPECT_EQ(x.discovery_messages, y.discovery_messages) << "request " << i;
+    EXPECT_EQ(x.qualified_found, y.qualified_found) << "request " << i;
+    // The new accounting itself must not depend on the representation:
+    // both modes report the spawn-time copy/sharing the *shared* layout
+    // performs, so the counters stay comparable across configurations.
+    EXPECT_EQ(x.probe_bytes_copied, y.probe_bytes_copied) << "request " << i;
+    EXPECT_EQ(x.prefix_nodes_shared, y.prefix_nodes_shared) << "request " << i;
+    EXPECT_NEAR(x.setup_time_ms, y.setup_time_ms, 1e-9) << "request " << i;
+  }
+
+  // Metrics snapshots agree counter for counter and bucket for bucket.
+  ASSERT_EQ(shared.metrics.counters().size(), cloned.metrics.counters().size());
+  for (const auto& [name, counter] : shared.metrics.counters()) {
+    const obs::Counter* other = cloned.metrics.find_counter(name);
+    ASSERT_NE(other, nullptr) << name;
+    EXPECT_EQ(counter.value(), other->value()) << name;
+  }
+  ASSERT_EQ(shared.metrics.histograms().size(),
+            cloned.metrics.histograms().size());
+  for (const auto& [name, hist] : shared.metrics.histograms()) {
+    EXPECT_EQ(hist.counts(), cloned.metrics.histograms().at(name).counts())
+        << name;
+  }
+
+  // Sharing is doing its job: strictly fewer segment allocations than the
+  // clone-everything oracle, identical peak-or-lower footprint.
+  EXPECT_LT(shared.arena.segments_allocated, cloned.arena.segments_allocated);
+  EXPECT_LE(shared.arena.peak_live_segments, cloned.arena.peak_live_segments);
+}
+
+class PrefixSharingEquivalence
+    : public ::testing::TestWithParam<std::tuple<bool, double>> {};
+
+TEST_P(PrefixSharingEquivalence, SharedMatchesCloneOracle) {
+  const auto [async_mode, loss] = GetParam();
+  const RunOutput shared = run_stream(false, async_mode, loss);
+  const RunOutput cloned = run_stream(true, async_mode, loss);
+  expect_equal(shared, cloned);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Drivers, PrefixSharingEquivalence,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(0.0, 0.2)));
+
+}  // namespace
+}  // namespace spider::core

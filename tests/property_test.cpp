@@ -5,13 +5,15 @@
 //     churn fractions, logarithmic hop growth
 //   * function graphs: pattern and branch invariants on random DAGs
 //   * allocator: conservation under random hold/confirm/release sequences
-//   * BCP: hold hygiene, QoS soundness, budget monotonicity across seeds
+//   * BCP: β-budget conservation bounds under tight budgets and loss;
+//     hold hygiene, QoS soundness, budget monotonicity across seeds
 #include <gtest/gtest.h>
 
 #include <tuple>
 
 #include "core/bcp.hpp"
 #include "dht/pastry.hpp"
+#include "fault/fault.hpp"
 #include "net/generator.hpp"
 #include "net/router.hpp"
 #include "test_scenario.hpp"
@@ -280,6 +282,76 @@ TEST_P(AllocatorProperty, ConservationUnderRandomOps) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty, ::testing::Values(11, 22, 33));
+
+// --------------------------------------------------- BCP budget conservation
+
+// β conservation (§4.2): the probing budget is split *exactly* — seeds
+// share β, every spawn splits the parent's grant among the children, and
+// nothing is ever minted. Externally observable consequences, for any
+// request with branches of at most L functions:
+//   * at most β probes reach the destination (each arrival carries >= 1
+//     budget unit and the per-generation budget sum never exceeds β);
+//   * probes_spawned <= β x (L + 1)  (<= β probes per prefix depth);
+//   * probe transmissions <= (1 + retx) x (β + 1) x (L + 1): each probe
+//     attempts at most `budget` fanout sends per hop plus one final leg,
+//     the ack walks <= L + 1 legs, and the fault model retransmits each
+//     at most probe_retx_limit times.
+// The per-spawn invariant (Σ child budgets <= parent, every child within
+// the parent's grant) is asserted by SPIDER_DCHECK at the spawn sites and
+// therefore enforced across this whole suite in debug/sanitizer builds.
+// Tight budgets (β < seeds) plus commutation-heavy DAG requests exercise
+// the refusal path: seeds beyond the β-th must not spawn at all.
+
+class BudgetProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(BudgetProperty, BetaIsAHardCeiling) {
+  const auto [seed, beta, loss] = GetParam();
+  auto s = spider::testing::small_scenario(std::uint64_t(seed), 48, 12);
+  core::BcpConfig config;
+  config.probing_budget = beta;
+  core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim,
+                      config);
+  const fault::LinkFaultModel faults =
+      fault::LinkFaultModel::uniform_loss(loss, std::uint64_t(seed));
+  if (loss > 0.0) bcp.set_fault_model(&faults);
+
+  // Commutation-heavy random requests: diamond DAGs yield multiple
+  // branches and patterns, so seed counts routinely exceed small β.
+  workload::RequestProfile profile;
+  profile.min_functions = 4;
+  profile.max_functions = 6;
+  profile.dag_probability = 0.7;
+  profile.commutation_probability = 1.0;
+
+  for (int round = 0; round < 6; ++round) {
+    auto gen = workload::sample_request(*s, profile);
+    const std::uint64_t legs = gen.request.graph.node_count() + 1;
+    core::ComposeResult r = bcp.compose(gen.request, s->rng);
+
+    EXPECT_LE(r.stats.probes_arrived, std::uint64_t(beta))
+        << "round " << round << ": more probes reached the destination "
+        << "than the budget admits";
+    EXPECT_LE(r.stats.probes_spawned, std::uint64_t(beta) * legs)
+        << "round " << round;
+    const std::uint64_t attempts = 1 + std::uint64_t(config.probe_retx_limit);
+    EXPECT_LE(r.stats.probe_messages,
+              attempts * std::uint64_t(beta + 1) * legs)
+        << "round " << round;
+    // Terminal accounting still balances under tight budgets and loss.
+    EXPECT_EQ(r.stats.probes_spawned,
+              r.stats.probes_arrived + r.stats.probes_dropped_total() +
+                  r.stats.probes_forwarded);
+    for (core::HoldId h : r.best_holds) s->alloc->release_hold(h);
+    EXPECT_EQ(s->alloc->active_holds(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BudgetProperty,
+    ::testing::Combine(::testing::Values(41, 42, 43),
+                       ::testing::Values(2, 5, 64),
+                       ::testing::Values(0.0, 0.15)));
 
 // --------------------------------------------------------------------- BCP
 

@@ -3,11 +3,15 @@
 # export their metrics and compare key ratios against the checked-in
 # expectations in bench/baselines.json. fig8 is additionally re-run with
 # --jobs $SPIDER_SMOKE_JOBS (default 4) and its stdout + metrics JSON are
-# diffed byte-for-byte against the serial run (DESIGN.md §5f).
+# diffed byte-for-byte against the serial run (DESIGN.md §5f). The
+# bench_scale quick tier (1k/2k peers) runs last; its per-row probe
+# message counts are compared exactly against the scale_rows baseline and
+# its BENCH_scale.json lands at $SPIDER_SCALE_JSON_OUT for CI to archive.
 #
 #   tools/bench_smoke.sh                 # uses ./build
 #   SPIDER_BUILD_DIR=build-ci tools/bench_smoke.sh
 #   SPIDER_SMOKE_JOBS=8 tools/bench_smoke.sh
+#   SPIDER_SCALE_JSON_OUT=$PWD/BENCH_scale.json tools/bench_smoke.sh
 #
 # The runs are deterministic (fixed seed), so a failure means a real
 # behavior change: either a regression, or an intentional tuning that
@@ -19,8 +23,10 @@ build_dir="${SPIDER_BUILD_DIR:-$repo_root/build}"
 smoke_jobs="${SPIDER_SMOKE_JOBS:-4}"
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
+scale_json="${SPIDER_SCALE_JSON_OUT:-$out_dir/BENCH_scale.json}"
 
-for bench in bench_fig8_success_ratio bench_fig9_failure_recovery; do
+for bench in bench_fig8_success_ratio bench_fig9_failure_recovery \
+             bench_scale; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
     echo "error: $build_dir/bench/$bench not built (cmake --build $build_dir)" >&2
     exit 1
@@ -61,16 +67,54 @@ echo "== fig9 (quick) =="
 "$build_dir/bench/bench_fig9_failure_recovery" --quick --seed 42 \
   --metrics-out "$out_dir/fig9.json" | tail -n 3
 
-python3 - "$repo_root/bench/baselines.json" "$out_dir" <<'PY'
+# Scaling sweep, quick tier: only deterministic columns reach stdout, so
+# the serial and --jobs runs must again match byte-for-byte (modulo the
+# banner line that echoes the jobs value itself).
+echo "== scale (quick) =="
+mkdir -p "$out_dir/scale_serial" "$out_dir/scale_jobs"
+(cd "$out_dir/scale_serial" && "$build_dir/bench/bench_scale" \
+  --quick --seed 42 --json-out BENCH_scale.json > scale.out)
+tail -n +4 "$out_dir/scale_serial/scale.out" | head -n 8
+cp "$out_dir/scale_serial/BENCH_scale.json" "$scale_json"
+(cd "$out_dir/scale_jobs" && "$build_dir/bench/bench_scale" \
+  --quick --seed 42 --jobs "$smoke_jobs" \
+  --json-out BENCH_scale.json > scale.out)
+if ! diff -u <(sed "s/jobs=$smoke_jobs/jobs=1/" "$out_dir/scale_jobs/scale.out") \
+             "$out_dir/scale_serial/scale.out"; then
+  echo "FAIL: bench_scale stdout differs between --jobs 1 and --jobs $smoke_jobs" >&2
+  exit 1
+fi
+echo "ok   stdout byte-identical to serial"
+
+python3 - "$repo_root/bench/baselines.json" "$out_dir" "$scale_json" <<'PY'
 import json
 import sys
 
-baselines_path, out_dir = sys.argv[1], sys.argv[2]
+baselines_path, out_dir, scale_json = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(baselines_path) as f:
     baselines = json.load(f)
 
 metrics = {}
 failures = 0
+
+# Exact probe-message counts for the bench_scale quick tier: probing is
+# governed by the β budget, so these are deterministic integers — any
+# drift is a protocol change that must update scale_rows deliberately.
+with open(scale_json) as f:
+    scale_rows = {(r["peers"], r["depth"]): r for r in json.load(f)["rows"]}
+for expect in baselines.get("scale_rows", []):
+    key = (expect["peers"], expect["depth"])
+    row = scale_rows.get(key)
+    if row is None:
+        print(f"FAIL scale:{key}: row missing from BENCH_scale.json")
+        failures += 1
+        continue
+    actual = row["probe_messages"]
+    status = "ok  " if actual == expect["probe_messages"] else "FAIL"
+    print(f"{status} scale:peers={expect['peers']},depth={expect['depth']}: "
+          f"probe_messages={actual} expected={expect['probe_messages']}")
+    if actual != expect["probe_messages"]:
+        failures += 1
 for check in baselines["checks"]:
     bench = check["bench"]
     if bench not in metrics:
