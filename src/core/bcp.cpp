@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/hash.hpp"
+#include "util/keys.hpp"
 #include "util/require.hpp"
 
 namespace spider::core {
@@ -117,7 +118,9 @@ struct BcpEngine::ComposeState {
       shared_path_holds;
   std::vector<service::FunctionGraph> patterns;
   std::vector<std::vector<std::vector<FnNode>>> branches;
-  std::unordered_map<std::uint64_t, DiscoveryEntry> discovery_cache;
+  std::unordered_map<util::PairKey<PeerId, service::FunctionId>,
+                     DiscoveryEntry, util::PairKeyHash>
+      discovery_cache;
   std::vector<Probe> seeds;    ///< filled by init_state
   std::vector<Probe> arrived;  ///< probes that completed their final leg
   bool faults_active = false;  ///< fault model attached AND non-clean
@@ -135,7 +138,7 @@ const BcpEngine::DiscoveryEntry& BcpEngine::discover(ComposeState& state,
                                                      PeerId peer,
                                                      service::FunctionId fn) {
   auto& ov = deployment_->overlay();
-  const std::uint64_t key = (std::uint64_t(peer) << 32) | fn;
+  const util::PairKey<PeerId, service::FunctionId> key{peer, fn};
   auto it = state.discovery_cache.find(key);
   if (it != state.discovery_cache.end()) return it->second;
   DiscoveryEntry entry;
@@ -143,11 +146,13 @@ const BcpEngine::DiscoveryEntry& BcpEngine::discover(ComposeState& state,
   state.result.stats.discovery_messages += found.hops() + 1;  // lookup + reply
   // Lookup latency: the DHT route's overlay transit plus the response
   // straight back to the requester.
+  // Discovery timing is a latency *hint*, never a candidate-graph leg:
+  // the estimator (when attached) answers these in O(k) without routing.
   for (std::size_t i = 0; i + 1 < found.path.size(); ++i) {
-    entry.time_ms += ov.delay_ms(found.path[i], found.path[i + 1]);
+    entry.time_ms += ov.estimated_delay_ms(found.path[i], found.path[i + 1]);
   }
   if (!found.path.empty()) {
-    entry.time_ms += ov.delay_ms(found.path.back(), peer);
+    entry.time_ms += ov.estimated_delay_ms(found.path.back(), peer);
   }
   if (found.found) entry.components = std::move(found.components);
   return state.discovery_cache.emplace(key, std::move(entry)).first->second;
@@ -327,17 +332,18 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     double leg_delay = 0.0;
     double leg_extra = 0.0;  ///< retransmission waits + jitter
     if (probe.at != request.dest) {
-      const overlay::OverlayPath& path = ov.route(probe.at, request.dest);
-      if (!path.valid) {
+      const overlay::OverlayPathRef path = ov.route(probe.at, request.dest);
+      if (!path->valid) {
         ++stats.probes_dropped_resources;
         trace_drop(probe, "no_route_to_dest");
         return;
       }
-      leg_delay = path.delay_ms;
-      if (request.bandwidth_kbps > 0.0 && !path.links.empty()) {
+      leg_delay = path->delay_ms;
+      if (request.bandwidth_kbps > 0.0 && !path->links.empty()) {
         if (!config_.soft_allocation) {
           // Check-only mode (ablation A4): no reservation is made.
-          if (alloc_->path_available_kbps(path) < request.bandwidth_kbps) {
+          if (alloc_->path_available_kbps(*path) <
+              request.bandwidth_kbps) {
             ++stats.probes_dropped_resources;
             trace_drop(probe, "dest_leg_bandwidth");
             return;
@@ -354,8 +360,8 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
                 HoldCoverKey::edge(last, ServiceLinkHop::kEndpoint),
                 existing->second);
           } else {
-            auto hold = alloc_->soft_reserve_path(path, request.bandwidth_kbps,
-                                                  state.hold_expiry);
+            auto hold = alloc_->soft_reserve_path(
+                *path, request.bandwidth_kbps, state.hold_expiry);
             if (!hold.has_value()) {
               ++stats.probes_dropped_resources;
               trace_drop(probe, "dest_leg_bandwidth");
@@ -366,7 +372,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
                        *hold);
             state.all_holds.push_back(*hold);
             state.shared_path_holds.emplace(skey, *hold);
-            for (auto link : path.links) {
+            for (auto link : path->links) {
               state.own_view.link_extra[link] += request.bandwidth_kbps;
             }
             probe.dest_hold.emplace(
@@ -377,9 +383,9 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
       // The probe message itself must survive the trip (holds a lost
       // probe left behind are reclaimed by finalize's cleanup, exactly
       // like the paper's timeout-based cancellation).
-      const HopDelivery hd =
-          deliver_hop(state, path, util::hash_values(probe.fault_key, 0x0fu),
-                      &probe.budget);
+      const HopDelivery hd = deliver_hop(
+          state, *path, util::hash_values(probe.fault_key, 0x0fu),
+          &probe.budget);
       if (!hd.delivered) {
         ++stats.probes_dropped_lost;
         trace_drop(probe, "msg_lost");
@@ -465,9 +471,9 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     }
     double bw_term = 0.0;
     if (request.bandwidth_kbps > 0.0 && probe.at != meta.host) {
-      const overlay::OverlayPath& path = ov.route(probe.at, meta.host);
+      const overlay::OverlayPathRef path = ov.route(probe.at, meta.host);
       const double avail =
-          path.valid ? state.own_view.path_available_kbps(path) : 0.0;
+          path->valid ? state.own_view.path_available_kbps(*path) : 0.0;
       bw_term = avail >= request.bandwidth_kbps
                     ? config_.metric_w_bandwidth *
                           (request.bandwidth_kbps / avail)
@@ -534,22 +540,21 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
 
     double leg_delay = 0.0;
     double leg_extra = 0.0;  ///< retransmission waits + jitter
-    const overlay::OverlayPath* leg_path = nullptr;
+    overlay::OverlayPathRef leg_path;  // pinned for this iteration only
     // Sibling probes are distinguished by the component they extend the
     // branch with, so the child key stays processing-order independent.
     child.fault_key =
         util::hash_values(probe.fault_key, std::uint64_t(cand.id));
     if (probe.at != cand.host) {
-      const overlay::OverlayPath& path = ov.route(probe.at, cand.host);
-      if (!path.valid) {
+      leg_path = ov.route(probe.at, cand.host);
+      if (!leg_path->valid) {
         ++stats.candidates_skipped_route;
         trace_skip(next_node, cand.host, "no_route");
         continue;
       }
-      leg_path = &path;
-      leg_delay = path.delay_ms;
+      leg_delay = leg_path->delay_ms;
       const HopDelivery hd =
-          deliver_hop(state, path, child.fault_key, &child.budget);
+          deliver_hop(state, *leg_path, child.fault_key, &child.budget);
       if (!hd.delivered) {
         ++stats.candidates_skipped_lost;
         trace_skip(next_node, cand.host, "msg_lost");
@@ -587,7 +592,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
     if (!config_.soft_allocation) {
       // Check-only mode (ablation A4): availability verified, nothing
       // reserved — concurrent requests may later race to admission.
-      if (leg_path != nullptr && request.bandwidth_kbps > 0.0 &&
+      if (leg_path.has_value() && request.bandwidth_kbps > 0.0 &&
           !leg_path->links.empty() &&
           alloc_->path_available_kbps(*leg_path) < request.bandwidth_kbps) {
         ++stats.candidates_skipped_resources;
@@ -603,7 +608,7 @@ void BcpEngine::process_probe(ComposeState& state, Probe probe,
       // Bandwidth on the incoming service link (shared per request).
       std::optional<HoldId> bw_hold;
       bool bw_hold_fresh = false;
-      if (leg_path != nullptr && request.bandwidth_kbps > 0.0 &&
+      if (leg_path.has_value() && request.bandwidth_kbps > 0.0 &&
           !leg_path->links.empty()) {
         const SharedPathKey skey{prev_node, next_node, probe.at, cand.host};
         if (auto it = state.shared_path_holds.find(skey);
@@ -724,13 +729,16 @@ void BcpEngine::finalize(ComposeState& state) {
   // shared prefixes are flattened: the merge below reads each probe's
   // chain through a positional root-first view, so it observes exactly
   // the per-probe component vectors the deep-copy implementation carried.
-  std::unordered_map<std::uint64_t, std::vector<const Probe*>> by_pb;
+  std::unordered_map<util::PairKey<std::size_t, std::size_t>,
+                     std::vector<const Probe*>, util::PairKeyHash>
+      by_pb;
   std::unordered_map<const Probe*, FlatPrefix> flat;
   flat.reserve(state.arrived.size());
   double last_arrival = 0.0;
   double critical_disc = 0.0;
   for (const Probe& probe : state.arrived) {
-    by_pb[(std::uint64_t(probe.pattern_idx) << 32) | probe.branch_idx]
+    by_pb[util::PairKey<std::size_t, std::size_t>{probe.pattern_idx,
+                                                  probe.branch_idx}]
         .push_back(&probe);
     flat.emplace(&probe, FlatPrefix(probe.prefix.get()));
     if (probe.arrival > last_arrival) {
@@ -753,7 +761,7 @@ void BcpEngine::finalize(ComposeState& state) {
     std::vector<const std::vector<const Probe*>*> lists;
     bool complete = true;
     for (std::size_t bi = 0; bi < pattern_branches.size(); ++bi) {
-      auto it = by_pb.find((std::uint64_t(pi) << 32) | bi);
+      auto it = by_pb.find(util::PairKey<std::size_t, std::size_t>{pi, bi});
       if (it == by_pb.end()) {
         complete = false;
         break;

@@ -26,9 +26,12 @@ Deployment::Deployment(overlay::OverlayNetwork overlay_net, Rng& rng,
   next_local_id_.assign(n, 0);
 
   // Pastry locality: contested routing-table cells keep the entry with
-  // the lower overlay delay.
+  // the lower overlay delay. A proximity *hint* — estimated when the
+  // overlay carries a landmark table (exact otherwise), because answering
+  // it exactly during 500k joins is the all-pairs Dijkstra this PR
+  // retires.
   dht_.set_proximity(
-      [this](PeerId a, PeerId b) { return overlay_.delay_ms(a, b); });
+      [this](PeerId a, PeerId b) { return overlay_.estimated_delay_ms(a, b); });
 
   // Join all peers into the DHT, bootstrapping through peer 0.
   dht_.bootstrap(0, peer_node_id(0));

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/keys.hpp"
 #include "util/require.hpp"
 
 namespace spider::core {
@@ -18,9 +19,9 @@ namespace {
 constexpr double kHugeCost = 1e9;
 
 /// Key for hop lookup: (from node, to node) with kEndpoint sentinels.
-std::uint64_t hop_key(FnNode from, FnNode to) {
-  return (std::uint64_t(from) << 32) | to;
-}
+using HopKey = util::PairKey<FnNode, FnNode>;
+
+HopKey hop_key(FnNode from, FnNode to) { return HopKey{from, to}; }
 
 }  // namespace
 
@@ -43,9 +44,9 @@ bool GraphEvaluator::resolve(ServiceGraph& graph) const {
     hop.from_peer = from_peer;
     hop.to_peer = to_peer;
     if (from_peer != to_peer) {
-      const overlay::OverlayPath& path = ov.route(from_peer, to_peer);
-      if (!path.valid) return false;
-      hop.path = path;
+      const overlay::OverlayPathRef path = ov.route(from_peer, to_peer);
+      if (!path->valid) return false;
+      hop.path = *path;  // copy out: hop outlives the route cache entry
     } else {
       hop.path.valid = true;
       hop.path.delay_ms = 0.0;
@@ -80,7 +81,8 @@ void GraphEvaluator::evaluate(ServiceGraph& graph,
   SPIDER_REQUIRE_MSG(!graph.hops.empty(), "resolve() must run first");
   AvailabilityView& avail_view = view != nullptr ? *view : *alloc_;
 
-  std::unordered_map<std::uint64_t, const ServiceLinkHop*> hops;
+  std::unordered_map<HopKey, const ServiceLinkHop*, util::PairKeyHash>
+      hops;
   for (const ServiceLinkHop& hop : graph.hops) {
     hops[hop_key(hop.from, hop.to)] = &hop;
   }
@@ -203,7 +205,7 @@ bool GraphEvaluator::resource_feasible(
 
 double GraphEvaluator::ack_time_ms(const ServiceGraph& graph) const {
   SPIDER_REQUIRE(!graph.hops.empty());
-  std::unordered_map<std::uint64_t, double> delay;
+  std::unordered_map<HopKey, double, util::PairKeyHash> delay;
   for (const ServiceLinkHop& hop : graph.hops) {
     delay[hop_key(hop.from, hop.to)] = hop.path.delay_ms;
   }

@@ -611,10 +611,11 @@ bool SessionManager::probe_responds(PeerId source, PeerId peer) {
   const std::uint64_t key = util::hash_values(
       std::uint64_t{0x11feu}, std::uint64_t(peer), probe_nonce_++);
   if (source == peer) return true;  // self-probe, no network traversal
-  const auto& path = deployment_->overlay().route(source, peer);
-  if (!path.valid) return false;  // partitioned: the probe cannot reach
+  const overlay::OverlayPathRef path =
+      deployment_->overlay().route(source, peer);
+  if (!path->valid) return false;  // partitioned: the probe cannot reach
   // Round trip: the probe and its ack are independent transmissions.
-  return fault_->sample_round_trip(path.links, key).delivered;
+  return fault_->sample_round_trip(path->links, key).delivered;
 }
 
 std::vector<RecoveryOutcome> SessionManager::monitor_active_sessions(

@@ -126,7 +126,9 @@ bool RoutingTable::remove(NodeId id) {
   if (id == self_) return false;
   const int row = self_.shared_prefix(id);
   if (row >= kDigitsPerId) return false;
-  auto& c = cell(row, id.digit(row));
+  auto& r = rows_[std::size_t(row)];
+  if (r.empty()) return false;
+  auto& c = r[std::size_t(id.digit(row))];
   if (c.has_value() && *c == id) {
     c.reset();
     return true;
@@ -137,19 +139,23 @@ bool RoutingTable::remove(NodeId id) {
 std::optional<NodeId> RoutingTable::at(int row, int col) const {
   SPIDER_REQUIRE(row >= 0 && row < kDigitsPerId);
   SPIDER_REQUIRE(col >= 0 && col < kDigitRadix);
-  return cell(row, col);
+  const auto* c = cell_if(row, col);
+  return c == nullptr ? std::nullopt : *c;
 }
 
 std::optional<NodeId> RoutingTable::next_hop(NodeId key) const {
   const int row = self_.shared_prefix(key);
   if (row >= kDigitsPerId) return std::nullopt;  // key == self
-  return cell(row, key.digit(row));
+  const auto* c = cell_if(row, key.digit(row));
+  return c == nullptr ? std::nullopt : *c;
 }
 
 std::vector<NodeId> RoutingTable::entries() const {
   std::vector<NodeId> out;
-  for (const auto& c : cells_) {
-    if (c.has_value()) out.push_back(*c);
+  for (const auto& row : rows_) {
+    for (const auto& c : row) {
+      if (c.has_value()) out.push_back(*c);
+    }
   }
   return out;
 }

@@ -62,11 +62,12 @@ class LeafSet {
 };
 
 /// Prefix routing table: kDigitsPerId rows × kDigitRadix columns.
+/// Rows are allocated lazily on first insert: a node only ever populates
+/// ~log16(N) of its 32 rows, so half-million-peer worlds keep tables at a
+/// few hundred bytes instead of 512 eagerly-allocated cells each.
 class RoutingTable {
  public:
-  explicit RoutingTable(NodeId self) : self_(self) {
-    cells_.assign(std::size_t(kDigitsPerId) * kDigitRadix, std::nullopt);
-  }
+  explicit RoutingTable(NodeId self) : self_(self), rows_(kDigitsPerId) {}
 
   NodeId self() const { return self_; }
 
@@ -86,15 +87,20 @@ class RoutingTable {
   std::vector<NodeId> entries() const;
 
  private:
+  /// Mutable access allocates the row on first touch.
   std::optional<NodeId>& cell(int row, int col) {
-    return cells_[std::size_t(row) * kDigitRadix + std::size_t(col)];
+    auto& r = rows_[std::size_t(row)];
+    if (r.empty()) r.assign(kDigitRadix, std::nullopt);
+    return r[std::size_t(col)];
   }
-  const std::optional<NodeId>& cell(int row, int col) const {
-    return cells_[std::size_t(row) * kDigitRadix + std::size_t(col)];
+  /// Read access never allocates; unallocated rows read as empty cells.
+  const std::optional<NodeId>* cell_if(int row, int col) const {
+    const auto& r = rows_[std::size_t(row)];
+    return r.empty() ? nullptr : &r[std::size_t(col)];
   }
 
   NodeId self_;
-  std::vector<std::optional<NodeId>> cells_;
+  std::vector<std::vector<std::optional<NodeId>>> rows_;
 };
 
 }  // namespace spider::dht

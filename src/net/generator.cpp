@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "util/keys.hpp"
+
 namespace spider::net {
 namespace {
 
@@ -15,22 +17,22 @@ double sample_bandwidth(Rng& rng, const LinkProfile& p) {
   return rng.next_double(p.min_bandwidth_kbps, p.max_bandwidth_kbps);
 }
 
-std::uint64_t pair_key(NodeIdx a, NodeIdx b) {
-  return (std::uint64_t(std::min(a, b)) << 32) | std::max(a, b);
-}
+using NodePairKey = util::UnorderedPairKey<NodeIdx>;
+using NodePairSet =
+    std::unordered_set<NodePairKey, util::UnorderedPairKeyHash>;
 
 /// Adds a uniformly random spanning tree (random permutation + attach each
 /// node to a random earlier node) so the graph is connected.
 void add_spanning_tree(std::size_t nodes, Rng& rng, const LinkProfile& profile,
                        std::vector<Link>& links,
-                       std::unordered_set<std::uint64_t>& seen) {
+                       NodePairSet& seen) {
   std::vector<NodeIdx> order(nodes);
   for (std::size_t i = 0; i < nodes; ++i) order[i] = NodeIdx(i);
   rng.shuffle(order);
   for (std::size_t i = 1; i < nodes; ++i) {
     const NodeIdx a = order[i];
     const NodeIdx b = order[rng.next_below(i)];
-    if (seen.insert(pair_key(a, b)).second) {
+    if (seen.insert(NodePairKey(a, b)).second) {
       links.push_back(
           Link{a, b, sample_delay(rng, profile), sample_bandwidth(rng, profile)});
     }
@@ -47,7 +49,7 @@ Topology power_law(std::size_t nodes, std::size_t links_per_node, Rng& rng,
 
   std::vector<Link> links;
   links.reserve(nodes * m);
-  std::unordered_set<std::uint64_t> seen;
+  NodePairSet seen;
 
   // Seed clique of m+1 nodes.
   const std::size_t seed = m + 1;
@@ -55,7 +57,7 @@ Topology power_law(std::size_t nodes, std::size_t links_per_node, Rng& rng,
     for (std::size_t j = i + 1; j < seed; ++j) {
       links.push_back(Link{NodeIdx(i), NodeIdx(j), sample_delay(rng, profile),
                            sample_bandwidth(rng, profile)});
-      seen.insert(pair_key(NodeIdx(i), NodeIdx(j)));
+      seen.insert(NodePairKey(NodeIdx(i), NodeIdx(j)));
     }
   }
 
@@ -82,7 +84,7 @@ Topology power_law(std::size_t nodes, std::size_t links_per_node, Rng& rng,
     for (NodeIdx t : chosen) {
       links.push_back(Link{NodeIdx(v), t, sample_delay(rng, profile),
                            sample_bandwidth(rng, profile)});
-      seen.insert(pair_key(NodeIdx(v), t));
+      seen.insert(NodePairKey(NodeIdx(v), t));
       targets.push_back(NodeIdx(v));
       targets.push_back(t);
     }
@@ -103,7 +105,7 @@ Topology waxman(std::size_t nodes, double alpha, double beta, Rng& rng,
 
   const double max_dist = std::sqrt(2.0);
   std::vector<Link> links;
-  std::unordered_set<std::uint64_t> seen;
+  NodePairSet seen;
   for (std::size_t i = 0; i < nodes; ++i) {
     for (std::size_t j = i + 1; j < nodes; ++j) {
       const double dx = pos[i].x - pos[j].x;
@@ -116,7 +118,7 @@ Topology waxman(std::size_t nodes, double alpha, double beta, Rng& rng,
             (profile.max_delay_ms - profile.min_delay_ms) * (d / max_dist);
         links.push_back(Link{NodeIdx(i), NodeIdx(j), delay,
                              sample_bandwidth(rng, profile)});
-        seen.insert(pair_key(NodeIdx(i), NodeIdx(j)));
+        seen.insert(NodePairKey(NodeIdx(i), NodeIdx(j)));
       }
     }
   }
@@ -128,7 +130,7 @@ Topology random_graph(std::size_t nodes, std::size_t extra_links, Rng& rng,
                       const LinkProfile& profile) {
   SPIDER_REQUIRE(nodes >= 2);
   std::vector<Link> links;
-  std::unordered_set<std::uint64_t> seen;
+  NodePairSet seen;
   add_spanning_tree(nodes, rng, profile, links, seen);
 
   const std::size_t max_extra =
@@ -139,7 +141,7 @@ Topology random_graph(std::size_t nodes, std::size_t extra_links, Rng& rng,
     const auto a = NodeIdx(rng.next_below(nodes));
     const auto b = NodeIdx(rng.next_below(nodes));
     if (a == b) continue;
-    if (!seen.insert(pair_key(a, b)).second) continue;
+    if (!seen.insert(NodePairKey(a, b)).second) continue;
     links.push_back(
         Link{a, b, sample_delay(rng, profile), sample_bandwidth(rng, profile)});
     --to_add;

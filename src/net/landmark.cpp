@@ -1,0 +1,158 @@
+#include "net/landmark.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace spider::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+LandmarkTable LandmarkTable::build(
+    std::size_t target_count, std::size_t landmark_count,
+    const std::function<Column(std::uint32_t target)>& sssp) {
+  SPIDER_REQUIRE(target_count >= 1);
+  SPIDER_REQUIRE(landmark_count >= 1);
+  LandmarkTable table;
+  table.targets_ = target_count;
+  const std::size_t k = std::min(landmark_count, target_count);
+  table.cols_.reserve(k);
+
+  // min over chosen landmarks of delay to each target; drives the
+  // farthest-point selection of the next landmark.
+  std::vector<double> min_delay(target_count, kInf);
+  std::uint32_t next = 0;  // landmark 0 is target 0 (deterministic)
+  for (std::size_t l = 0; l < k; ++l) {
+    Column col = sssp(next);
+    SPIDER_REQUIRE(col.target == next);
+    SPIDER_REQUIRE(col.delay_ms.size() == target_count);
+    for (std::size_t t = 0; t < target_count; ++t) {
+      min_delay[t] = std::min(min_delay[t], col.delay_ms[t]);
+    }
+    table.cols_.push_back(std::move(col));
+    // Farthest reachable target from the current landmark set; ties go to
+    // the lowest index. Unreachable targets (min inf) are skipped — a
+    // landmark there could never triangulate the connected component.
+    double best = -1.0;
+    std::uint32_t arg = next;
+    for (std::size_t t = 0; t < target_count; ++t) {
+      if (min_delay[t] == kInf) continue;
+      if (min_delay[t] > best) {
+        best = min_delay[t];
+        arg = std::uint32_t(t);
+      }
+    }
+    if (best <= 0.0) break;  // every target is itself a landmark already
+    next = arg;
+  }
+  return table;
+}
+
+double LandmarkTable::upper_bound_ms(std::uint32_t u, std::uint32_t v) const {
+  SPIDER_REQUIRE(u < targets_ && v < targets_);
+  if (u == v) return 0.0;
+  double best = kInf;
+  for (const Column& col : cols_) {
+    best = std::min(best, col.delay_ms[u] + col.delay_ms[v]);
+  }
+  return best;
+}
+
+double LandmarkTable::lower_bound_ms(std::uint32_t u, std::uint32_t v) const {
+  SPIDER_REQUIRE(u < targets_ && v < targets_);
+  if (u == v) return 0.0;
+  double best = 0.0;
+  for (const Column& col : cols_) {
+    if (col.delay_ms[u] == kInf || col.delay_ms[v] == kInf) continue;
+    best = std::max(best, std::abs(col.delay_ms[u] - col.delay_ms[v]));
+  }
+  return best;
+}
+
+PathMetrics LandmarkTable::through_metrics(std::uint32_t u,
+                                           std::uint32_t v) const {
+  SPIDER_REQUIRE(u < targets_ && v < targets_);
+  PathMetrics m;
+  if (u == v) {
+    m.delay_ms = 0.0;
+    m.bottleneck_kbps = kInf;
+    m.hops = 0;
+    return m;
+  }
+  std::size_t best_l = cols_.size();
+  double best = kInf;
+  for (std::size_t l = 0; l < cols_.size(); ++l) {
+    const double d = cols_[l].delay_ms[u] + cols_[l].delay_ms[v];
+    if (d < best) {
+      best = d;
+      best_l = l;
+    }
+  }
+  if (best_l == cols_.size()) return m;  // unreachable: default metrics
+  const Column& col = cols_[best_l];
+  SPIDER_REQUIRE_MSG(!col.bottleneck_kbps.empty() && !col.hops.empty(),
+                     "through_metrics needs bottleneck/hop columns");
+  m.delay_ms = best;
+  m.bottleneck_kbps =
+      std::min(col.bottleneck_kbps[u], col.bottleneck_kbps[v]);
+  m.hops = col.hops[u] + col.hops[v];
+  return m;
+}
+
+LandmarkTable build_ip_landmarks(const Topology& topo,
+                                 std::span<const NodeIdx> targets,
+                                 std::size_t landmark_count) {
+  SPIDER_REQUIRE(!targets.empty());
+  const std::size_t n = topo.node_count();
+  for (NodeIdx t : targets) SPIDER_REQUIRE(t < n);
+
+  // One Dijkstra over the whole topology per landmark; bottleneck and hop
+  // counts ride along the relaxation (strict `<`, so they describe the
+  // same tree path plain Dijkstra would pick), and only the target
+  // columns are kept.
+  auto sssp = [&](std::uint32_t target) {
+    const NodeIdx source = targets[target];
+    std::vector<double> dist(n, kInf);
+    std::vector<double> btl(n, 0.0);
+    std::vector<std::uint32_t> hops(n, 0);
+    using QItem = std::pair<double, NodeIdx>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    dist[source] = 0.0;
+    btl[source] = kInf;
+    pq.emplace(0.0, source);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;  // stale entry
+      for (const Adjacency& adj : topo.neighbors(u)) {
+        const Link& link = topo.link(adj.link);
+        const double nd = d + link.delay_ms;
+        if (nd < dist[adj.neighbor]) {
+          dist[adj.neighbor] = nd;
+          btl[adj.neighbor] = std::min(btl[u], link.bandwidth_kbps);
+          hops[adj.neighbor] = hops[u] + 1;
+          pq.emplace(nd, adj.neighbor);
+        }
+      }
+    }
+    LandmarkTable::Column col;
+    col.target = target;
+    col.delay_ms.reserve(targets.size());
+    col.bottleneck_kbps.reserve(targets.size());
+    col.hops.reserve(targets.size());
+    for (NodeIdx t : targets) {
+      col.delay_ms.push_back(dist[t]);
+      col.bottleneck_kbps.push_back(btl[t]);
+      col.hops.push_back(hops[t]);
+    }
+    return col;
+  };
+  return LandmarkTable::build(targets.size(), landmark_count, sssp);
+}
+
+}  // namespace spider::net

@@ -1,0 +1,93 @@
+// Landmark-based latency estimation (k-landmark triangulation).
+//
+// Exact all-pairs shortest-path state is O(N²) and is what capped
+// bench_scale at 50k peers. A LandmarkTable replaces it with k columns:
+// pick k landmarks by deterministic farthest-point sampling over a target
+// set, run one single-source Dijkstra per landmark at build time, and
+// answer delay queries between any two targets from the triangle
+// inequality:
+//
+//     max_l |d(l,u) - d(l,v)|  <=  d(u,v)  <=  min_l d(l,u) + d(l,v)
+//
+// The upper bound is the length of a real path (u -> l -> v through the
+// best landmark), so `estimate_ms` returns it: estimates are always
+// admissible routes, never optimistic fabrications, and the same
+// through-landmark path supplies bottleneck bandwidth and hop counts for
+// overlay-link metrics. Exact paths are still computed — lazily, per
+// source, only for pairs that end up in a candidate service graph (see
+// overlay::OverlayNetwork::route).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/router.hpp"
+#include "net/topology.hpp"
+
+namespace spider::net {
+
+/// k landmark distance columns over a dense target index space 0..n-1.
+/// Layer-agnostic: targets are IP nodes hosting peers at the IP layer and
+/// overlay peers at the overlay layer; only the SSSP callback differs.
+class LandmarkTable {
+ public:
+  /// One landmark's view of every target. `bottleneck_kbps` / `hops` may
+  /// be empty when the layer has no meaningful per-path values (the
+  /// overlay-layer estimator only needs delays).
+  struct Column {
+    std::uint32_t target = 0;  ///< the landmark's own target index
+    std::vector<double> delay_ms;
+    std::vector<double> bottleneck_kbps;
+    std::vector<std::uint32_t> hops;
+  };
+
+  /// Builds the table: landmark 0 is target 0, every further landmark is
+  /// the target farthest (max-min delay) from the landmarks chosen so far
+  /// — deterministic farthest-point sampling, ties broken toward the
+  /// lowest index. `sssp(t)` must return the full Column for target `t`.
+  static LandmarkTable build(
+      std::size_t target_count, std::size_t landmark_count,
+      const std::function<Column(std::uint32_t target)>& sssp);
+
+  std::size_t landmark_count() const { return cols_.size(); }
+  std::size_t target_count() const { return targets_; }
+  std::uint32_t landmark_target(std::size_t l) const {
+    return cols_.at(l).target;
+  }
+  /// Delay from landmark `l` to target `t` (one table cell).
+  double landmark_delay_ms(std::size_t l, std::uint32_t t) const {
+    return cols_.at(l).delay_ms.at(t);
+  }
+
+  /// Triangulation upper bound min_l d(l,u)+d(l,v): the delay of a real
+  /// u -> l -> v path (infinity if no landmark reaches both).
+  double upper_bound_ms(std::uint32_t u, std::uint32_t v) const;
+  /// Triangulation lower bound max_l |d(l,u)-d(l,v)|.
+  double lower_bound_ms(std::uint32_t u, std::uint32_t v) const;
+  /// The estimate served to callers: the admissible upper bound.
+  double estimate_ms(std::uint32_t u, std::uint32_t v) const {
+    return upper_bound_ms(u, v);
+  }
+
+  /// Metrics of the through-landmark path realizing upper_bound_ms:
+  /// delay is the bound itself, bottleneck the min of the two legs, hops
+  /// their sum. Requires the columns to carry bottleneck/hop data.
+  PathMetrics through_metrics(std::uint32_t u, std::uint32_t v) const;
+
+ private:
+  std::size_t targets_ = 0;
+  std::vector<Column> cols_;
+};
+
+/// IP-layer builder: landmarks are drawn from `targets` (the IP nodes
+/// hosting overlay peers); each landmark runs one Dijkstra over the full
+/// topology and keeps the columns restricted to the targets. Bottleneck
+/// bandwidth and hop counts are propagated along the shortest-path tree
+/// during relaxation, so through_metrics describes real IP paths.
+LandmarkTable build_ip_landmarks(const Topology& topo,
+                                 std::span<const NodeIdx> targets,
+                                 std::size_t landmark_count);
+
+}  // namespace spider::net

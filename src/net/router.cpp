@@ -63,11 +63,21 @@ std::vector<NodeIdx> SingleSourcePaths::path_to(NodeIdx dst) const {
 
 const SingleSourcePaths& Router::from(NodeIdx src) {
   auto it = cache_.find(src);
-  if (it == cache_.end()) {
-    if (cache_.size() >= cache_limit_) cache_.clear();
-    it = cache_.emplace(src, SingleSourcePaths(*topo_, src)).first;
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh recency
+    return it->second.paths;
   }
-  return it->second;
+  // LRU eviction: drop the coldest source — `src` is not yet cached, so
+  // the source being queried can never be the one evicted.
+  while (cache_.size() >= cache_limit_ && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  ++recomputes_;
+  lru_.push_front(src);
+  it = cache_.emplace(src, Entry{SingleSourcePaths(*topo_, src), lru_.begin()})
+           .first;
+  return it->second.paths;
 }
 
 }  // namespace spider::net

@@ -7,7 +7,9 @@
 // Router caches per-source trees only when asked to.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <list>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -60,23 +62,39 @@ class Router {
   PathMetrics metrics(NodeIdx src, NodeIdx dst) { return from(src).metrics_to(dst); }
 
   /// Drops all cached trees (e.g. between benchmark repetitions).
-  void clear_cache() { cache_.clear(); }
+  void clear_cache() {
+    cache_.clear();
+    lru_.clear();
+  }
   std::size_t cached_sources() const { return cache_.size(); }
+  /// Trees computed (cache misses) since construction — the recompute
+  /// regression counter: a capped cache that thrashes shows up here.
+  std::uint64_t recomputes() const { return recomputes_; }
 
   /// Caps the number of cached per-source trees (default: unbounded,
-  /// preserving exact historical behaviour). At the cap the whole cache
-  /// is dropped before the next insert — an epoch policy: deterministic,
-  /// no per-entry bookkeeping, and the hot working set refills at once.
-  /// Affects memory and recompute cost only, never routing results.
-  /// With a cap set, a reference returned by from() stays valid only
-  /// until the next from() call for an uncached source; the unbounded
-  /// default never invalidates.
-  void set_cache_limit(std::size_t max_sources) { cache_limit_ = max_sources; }
+  /// preserving exact historical behaviour). Eviction is true LRU: at
+  /// the cap the least-recently-queried source is dropped — never the
+  /// source being queried, and never the whole cache (the old epoch
+  /// policy evicted its own hot working set, so alternating sources
+  /// recomputed every call). Affects memory and recompute cost only,
+  /// never routing results. With a cap set, a reference returned by
+  /// from() stays valid until `max_sources` *other* distinct sources
+  /// have been queried; the unbounded default never invalidates.
+  void set_cache_limit(std::size_t max_sources) {
+    cache_limit_ = max_sources == 0 ? 1 : max_sources;
+  }
 
  private:
+  struct Entry {
+    SingleSourcePaths paths;
+    std::list<NodeIdx>::iterator lru;  // position in lru_ (front = hottest)
+  };
+
   const Topology* topo_;
-  std::unordered_map<NodeIdx, SingleSourcePaths> cache_;
+  std::unordered_map<NodeIdx, Entry> cache_;
+  std::list<NodeIdx> lru_;  // most-recently-queried source first
   std::size_t cache_limit_ = std::size_t(-1);
+  std::uint64_t recomputes_ = 0;
 };
 
 }  // namespace spider::net

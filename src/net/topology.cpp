@@ -3,21 +3,25 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/keys.hpp"
+
 namespace spider::net {
 
 Topology::Topology(std::size_t node_count, std::vector<Link> links)
     : node_count_(node_count), links_(std::move(links)) {
   SPIDER_REQUIRE(node_count_ > 0);
   // Validate links and reject self loops / duplicates.
-  std::unordered_set<std::uint64_t> seen;
+  std::unordered_set<util::UnorderedPairKey<NodeIdx>,
+                     util::UnorderedPairKeyHash>
+      seen;
   seen.reserve(links_.size() * 2);
   for (const Link& l : links_) {
     SPIDER_REQUIRE(l.a < node_count_ && l.b < node_count_);
     SPIDER_REQUIRE_MSG(l.a != l.b, "self loop");
     SPIDER_REQUIRE(l.delay_ms >= 0.0 && l.bandwidth_kbps >= 0.0);
-    const std::uint64_t key =
-        (std::uint64_t(std::min(l.a, l.b)) << 32) | std::max(l.a, l.b);
-    SPIDER_REQUIRE_MSG(seen.insert(key).second, "duplicate link");
+    SPIDER_REQUIRE_MSG(
+        seen.insert(util::UnorderedPairKey<NodeIdx>(l.a, l.b)).second,
+        "duplicate link");
   }
 
   // Build CSR adjacency.

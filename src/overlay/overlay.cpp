@@ -9,8 +9,48 @@
 namespace spider::overlay {
 namespace {
 
-std::uint64_t pair_key(PeerId a, PeerId b) {
-  return (std::uint64_t(std::min(a, b)) << 32) | std::max(a, b);
+using SeenSet = std::unordered_set<PeerPairKey, PeerPairKeyHash>;
+
+/// Random k-neighbor wiring shared by every builder. The rejection loop
+/// draws exactly the sequence the legacy code drew; when it exhausts its
+/// collision guard (dense small worlds) it no longer silently
+/// under-provisions the peer — a deterministic scan of unused partners
+/// (no RNG) tops the degree up, and only a peer already adjacent to
+/// every other peer counts as underwired.
+template <typename AddLink>
+void wire_random(std::size_t n, std::size_t degree, Rng& rng,
+                 const SeenSet& seen, AddLink&& add_link,
+                 std::size_t* underwired_peers) {
+  for (PeerId p = 0; p < n; ++p) {
+    std::size_t added = 0, guard = 0;
+    while (added < degree && guard++ < degree * 64 + 16) {
+      const auto q = PeerId(rng.next_below(n));
+      if (q == p || seen.count(PeerPairKey(p, q)) > 0) continue;
+      add_link(p, q);
+      ++added;
+    }
+    if (added >= degree) continue;
+    for (std::size_t step = 1; step < n && added < degree; ++step) {
+      const auto q = PeerId((p + step) % n);
+      if (seen.count(PeerPairKey(p, q)) > 0) continue;
+      add_link(p, q);
+      ++added;
+    }
+    if (added < degree) ++*underwired_peers;
+  }
+}
+
+/// Connectivity ring over a random permutation: pure nearest-neighbor
+/// meshes can fragment into proximity cliques, and real topology-aware
+/// meshes blend in long links for exactly this reason [20].
+template <typename AddLink>
+void add_connectivity_ring(std::size_t n, Rng& rng, AddLink&& add_link) {
+  std::vector<PeerId> order(n);
+  for (PeerId p = 0; p < n; ++p) order[p] = p;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < n; ++i) {
+    add_link(order[i], order[(i + 1) % n]);
+  }
 }
 
 }  // namespace
@@ -29,11 +69,11 @@ OverlayNetwork OverlayNetwork::from_topology(const net::Topology& topo,
 
   OverlayNetwork net;
   net.peer_node_ = std::move(peer_nodes);
-  std::unordered_set<std::uint64_t> seen;
+  SeenSet seen;
 
   auto add_link = [&](PeerId a, PeerId b) {
     if (a == b) return;
-    if (!seen.insert(pair_key(a, b)).second) return;
+    if (!seen.insert(PeerPairKey(a, b)).second) return;
     const net::PathMetrics m =
         router.metrics(net.peer_node_[a], net.peer_node_[b]);
     SPIDER_REQUIRE_MSG(m.reachable(), "IP topology must be connected");
@@ -43,7 +83,9 @@ OverlayNetwork OverlayNetwork::from_topology(const net::Topology& topo,
 
   if (kind == OverlayKind::kNearestMesh) {
     // Topology-aware mesh: each peer connects to its `degree` nearest peers
-    // by underlying IP delay.
+    // by underlying IP delay. Exact — one IP Dijkstra and a full n-element
+    // scan per peer, which is why large worlds go through
+    // from_topology_estimated instead.
     for (PeerId p = 0; p < n; ++p) {
       const auto& tree = router.from(net.peer_node_[p]);
       std::vector<std::pair<double, PeerId>> by_delay;
@@ -58,27 +100,96 @@ OverlayNetwork OverlayNetwork::from_topology(const net::Topology& topo,
       for (std::size_t i = 0; i < k; ++i) add_link(p, by_delay[i].second);
     }
   } else {
+    wire_random(n, degree, rng, seen, add_link, &net.underwired_peers_);
+  }
+  add_connectivity_ring(n, rng, add_link);
+
+  net.build_adjacency();
+  return net;
+}
+
+OverlayNetwork OverlayNetwork::from_topology_estimated(
+    const net::Topology& topo, std::vector<net::NodeIdx> peer_nodes,
+    OverlayKind kind, std::size_t degree, Rng& rng,
+    std::size_t landmark_count) {
+  SPIDER_REQUIRE(peer_nodes.size() >= 2);
+  SPIDER_REQUIRE(degree >= 1);
+  SPIDER_REQUIRE(landmark_count >= 1);
+  for (net::NodeIdx node : peer_nodes) {
+    SPIDER_REQUIRE(node < topo.node_count());
+  }
+  const std::size_t n = peer_nodes.size();
+
+  OverlayNetwork net;
+  net.peer_node_ = std::move(peer_nodes);
+  const net::LandmarkTable table =
+      net::build_ip_landmarks(topo, net.peer_node_, landmark_count);
+
+  SeenSet seen;
+  auto add_link = [&](PeerId a, PeerId b) {
+    if (a == b) return;
+    if (!seen.insert(PeerPairKey(a, b)).second) return;
+    // Metrics of the real a -> landmark -> b path realizing the
+    // triangulation upper bound: admissible delay, real bottleneck.
+    const net::PathMetrics m = table.through_metrics(a, b);
+    SPIDER_REQUIRE_MSG(m.reachable(), "IP topology must be connected");
+    net.links_.push_back(OverlayLink{a, b, m.delay_ms, m.bottleneck_kbps,
+                                     std::max<std::uint32_t>(m.hops, 1)});
+  };
+
+  if (kind == OverlayKind::kNearestMesh) {
+    // Sharded proximity mesh: peers bucket by their nearest landmark and
+    // sort within the bucket by distance to it; each peer ranks only a
+    // small window of its sorted neighborhood by the full triangulation
+    // estimate and links to the best `degree`. O(n·degree·k) total — no
+    // per-peer full scan, no per-peer Dijkstra.
+    struct Slot {
+      std::uint32_t bucket = 0;
+      double dist = 0.0;
+      PeerId peer = 0;
+    };
+    std::vector<Slot> slots(n);
     for (PeerId p = 0; p < n; ++p) {
-      std::size_t added = 0, guard = 0;
-      while (added < degree && guard++ < degree * 64 + 16) {
-        const auto q = PeerId(rng.next_below(n));
-        if (q == p || seen.count(pair_key(p, q)) > 0) continue;
-        add_link(p, q);
-        ++added;
+      std::uint32_t best_l = 0;
+      double best = table.landmark_delay_ms(0, p);
+      for (std::size_t l = 1; l < table.landmark_count(); ++l) {
+        const double d = table.landmark_delay_ms(l, p);
+        if (d < best) {
+          best = d;
+          best_l = std::uint32_t(l);
+        }
       }
+      slots[p] = Slot{best_l, best, p};
     }
-  }
-  // A ring over a random permutation guarantees connectivity: pure
-  // nearest-neighbor meshes can fragment into proximity cliques, and real
-  // topology-aware meshes blend in long links for exactly this reason [20].
-  {
-    std::vector<PeerId> order(n);
-    for (PeerId p = 0; p < n; ++p) order[p] = p;
-    rng.shuffle(order);
+    std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+      if (a.bucket != b.bucket) return a.bucket < b.bucket;
+      if (a.dist != b.dist) return a.dist < b.dist;
+      return a.peer < b.peer;
+    });
+    // Window over the global bucket-major order (not clamped to bucket
+    // boundaries): tiny buckets then borrow candidates from adjacent
+    // buckets instead of starving a peer below its degree.
+    const std::size_t window = degree + 8;
+    std::vector<std::pair<double, PeerId>> ranked;
     for (std::size_t i = 0; i < n; ++i) {
-      add_link(order[i], order[(i + 1) % n]);
+      const PeerId p = slots[i].peer;
+      ranked.clear();
+      const std::size_t from = i > window ? i - window : 0;
+      const std::size_t to = std::min(n, i + window + 1);
+      for (std::size_t j = from; j < to; ++j) {
+        if (j == i) continue;
+        const PeerId q = slots[j].peer;
+        ranked.emplace_back(table.estimate_ms(p, q), q);
+      }
+      const std::size_t k = std::min(degree, ranked.size());
+      std::partial_sort(ranked.begin(), ranked.begin() + long(k),
+                        ranked.end());
+      for (std::size_t j = 0; j < k; ++j) add_link(p, ranked[j].second);
     }
+  } else {
+    wire_random(n, degree, rng, seen, add_link, &net.underwired_peers_);
   }
+  add_connectivity_ring(n, rng, add_link);
 
   net.build_adjacency();
   return net;
@@ -93,10 +204,10 @@ OverlayNetwork OverlayNetwork::from_planetlab(const net::PlanetLabModel& model,
   net.peer_node_.resize(n);
   for (std::size_t i = 0; i < n; ++i) net.peer_node_[i] = net::NodeIdx(i);
 
-  std::unordered_set<std::uint64_t> seen;
+  SeenSet seen;
   auto add_link = [&](PeerId a, PeerId b) {
     if (a == b) return;
-    if (!seen.insert(pair_key(a, b)).second) return;
+    if (!seen.insert(PeerPairKey(a, b)).second) return;
     net.links_.push_back(OverlayLink{a, b, model.delay_ms(a, b),
                                      model.bandwidth_kbps(), 1});
   };
@@ -113,23 +224,9 @@ OverlayNetwork OverlayNetwork::from_planetlab(const net::PlanetLabModel& model,
       for (std::size_t i = 0; i < k; ++i) add_link(p, by_delay[i].second);
     }
   } else {
-    for (PeerId p = 0; p < n; ++p) {
-      std::size_t added = 0, guard = 0;
-      while (added < degree && guard++ < degree * 64 + 16) {
-        const auto q = PeerId(rng.next_below(n));
-        if (q == p || seen.count(pair_key(p, q)) > 0) continue;
-        add_link(p, q);
-        ++added;
-      }
-    }
+    wire_random(n, degree, rng, seen, add_link, &net.underwired_peers_);
   }
-  // Connectivity ring, as in from_topology.
-  {
-    std::vector<PeerId> order(n);
-    for (PeerId p = 0; p < n; ++p) order[p] = p;
-    rng.shuffle(order);
-    for (std::size_t i = 0; i < n; ++i) add_link(order[i], order[(i + 1) % n]);
-  }
+  add_connectivity_ring(n, rng, add_link);
 
   net.build_adjacency();
   return net;
@@ -187,67 +284,131 @@ void OverlayNetwork::set_alive(PeerId p, bool alive) {
   if (alive_[p] == alive) return;
   alive_[p] = alive;
   live_count_ += alive ? 1 : std::size_t(-1);
-  route_cache_.clear();
+  clear_route_caches();
 }
 
-void OverlayNetwork::compute_routes_from(PeerId src) {
-  const std::size_t n = peer_count();
-  std::vector<OverlayPath>& paths =
-      route_cache_.emplace(src, std::vector<OverlayPath>(n)).first->second;
-  if (!alive_[src]) return;  // all invalid
+void OverlayNetwork::clear_route_caches() {
+  tree_cache_.clear();
+  tree_lru_.clear();
+  path_cache_.clear();
+  path_lru_.clear();
+  ++route_epoch_;  // every outstanding OverlayPathRef is now invalid
+}
 
-  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  std::vector<OverlayLinkId> parent(n, kInvalidOverlayLink);
+OverlayNetwork::RouteTree OverlayNetwork::compute_tree(PeerId src) const {
+  const std::size_t n = peer_count();
+  RouteTree tree;
+  tree.dist.assign(n, std::numeric_limits<double>::infinity());
+  tree.parent.assign(n, kInvalidOverlayLink);
+  if (!alive_[src]) return tree;  // all invalid
+
   using QItem = std::pair<double, PeerId>;
   std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-  dist[src] = 0.0;
+  tree.dist[src] = 0.0;
   pq.emplace(0.0, src);
   while (!pq.empty()) {
     const auto [d, u] = pq.top();
     pq.pop();
-    if (d > dist[u]) continue;
+    if (d > tree.dist[u]) continue;
     for (const OverlayAdjacency& adj : neighbors(u)) {
       if (!alive_[adj.neighbor]) continue;
       const double nd = d + links_[adj.link].delay_ms;
-      if (nd < dist[adj.neighbor]) {
-        dist[adj.neighbor] = nd;
-        parent[adj.neighbor] = adj.link;
+      if (nd < tree.dist[adj.neighbor]) {
+        tree.dist[adj.neighbor] = nd;
+        tree.parent[adj.neighbor] = adj.link;
         pq.emplace(nd, adj.neighbor);
       }
     }
   }
-
-  for (PeerId dst = 0; dst < n; ++dst) {
-    OverlayPath& path = paths[dst];
-    if (dist[dst] == std::numeric_limits<double>::infinity()) continue;
-    path.valid = true;
-    path.delay_ms = dist[dst];
-    PeerId cur = dst;
-    while (cur != src) {
-      const OverlayLinkId li = parent[cur];
-      path.links.push_back(li);
-      path.capacity_kbps =
-          std::min(path.capacity_kbps, links_[li].capacity_kbps);
-      cur = links_[li].other(cur);
-    }
-    std::reverse(path.links.begin(), path.links.end());
-  }
+  return tree;
 }
 
-const OverlayPath& OverlayNetwork::route(PeerId src, PeerId dst) {
-  SPIDER_REQUIRE(src < peer_count() && dst < peer_count());
-  auto it = route_cache_.find(src);
-  if (it == route_cache_.end()) {
-    if (route_cache_.size() >= route_cache_limit_) route_cache_.clear();
-    compute_routes_from(src);
-    it = route_cache_.find(src);
+const OverlayNetwork::RouteTree& OverlayNetwork::tree_for(PeerId src) {
+  auto it = tree_cache_.find(src);
+  if (it != tree_cache_.end()) {
+    tree_lru_.splice(tree_lru_.begin(), tree_lru_, it->second.lru);
+    return it->second;
   }
-  return it->second[dst];
+  // LRU, never the queried source: `src` is not cached, so the evicted
+  // back of the recency list cannot be it. Tree eviction does not bump
+  // the epoch — materialized paths own their data.
+  while (tree_cache_.size() >= tree_cache_limit_ && !tree_lru_.empty()) {
+    tree_cache_.erase(tree_lru_.back());
+    tree_lru_.pop_back();
+  }
+  ++trees_computed_;
+  tree_lru_.push_front(src);
+  it = tree_cache_.emplace(src, compute_tree(src)).first;
+  it->second.lru = tree_lru_.begin();
+  return it->second;
+}
+
+OverlayPath OverlayNetwork::materialize(PeerId src, PeerId dst,
+                                        const RouteTree& tree) const {
+  OverlayPath path;
+  if (tree.dist[dst] == std::numeric_limits<double>::infinity()) return path;
+  path.valid = true;
+  path.delay_ms = tree.dist[dst];
+  PeerId cur = dst;
+  while (cur != src) {
+    const OverlayLinkId li = tree.parent[cur];
+    path.links.push_back(li);
+    path.capacity_kbps = std::min(path.capacity_kbps, links_[li].capacity_kbps);
+    cur = links_[li].other(cur);
+  }
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+OverlayPathRef OverlayNetwork::route(PeerId src, PeerId dst) {
+  SPIDER_REQUIRE(src < peer_count() && dst < peer_count());
+  const util::PairKey<PeerId, PeerId> key{src, dst};
+  auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) {
+    path_lru_.splice(path_lru_.begin(), path_lru_, it->second.lru);
+    return OverlayPathRef(&it->second.path, this, route_epoch_);
+  }
+  OverlayPath path = materialize(src, dst, tree_for(src));
+  ++paths_built_;
+  // Second-chance-free bounded LRU: evict the coldest pair(s). The cap is
+  // >= 2 and the new entry lands at the front, so the path handed back is
+  // never evicted by a subsequent insertion alone.
+  while (path_cache_.size() >= path_cache_limit_ && !path_lru_.empty()) {
+    path_cache_.erase(path_lru_.back());
+    path_lru_.pop_back();
+    ++route_epoch_;  // outstanding refs may now dangle: debug-check them
+  }
+  path_lru_.push_front(key);
+  it = path_cache_.emplace(key, CachedPath{std::move(path), path_lru_.begin()})
+           .first;
+  return OverlayPathRef(&it->second.path, this, route_epoch_);
 }
 
 double OverlayNetwork::delay_ms(PeerId src, PeerId dst) {
   if (src == dst) return 0.0;
-  return route(src, dst).delay_ms;
+  return route(src, dst)->delay_ms;
+}
+
+double OverlayNetwork::estimated_delay_ms(PeerId src, PeerId dst) {
+  if (src == dst) return 0.0;
+  if (estimator_ != nullptr) return estimator_->estimate_ms(src, dst);
+  return delay_ms(src, dst);
+}
+
+net::LandmarkTable::Column OverlayNetwork::overlay_sssp_column(
+    std::uint32_t target) const {
+  const RouteTree tree = compute_tree(PeerId(target));
+  net::LandmarkTable::Column col;
+  col.target = target;
+  col.delay_ms = tree.dist;  // overlay layer: delays only
+  return col;
+}
+
+void OverlayNetwork::build_estimator(std::size_t landmark_count) {
+  SPIDER_REQUIRE(landmark_count >= 1);
+  estimator_ = std::make_unique<net::LandmarkTable>(net::LandmarkTable::build(
+      peer_count(), landmark_count,
+      [this](std::uint32_t target) { return overlay_sssp_column(target); }));
 }
 
 bool OverlayNetwork::live_connected() const {

@@ -9,6 +9,16 @@
 // Ratnasamy et al. [20]) and a random/power-law wiring — plus a full mesh
 // for prototype-scale (PlanetLab) runs.
 //
+// Two-tier latency API (§5h): `estimated_delay_ms` answers cheap
+// triangulated estimates from a k-landmark table (exact when no estimator
+// is attached — the byte-identical legacy mode); `route` computes exact
+// min-delay paths lazily, per source, caching Dijkstra *trees* in a
+// bounded LRU and materializing per-(src,dst) paths on demand.  Million-
+// peer worlds are built through `from_topology_estimated`, which never
+// runs a per-peer IP Dijkstra: overlay link metrics come from real
+// through-landmark paths and the nearest-mesh scan is sharded by nearest
+// landmark instead of scanning all n peers.
+//
 // Peers can be marked dead (churn).  Overlay routing is min-delay Dijkstra
 // over live peers; route caches are invalidated on liveness changes.
 // Bandwidth *capacity* lives here; availability accounting (soft/confirmed
@@ -17,13 +27,18 @@
 
 #include <cstdint>
 #include <limits>
+#include <list>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "net/landmark.hpp"
 #include "net/planetlab.hpp"
 #include "net/router.hpp"
 #include "net/topology.hpp"
+#include "util/keys.hpp"
+#include "util/require.hpp"
 #include "util/rng.hpp"
 
 namespace spider::overlay {
@@ -34,6 +49,11 @@ using OverlayLinkId = std::uint32_t;
 
 constexpr PeerId kInvalidPeer = static_cast<PeerId>(-1);
 constexpr OverlayLinkId kInvalidOverlayLink = static_cast<OverlayLinkId>(-1);
+
+/// Undirected {a, b} dedup key for overlay links (struct key, not the
+/// shift-packed uint64 of the PR 1 / PR 4 collision family).
+using PeerPairKey = util::UnorderedPairKey<PeerId>;
+using PeerPairKeyHash = util::UnorderedPairKeyHash;
 
 /// Undirected overlay link with metrics inherited from the IP path.
 struct OverlayLink {
@@ -59,6 +79,38 @@ struct OverlayPath {
   bool valid = false;
 };
 
+class OverlayNetwork;
+
+/// Checked handle to a cached OverlayPath returned by route(). The
+/// pointee lives in the overlay's bounded path cache: it stays valid
+/// until the cache evicts it, which cannot happen while the handle is
+/// the most recently returned one (the LRU never evicts the entry just
+/// touched) but can once enough *other* pairs are routed. The handle
+/// snapshots the cache epoch and checks it on every dereference (one
+/// integer compare — noise next to the cache lookup that produced it),
+/// so holding a handle across an eviction aborts in every build type
+/// instead of silently reading freed memory — the footgun the old
+/// `const OverlayPath&` return invited.
+class OverlayPathRef {
+ public:
+  OverlayPathRef() = default;
+
+  const OverlayPath& get() const;
+  const OverlayPath& operator*() const { return get(); }
+  const OverlayPath* operator->() const { return &get(); }
+  bool has_value() const { return path_ != nullptr; }
+
+ private:
+  friend class OverlayNetwork;
+  OverlayPathRef(const OverlayPath* path, const OverlayNetwork* net,
+                 std::uint64_t epoch)
+      : path_(path), net_(net), epoch_(epoch) {}
+
+  const OverlayPath* path_ = nullptr;
+  const OverlayNetwork* net_ = nullptr;
+  std::uint64_t epoch_ = 0;  // path cache epoch at hand-out time
+};
+
 enum class OverlayKind {
   kNearestMesh,  ///< k nearest live peers by IP delay (topology-aware mesh)
   kRandom,       ///< k random neighbors
@@ -73,6 +125,17 @@ class OverlayNetwork {
                                       std::vector<net::NodeIdx> peer_nodes,
                                       OverlayKind kind, std::size_t degree,
                                       Rng& rng);
+
+  /// Landmark-estimated build for large worlds: no per-peer IP Dijkstra
+  /// is ever run. `landmark_count` IP-layer landmarks are sampled over
+  /// the peer nodes; overlay link metrics are the real through-landmark
+  /// paths (triangulation upper bound — admissible, never optimistic),
+  /// and the nearest-mesh candidate scan is sharded by nearest landmark
+  /// so construction is O(n · degree · k) instead of O(n²).
+  static OverlayNetwork from_topology_estimated(
+      const net::Topology& topo, std::vector<net::NodeIdx> peer_nodes,
+      OverlayKind kind, std::size_t degree, Rng& rng,
+      std::size_t landmark_count);
 
   /// Builds a degree-bounded overlay over a PlanetLab-style delay matrix
   /// (hosts == peers; IP hop count is 1 per link).
@@ -102,26 +165,57 @@ class OverlayNetwork {
   /// Marks a peer dead/alive and invalidates route caches.
   void set_alive(PeerId p, bool alive);
 
-  /// Min-delay overlay path across live peers. Dead endpoints or a
-  /// partitioned pair yield `valid == false`. Results are cached per
-  /// source until liveness changes.
-  const OverlayPath& route(PeerId src, PeerId dst);
+  /// Peers whose random wiring ended up below the requested degree even
+  /// after the deterministic unused-pair fallback (i.e. they were already
+  /// adjacent to every other peer). Zero in every non-degenerate world.
+  std::size_t underwired_peers() const { return underwired_peers_; }
 
-  /// Caps the number of sources with cached routes (default: unbounded,
-  /// preserving exact historical behaviour). At the cap the whole cache
-  /// is dropped before the next source is computed — memory/recompute
-  /// cost changes only, never path results. With a cap set, a reference
-  /// returned by route() stays valid only until the next route() call
-  /// for an uncached source (every route() call while one probe hop is
-  /// processed shares that hop's source, so BCP is unaffected); the
-  /// unbounded default never invalidates.
+  /// Min-delay overlay path across live peers. Dead endpoints or a
+  /// partitioned pair yield `valid == false`. The handle points into a
+  /// bounded per-pair LRU cache; see OverlayPathRef for its lifetime.
+  OverlayPathRef route(PeerId src, PeerId dst);
+
+  /// Caps the number of sources with cached Dijkstra trees (default:
+  /// unbounded, preserving exact historical route results). Eviction is
+  /// LRU — never the source being queried, never the whole cache (the
+  /// old epoch-clear evicted its own hot source, thrashing on
+  /// alternating sources). Memory/recompute cost only, never results.
   void set_route_cache_limit(std::size_t max_sources) {
-    route_cache_limit_ = max_sources;
+    tree_cache_limit_ = max_sources == 0 ? 1 : max_sources;
   }
 
-  /// Direct-delay lookup: delay of overlay link if adjacent, otherwise the
-  /// routed path delay (infinity if unreachable).
+  /// Caps the per-(src,dst) materialized-path LRU (min 2, so the path
+  /// just returned is never evicted by its own insertion).
+  void set_route_path_cache_limit(std::size_t max_paths) {
+    path_cache_limit_ = max_paths < 2 ? 2 : max_paths;
+  }
+
+  /// Recompute/regression counters: Dijkstra trees built and paths
+  /// materialized since construction. A thrashing capped cache shows up
+  /// as trees_computed growing with queries instead of distinct sources.
+  std::uint64_t route_trees_computed() const { return trees_computed_; }
+  std::uint64_t route_paths_materialized() const { return paths_built_; }
+  /// Epoch of the path cache: bumped whenever a cached path is evicted or
+  /// the caches are cleared. OverlayPathRef DCHECKs against it.
+  std::uint64_t route_epoch() const { return route_epoch_; }
+
+  /// Exact direct-delay lookup: the routed min-delay path's delay
+  /// (infinity if unreachable). Computes a Dijkstra tree on a cache miss.
   double delay_ms(PeerId src, PeerId dst);
+
+  /// Two-tier estimate: with an estimator attached, the O(k) landmark
+  /// triangulation upper bound (the delay of a real path through the
+  /// best landmark, computed over the full overlay at build time and
+  /// unaware of later churn); without one, exactly delay_ms(). This is
+  /// the call for proximity hints (DHT locality, discovery timing) —
+  /// anything that ends up in a candidate service graph must route().
+  double estimated_delay_ms(PeerId src, PeerId dst);
+
+  /// Attaches a k-landmark estimator over the *overlay* graph (farthest-
+  /// point sampling over peers, one overlay Dijkstra per landmark).
+  void build_estimator(std::size_t landmark_count);
+  bool has_estimator() const { return estimator_ != nullptr; }
+  const net::LandmarkTable* estimator() const { return estimator_.get(); }
 
   /// True if the overlay graph restricted to live peers is connected.
   bool live_connected() const;
@@ -129,7 +223,19 @@ class OverlayNetwork {
  private:
   OverlayNetwork() = default;
   void build_adjacency();
-  void compute_routes_from(PeerId src);
+
+  /// Single-source Dijkstra over live peers: parallel dist/parent arrays.
+  struct RouteTree {
+    std::vector<double> dist;
+    std::vector<OverlayLinkId> parent;
+    std::list<PeerId>::iterator lru;
+  };
+
+  const RouteTree& tree_for(PeerId src);
+  RouteTree compute_tree(PeerId src) const;
+  OverlayPath materialize(PeerId src, PeerId dst, const RouteTree& tree) const;
+  void clear_route_caches();
+  net::LandmarkTable::Column overlay_sssp_column(std::uint32_t target) const;
 
   std::vector<net::NodeIdx> peer_node_;
   std::vector<OverlayLink> links_;
@@ -137,10 +243,37 @@ class OverlayNetwork {
   std::vector<OverlayAdjacency> adj_;
   std::vector<bool> alive_;
   std::size_t live_count_ = 0;
+  std::size_t underwired_peers_ = 0;
 
-  // Per-source routed paths; invalidated wholesale on liveness changes.
-  std::unordered_map<PeerId, std::vector<OverlayPath>> route_cache_;
-  std::size_t route_cache_limit_ = std::size_t(-1);
+  // Lazy exact routing state: per-source Dijkstra trees (12 bytes/peer,
+  // not n OverlayPath objects) in a source-LRU, plus a bounded LRU of
+  // materialized per-pair paths. Both invalidated on liveness changes.
+  std::unordered_map<PeerId, RouteTree> tree_cache_;
+  std::list<PeerId> tree_lru_;  // most-recently-queried source first
+  std::size_t tree_cache_limit_ = std::size_t(-1);
+
+  struct CachedPath {
+    OverlayPath path;
+    std::list<util::PairKey<PeerId, PeerId>>::iterator lru;
+  };
+  std::unordered_map<util::PairKey<PeerId, PeerId>, CachedPath,
+                     util::PairKeyHash>
+      path_cache_;
+  std::list<util::PairKey<PeerId, PeerId>> path_lru_;
+  std::size_t path_cache_limit_ = 1u << 16;
+
+  std::uint64_t trees_computed_ = 0;
+  std::uint64_t paths_built_ = 0;
+  std::uint64_t route_epoch_ = 0;
+
+  std::unique_ptr<net::LandmarkTable> estimator_;
 };
+
+inline const OverlayPath& OverlayPathRef::get() const {
+  SPIDER_REQUIRE(path_ != nullptr);
+  SPIDER_REQUIRE_MSG(net_ == nullptr || epoch_ == net_->route_epoch(),
+                     "OverlayPathRef outlived a route-cache eviction");
+  return *path_;
+}
 
 }  // namespace spider::overlay

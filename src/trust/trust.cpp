@@ -6,14 +6,6 @@
 
 namespace spider::trust {
 
-namespace {
-
-std::uint64_t pair_key(PeerId rater, PeerId subject) {
-  return (std::uint64_t(rater) << 32) | subject;
-}
-
-}  // namespace
-
 dht::NodeId TrustManager::key_for(PeerId subject) {
   return dht::NodeId::hash_of("trust:" + std::to_string(subject));
 }
@@ -30,7 +22,7 @@ void TrustManager::report(PeerId rater, PeerId subject, bool positive) {
   SPIDER_REQUIRE(subject < deployment_->peer_count());
   if (!deployment_->dht().alive(rater)) return;
 
-  auto& counts = own_counts_[pair_key(rater, subject)];
+  auto& counts = own_counts_[util::PairKey<PeerId, PeerId>{rater, subject}];
   const std::string old_record =
       serialize(rater, counts.first, counts.second);
   if (positive) {
@@ -45,7 +37,7 @@ void TrustManager::report(PeerId rater, PeerId subject, bool positive) {
   if (counts.first + counts.second > 1) dht.erase(key, old_record);
   dht.put(rater, key, serialize(rater, counts.first, counts.second));
   ++reports_;
-  cache_.erase(pair_key(0, subject));  // invalidate the aggregate cache
+  cache_.erase(subject);  // invalidate the aggregate cache
 }
 
 TrustRecord TrustManager::record(PeerId requester, PeerId subject) {
@@ -65,9 +57,8 @@ TrustRecord TrustManager::record(PeerId requester, PeerId subject) {
 }
 
 double TrustManager::trust(PeerId requester, PeerId subject) {
-  const std::uint64_t ck = pair_key(0, subject);
   if (config_.cache_ttl > 0.0) {
-    auto it = cache_.find(ck);
+    auto it = cache_.find(subject);
     if (it != cache_.end() && it->second.expires_at > sim_->now()) {
       return it->second.score;
     }
@@ -77,7 +68,7 @@ double TrustManager::trust(PeerId requester, PeerId subject) {
       (config_.prior_alpha + rec.positive) /
       (config_.prior_alpha + config_.prior_beta + rec.positive + rec.negative);
   if (config_.cache_ttl > 0.0) {
-    cache_[ck] = CacheEntry{score, sim_->now() + config_.cache_ttl};
+    cache_[subject] = CacheEntry{score, sim_->now() + config_.cache_ttl};
   }
   return score;
 }

@@ -29,6 +29,7 @@
 
 #include "core/deployment.hpp"
 #include "sim/simulator.hpp"
+#include "util/keys.hpp"
 
 namespace spider::trust {
 
@@ -90,9 +91,11 @@ class TrustManager {
   TrustConfig config_;
   // Each rater's local interaction counts per subject (its own ground
   // truth; the DHT holds the published copies).
-  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+  std::unordered_map<util::PairKey<PeerId, PeerId>,
+                     std::pair<std::uint32_t, std::uint32_t>,
+                     util::PairKeyHash>
       own_counts_;
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::unordered_map<PeerId, CacheEntry> cache_;
   std::uint64_t reports_ = 0;
 };
 

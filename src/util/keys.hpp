@@ -1,0 +1,57 @@
+// Composite map keys as structs, not packed words.
+//
+// Shift-packing two fields into one uint64 is the bug family behind the
+// PR 1 soft-hold aliasing and the PR 4 discovery-cache collisions: the
+// packing is only collision-free while every field fits its slice, and
+// nothing enforces that as types grow. These two tiny templates replace
+// every remaining `(a << 32) | b` key in the tree with field-wise
+// equality plus a `util::hash_values` mix (each field contributes its
+// full width — distinct tuples cannot cancel).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace spider::util {
+
+/// Ordered (first, second) composite key.
+template <typename A, typename B>
+struct PairKey {
+  A first{};
+  B second{};
+
+  friend bool operator==(const PairKey&, const PairKey&) = default;
+};
+
+struct PairKeyHash {
+  template <typename A, typename B>
+  std::size_t operator()(const PairKey<A, B>& k) const {
+    return hash_values(std::uint64_t(k.first), std::uint64_t(k.second));
+  }
+};
+
+/// Unordered {a, b} composite key: construction normalizes so that
+/// {a, b} == {b, a} — the undirected-edge dedup key.
+template <typename T>
+struct UnorderedPairKey {
+  T lo{};
+  T hi{};
+
+  UnorderedPairKey() = default;
+  UnorderedPairKey(T a, T b) : lo(std::min(a, b)), hi(std::max(a, b)) {}
+
+  friend bool operator==(const UnorderedPairKey&,
+                         const UnorderedPairKey&) = default;
+};
+
+struct UnorderedPairKeyHash {
+  template <typename T>
+  std::size_t operator()(const UnorderedPairKey<T>& k) const {
+    return hash_values(std::uint64_t(k.lo), std::uint64_t(k.hi));
+  }
+};
+
+}  // namespace spider::util

@@ -53,11 +53,22 @@ std::unique_ptr<Scenario> build_sim_scenario(const SimScenarioConfig& config) {
   }
   std::sort(peer_nodes.begin(), peer_nodes.end());
 
-  overlay::OverlayNetwork ov = overlay::OverlayNetwork::from_topology(
-      *s->topology, *s->router, std::move(peer_nodes), config.overlay_kind,
-      config.overlay_degree, s->rng);
+  overlay::OverlayNetwork ov =
+      config.use_latency_estimator
+          ? overlay::OverlayNetwork::from_topology_estimated(
+                *s->topology, std::move(peer_nodes), config.overlay_kind,
+                config.overlay_degree, s->rng, config.landmark_count)
+          : overlay::OverlayNetwork::from_topology(
+                *s->topology, *s->router, std::move(peer_nodes),
+                config.overlay_kind, config.overlay_degree, s->rng);
+  ov.set_route_cache_limit(config.route_cache_limit);
+  ov.set_route_path_cache_limit(config.route_path_cache_limit);
+  if (config.use_latency_estimator) {
+    // Overlay-layer landmarks for delay hints (DHT proximity, discovery
+    // timing); built before the Deployment so the DHT joins see them.
+    ov.build_estimator(config.landmark_count);
+  }
   s->deployment = std::make_unique<core::Deployment>(std::move(ov), s->rng);
-  s->deployment->overlay().set_route_cache_limit(config.route_cache_limit);
   s->alloc =
       std::make_unique<core::AllocationManager>(*s->deployment, s->sim);
   s->evaluator =

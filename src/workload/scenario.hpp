@@ -73,6 +73,19 @@ struct SimScenarioConfig {
   /// keeps the exact historical unbounded behaviour.
   std::size_t router_cache_limit = std::size_t(-1);
   std::size_t route_cache_limit = std::size_t(-1);
+  /// Cap on materialized per-(src,dst) overlay paths (min 2; see
+  /// overlay::OverlayNetwork::set_route_path_cache_limit).
+  std::size_t route_path_cache_limit = std::size_t(1) << 16;
+  /// Landmark latency estimation (§5h). Off by default: the scenario then
+  /// builds the overlay with exact per-peer IP Dijkstras and answers
+  /// every delay query exactly — byte-identical to the historical
+  /// behaviour. On, the overlay is built via
+  /// overlay::OverlayNetwork::from_topology_estimated (O(n·degree·k)
+  /// construction, bounded RSS) and proximity/discovery hints come from
+  /// k-landmark triangulation; exact routes are still computed lazily
+  /// for candidate service graphs.
+  bool use_latency_estimator = false;
+  std::size_t landmark_count = 16;
 };
 
 /// §6.2-style prototype testbed over a synthetic PlanetLab delay matrix.

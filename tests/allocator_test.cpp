@@ -95,7 +95,7 @@ TEST_F(AllocatorTest, ReleaseHoldRestoresImmediately) {
 
 TEST_F(AllocatorTest, PathReservationIsAllOrNothing) {
   auto& ov = deployment_->overlay();
-  const overlay::OverlayPath path = ov.route(0, 9);
+  const overlay::OverlayPath path = *ov.route(0, 9);
   ASSERT_TRUE(path.valid);
   ASSERT_FALSE(path.links.empty());
   const double cap = alloc_->path_available_kbps(path);
@@ -111,7 +111,7 @@ TEST_F(AllocatorTest, PathReservationIsAllOrNothing) {
 
 TEST_F(AllocatorTest, PathConfirmAndRelease) {
   auto& ov = deployment_->overlay();
-  const overlay::OverlayPath path = ov.route(1, 8);
+  const overlay::OverlayPath path = *ov.route(1, 8);
   ASSERT_TRUE(path.valid);
   const double before = alloc_->path_available_kbps(path);
   auto hold = alloc_->soft_reserve_path(path, 100.0, 100.0);
@@ -170,8 +170,8 @@ static overlay::OverlayPath multi_link_route(Deployment& deployment,
   for (PeerId a = 0; a < deployment.peer_count(); ++a) {
     for (PeerId b = 0; b < deployment.peer_count(); ++b) {
       if (a == b) continue;
-      const auto& path = deployment.overlay().route(a, b);
-      if (path.valid && path.links.size() >= min_links) return path;
+      const overlay::OverlayPathRef path = deployment.overlay().route(a, b);
+      if (path->valid && path->links.size() >= min_links) return *path;
     }
   }
   SPIDER_REQUIRE_MSG(false, "no multi-link route in test overlay");

@@ -169,8 +169,8 @@ TEST(BcpFaultTest, CertainLossOnOneLinkDropsExactlyThatBranch) {
 
   auto s = spider::testing::small_scenario(7);
   const overlay::PeerId first_host = clean.best.mapping[0].host;
-  const auto& path =
-      s->deployment->overlay().route(clean.best.source, first_host);
+  const overlay::OverlayPath path =
+      *s->deployment->overlay().route(clean.best.source, first_host);
   ASSERT_TRUE(path.valid);
   ASSERT_FALSE(path.links.empty());
 
@@ -191,9 +191,9 @@ TEST(BcpFaultTest, CertainLossOnOneLinkDropsExactlyThatBranch) {
   EXPECT_GT(r.stats.probes_dropped_lost + r.stats.candidates_skipped_lost, 0u)
       << "the poisoned branch must be dropped";
   if (r.success) {
-    const auto& new_path =
-        s->deployment->overlay().route(r.best.source,
-                                       r.best.mapping[0].host);
+    const overlay::OverlayPath new_path =
+        *s->deployment->overlay().route(r.best.source,
+                                        r.best.mapping[0].host);
     ASSERT_TRUE(new_path.valid);
     if (!new_path.links.empty()) {
       EXPECT_NE(new_path.links.front(), path.links.front())

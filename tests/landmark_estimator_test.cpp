@@ -1,0 +1,213 @@
+// Equivalence oracle for the landmark latency estimator (§5h).
+//
+// The estimator trades exact all-pairs Dijkstra state for k landmark
+// columns; what it may NOT trade away is soundness. Across seeds and
+// overlay kinds these tests pin:
+//  * estimated delays sit inside the triangulation bounds of the exact
+//    Dijkstra answer (lower <= exact <= estimate, the estimate being a
+//    real through-landmark path);
+//  * with no estimator attached, estimated_delay_ms falls back to the
+//    exact lazy route() answer bit-for-bit — the legacy mode;
+//  * farthest-point sampling is deterministic (same inputs, same table);
+//  * estimated overlay construction yields a connected world whose link
+//    metrics are admissible (never better than the true IP shortest path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "net/generator.hpp"
+#include "net/landmark.hpp"
+#include "net/router.hpp"
+#include "overlay/overlay.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace spider::overlay {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct World {
+  std::unique_ptr<net::Topology> topo;
+  std::unique_ptr<net::Router> router;
+  std::unique_ptr<OverlayNetwork> ov;
+};
+
+std::vector<net::NodeIdx> pick_peers(Rng& rng, std::size_t ip_nodes,
+                                     std::size_t peers) {
+  std::vector<net::NodeIdx> nodes;
+  for (std::size_t idx : rng.sample_indices(ip_nodes, peers)) {
+    nodes.push_back(net::NodeIdx(idx));
+  }
+  return nodes;
+}
+
+World make_world(std::uint64_t seed, OverlayKind kind, bool estimated,
+                 std::size_t ip_nodes = 400, std::size_t peers = 60,
+                 std::size_t degree = 4, std::size_t landmarks = 8) {
+  Rng rng(seed);
+  World w;
+  w.topo = std::make_unique<net::Topology>(net::power_law(ip_nodes, 2, rng));
+  w.router = std::make_unique<net::Router>(*w.topo);
+  auto nodes = pick_peers(rng, ip_nodes, peers);
+  w.ov = std::make_unique<OverlayNetwork>(
+      estimated ? OverlayNetwork::from_topology_estimated(
+                      *w.topo, std::move(nodes), kind, degree, rng, landmarks)
+                : OverlayNetwork::from_topology(*w.topo, *w.router,
+                                                std::move(nodes), kind, degree,
+                                                rng));
+  return w;
+}
+
+TEST(LandmarkEstimator, BoundsHoldAcrossSeedsAndKinds) {
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    for (OverlayKind kind : {OverlayKind::kNearestMesh, OverlayKind::kRandom}) {
+      World w = make_world(seed, kind, /*estimated=*/false);
+      OverlayNetwork& ov = *w.ov;
+      ov.build_estimator(8);
+      ASSERT_TRUE(ov.has_estimator());
+      const net::LandmarkTable& table = *ov.estimator();
+      for (PeerId u = 0; u < ov.peer_count(); ++u) {
+        for (PeerId v = u + 1; v < ov.peer_count(); v += 7) {
+          const double exact = ov.delay_ms(u, v);
+          const double est = ov.estimated_delay_ms(u, v);
+          const double lower = table.lower_bound_ms(u, v);
+          ASSERT_LT(exact, kInf) << "overlay must be connected";
+          // Sound triangulation: the exact Dijkstra answer is bracketed.
+          EXPECT_LE(lower, exact + 1e-9)
+              << "seed=" << seed << " pair=(" << u << "," << v << ")";
+          EXPECT_GE(est + 1e-9, exact)
+              << "estimate must be admissible (a real path's delay)";
+          EXPECT_DOUBLE_EQ(est, table.upper_bound_ms(u, v));
+        }
+      }
+    }
+  }
+}
+
+TEST(LandmarkEstimator, NoEstimatorFallsBackToExactBitForBit) {
+  World w = make_world(5, OverlayKind::kNearestMesh, /*estimated=*/false);
+  OverlayNetwork& ov = *w.ov;
+  ASSERT_FALSE(ov.has_estimator());
+  for (PeerId u = 0; u < ov.peer_count(); u += 5) {
+    for (PeerId v = 0; v < ov.peer_count(); v += 3) {
+      // Legacy mode: the "estimate" IS the exact routed delay.
+      const double exact = ov.delay_ms(u, v);
+      EXPECT_EQ(ov.estimated_delay_ms(u, v), exact);
+    }
+  }
+}
+
+TEST(LandmarkEstimator, FarthestPointSamplingIsDeterministic) {
+  World w = make_world(7, OverlayKind::kNearestMesh, /*estimated=*/false);
+  OverlayNetwork& ov = *w.ov;
+  ov.build_estimator(6);
+  std::vector<std::uint32_t> first_landmarks;
+  for (std::size_t l = 0; l < ov.estimator()->landmark_count(); ++l) {
+    first_landmarks.push_back(ov.estimator()->landmark_target(l));
+  }
+  std::vector<double> first_estimates;
+  for (PeerId v = 1; v < ov.peer_count(); ++v) {
+    first_estimates.push_back(ov.estimated_delay_ms(0, v));
+  }
+  ov.build_estimator(6);  // rebuild from scratch: identical table
+  EXPECT_EQ(first_landmarks.front(), 0u) << "landmark 0 is target 0";
+  for (std::size_t l = 0; l < ov.estimator()->landmark_count(); ++l) {
+    EXPECT_EQ(ov.estimator()->landmark_target(l), first_landmarks[l]);
+  }
+  for (PeerId v = 1; v < ov.peer_count(); ++v) {
+    EXPECT_EQ(ov.estimated_delay_ms(0, v), first_estimates[v - 1]);
+  }
+}
+
+TEST(LandmarkEstimator, EstimatedBuildIsConnectedAndAdmissible) {
+  for (OverlayKind kind : {OverlayKind::kNearestMesh, OverlayKind::kRandom}) {
+    World w = make_world(13, kind, /*estimated=*/true);
+    OverlayNetwork& ov = *w.ov;
+    EXPECT_TRUE(ov.live_connected());
+    EXPECT_EQ(ov.underwired_peers(), 0u);
+    for (PeerId p = 0; p < ov.peer_count(); ++p) {
+      EXPECT_GE(ov.neighbors(p).size(), 4u);
+    }
+    // Every link's delay is a real through-landmark path: at least the
+    // true IP shortest path between the endpoints, never below it.
+    for (OverlayLinkId l = 0; l < ov.link_count(); ++l) {
+      const OverlayLink& link = ov.link(l);
+      const net::PathMetrics exact =
+          w.router->metrics(ov.ip_node(link.a), ov.ip_node(link.b));
+      ASSERT_TRUE(exact.reachable());
+      EXPECT_GE(link.delay_ms + 1e-9, exact.delay_ms);
+      EXPECT_GT(link.capacity_kbps, 0.0);
+      EXPECT_GE(link.ip_hops, 1u);
+    }
+  }
+}
+
+TEST(LandmarkEstimator, LazyExactRouteMatchesEagerDijkstra) {
+  // The lazy tree-cache + materialization path must reproduce the
+  // classic eager answer exactly: same delays, same link chains.
+  World lazy = make_world(21, OverlayKind::kNearestMesh, /*estimated=*/false);
+  World eager = make_world(21, OverlayKind::kNearestMesh, /*estimated=*/false);
+  OverlayNetwork& a = *lazy.ov;
+  OverlayNetwork& b = *eager.ov;
+  ASSERT_EQ(a.link_count(), b.link_count());
+  a.set_route_cache_limit(2);       // force tree thrash on the lazy side
+  a.set_route_path_cache_limit(2);  // and path re-materialization
+  for (PeerId u = 0; u < a.peer_count(); u += 4) {
+    for (PeerId v = 0; v < a.peer_count(); v += 5) {
+      const OverlayPath pa = *a.route(u, v);
+      const OverlayPath pb = *b.route(u, v);
+      ASSERT_EQ(pa.valid, pb.valid);
+      if (!pa.valid) continue;
+      EXPECT_EQ(pa.links, pb.links);
+      EXPECT_DOUBLE_EQ(pa.delay_ms, pb.delay_ms);
+      EXPECT_DOUBLE_EQ(pa.capacity_kbps, pb.capacity_kbps);
+    }
+  }
+}
+
+TEST(LandmarkEstimator, ScenarioKnobBuildsEstimatedWorld) {
+  workload::SimScenarioConfig config;
+  config.seed = 9;
+  config.ip_nodes = 600;
+  config.peers = 80;
+  config.use_latency_estimator = true;
+  config.landmark_count = 8;
+  auto s = workload::build_sim_scenario(config);
+  auto& ov = s->deployment->overlay();
+  EXPECT_TRUE(ov.has_estimator());
+  EXPECT_TRUE(ov.live_connected());
+  // Hints are bracketed by the overlay-layer triangulation bounds.
+  for (PeerId v = 1; v < 20; ++v) {
+    const double est = ov.estimated_delay_ms(0, v);
+    const double exact = ov.delay_ms(0, v);
+    EXPECT_GE(est + 1e-9, exact);
+    EXPECT_GE(exact + 1e-9, ov.estimator()->lower_bound_ms(0, v));
+  }
+}
+
+TEST(LandmarkEstimator, IpLandmarkThroughMetricsAreConsistent) {
+  Rng rng(31);
+  net::Topology topo = net::power_law(300, 2, rng);
+  auto targets = pick_peers(rng, 300, 40);
+  const net::LandmarkTable table = net::build_ip_landmarks(topo, targets, 6);
+  net::Router router(topo);
+  EXPECT_LE(table.landmark_count(), 6u);
+  EXPECT_GE(table.landmark_count(), 1u);
+  for (std::uint32_t u = 0; u < 40; ++u) {
+    for (std::uint32_t v = u + 1; v < 40; v += 5) {
+      const net::PathMetrics through = table.through_metrics(u, v);
+      const net::PathMetrics exact = router.metrics(targets[u], targets[v]);
+      ASSERT_TRUE(through.reachable());
+      EXPECT_DOUBLE_EQ(through.delay_ms, table.upper_bound_ms(u, v));
+      EXPECT_GE(through.delay_ms + 1e-9, exact.delay_ms);
+      EXPECT_GT(through.bottleneck_kbps, 0.0);
+      EXPECT_GE(through.hops, exact.hops > 0 ? 1u : 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spider::overlay

@@ -163,6 +163,28 @@ TEST(Router, CachesPerSourceTrees) {
   EXPECT_EQ(router.cached_sources(), 0u);
 }
 
+TEST(Router, CappedCacheEvictsLruNotTheQueriedSource) {
+  Topology t = tiny_line();
+  Router router(t);
+  router.set_cache_limit(2);
+  // Alternating sources fit the cap: two cold recomputes, then pure hits
+  // (the old epoch-clear policy recomputed both on every call at the cap).
+  for (int i = 0; i < 8; ++i) {
+    router.from(0);
+    router.from(1);
+  }
+  EXPECT_EQ(router.recomputes(), 2u);
+  EXPECT_EQ(router.cached_sources(), 2u);
+  // A new source evicts the coldest tree (source 0), not the whole cache.
+  router.from(2);
+  EXPECT_EQ(router.recomputes(), 3u);
+  EXPECT_EQ(router.cached_sources(), 2u);
+  router.from(1);  // survived the eviction
+  EXPECT_EQ(router.recomputes(), 3u);
+  router.from(0);  // the LRU victim recomputes
+  EXPECT_EQ(router.recomputes(), 4u);
+}
+
 TEST(Router, PathMetricsConsistentWithPath) {
   Rng rng(7);
   Topology t = power_law(200, 2, rng);

@@ -58,25 +58,25 @@ TEST(Overlay, LinkMetricsInheritedFromIpPath) {
 TEST(Overlay, RouteFindsMinDelayPath) {
   Rng rng(3);
   OverlayNetwork ov = make_overlay(rng);
-  const OverlayPath& path = ov.route(0, 17);
-  ASSERT_TRUE(path.valid);
-  EXPECT_GT(path.delay_ms, 0.0);
+  const OverlayPathRef path = ov.route(0, 17);
+  ASSERT_TRUE(path->valid);
+  EXPECT_GT(path->delay_ms, 0.0);
   // Path link chain must connect 0 to 17.
   PeerId cur = 0;
-  for (OverlayLinkId l : path.links) cur = ov.link(l).other(cur);
+  for (OverlayLinkId l : path->links) cur = ov.link(l).other(cur);
   EXPECT_EQ(cur, 17u);
   // Delay equals sum of link delays.
   double sum = 0;
-  for (OverlayLinkId l : path.links) sum += ov.link(l).delay_ms;
-  EXPECT_NEAR(sum, path.delay_ms, 1e-9);
+  for (OverlayLinkId l : path->links) sum += ov.link(l).delay_ms;
+  EXPECT_NEAR(sum, path->delay_ms, 1e-9);
 }
 
 TEST(Overlay, SelfRouteIsTrivial) {
   Rng rng(4);
   OverlayNetwork ov = make_overlay(rng);
-  const OverlayPath& path = ov.route(3, 3);
-  EXPECT_TRUE(path.valid);
-  EXPECT_TRUE(path.links.empty());
+  const OverlayPathRef path = ov.route(3, 3);
+  EXPECT_TRUE(path->valid);
+  EXPECT_TRUE(path->links.empty());
   EXPECT_DOUBLE_EQ(ov.delay_ms(3, 3), 0.0);
 }
 
@@ -86,7 +86,7 @@ TEST(Overlay, DeadPeerIsAvoided) {
   // Find a route that traverses some intermediate peer, kill it, verify
   // rerouting avoids it.
   PeerId victim = kInvalidPeer;
-  const OverlayPath before = ov.route(0, 20);
+  const OverlayPath before = *ov.route(0, 20);
   ASSERT_TRUE(before.valid);
   if (before.links.size() >= 2) {
     victim = ov.link(before.links[0]).other(0);
@@ -94,10 +94,10 @@ TEST(Overlay, DeadPeerIsAvoided) {
   if (victim == kInvalidPeer || victim == 20) GTEST_SKIP();
   ov.set_alive(victim, false);
   EXPECT_EQ(ov.live_count(), 29u);
-  const OverlayPath& after = ov.route(0, 20);
-  if (after.valid) {
+  const OverlayPathRef after = ov.route(0, 20);
+  if (after->valid) {
     PeerId cur = 0;
-    for (OverlayLinkId l : after.links) {
+    for (OverlayLinkId l : after->links) {
       cur = ov.link(l).other(cur);
       EXPECT_NE(cur, victim);
     }
@@ -108,17 +108,17 @@ TEST(Overlay, DeadEndpointInvalidatesRoute) {
   Rng rng(6);
   OverlayNetwork ov = make_overlay(rng);
   ov.set_alive(7, false);
-  EXPECT_FALSE(ov.route(0, 7).valid);
-  EXPECT_FALSE(ov.route(7, 0).valid);
+  EXPECT_FALSE(ov.route(0, 7)->valid);
+  EXPECT_FALSE(ov.route(7, 0)->valid);
 }
 
 TEST(Overlay, ReviveRestoresRouting) {
   Rng rng(7);
   OverlayNetwork ov = make_overlay(rng);
   ov.set_alive(5, false);
-  EXPECT_FALSE(ov.route(0, 5).valid);
+  EXPECT_FALSE(ov.route(0, 5)->valid);
   ov.set_alive(5, true);
-  EXPECT_TRUE(ov.route(0, 5).valid);
+  EXPECT_TRUE(ov.route(0, 5)->valid);
   EXPECT_EQ(ov.live_count(), ov.peer_count());
 }
 
@@ -132,7 +132,7 @@ TEST(Overlay, LiveConnectedReflectsPartitions) {
   const bool connected = ov.live_connected();
   bool all_routable = true;
   for (PeerId p = 1; p < ov.peer_count(); p += 2) {
-    if (!ov.route(1, p).valid) all_routable = false;
+    if (!ov.route(1, p)->valid) all_routable = false;
   }
   EXPECT_EQ(connected, all_routable);
 }
@@ -206,6 +206,90 @@ TEST(Overlay, RouteDelayTriangleSanity) {
     EXPECT_LE(ov.delay_ms(0, adj.neighbor),
               ov.link(adj.link).delay_ms + 1e-9);
   }
+}
+
+TEST(Overlay, TreeCacheLruNeverThrashesTheQueriedSource) {
+  Rng rng(20);
+  OverlayNetwork ov = make_overlay(rng);
+  ov.set_route_cache_limit(2);
+  // Alternating between two sources fits the cap: after the two cold
+  // misses, no tree is ever recomputed (the old epoch-clear policy
+  // recomputed on every call once the cap was hit).
+  for (int i = 0; i < 10; ++i) {
+    ov.route(0, 10);
+    ov.route(1, 11);
+  }
+  EXPECT_EQ(ov.route_trees_computed(), 2u);
+  // A third source evicts the coldest (source 0), never the one queried.
+  ov.route(2, 12);
+  EXPECT_EQ(ov.route_trees_computed(), 3u);
+  ov.route(1, 13);  // still cached: only source 0 was evicted
+  EXPECT_EQ(ov.route_trees_computed(), 3u);
+  ov.route(0, 14);  // recomputed: it was the LRU victim
+  EXPECT_EQ(ov.route_trees_computed(), 4u);
+}
+
+TEST(Overlay, PathCacheIsBoundedAndRepeatHitsAreFree) {
+  Rng rng(21);
+  OverlayNetwork ov = make_overlay(rng);
+  ov.set_route_path_cache_limit(4);
+  const std::uint64_t before = ov.route_paths_materialized();
+  ov.route(0, 10);
+  ov.route(0, 10);
+  ov.route(0, 10);
+  EXPECT_EQ(ov.route_paths_materialized() - before, 1u)
+      << "repeat queries must hit the path cache";
+  // Filling the cache past its cap evicts cold pairs and bumps the epoch.
+  const std::uint64_t epoch = ov.route_epoch();
+  for (PeerId v = 1; v <= 8; ++v) ov.route(0, v);
+  EXPECT_GT(ov.route_epoch(), epoch);
+}
+
+TEST(Overlay, StalePathRefDerefAborts) {
+  Rng rng(22);
+  OverlayNetwork ov = make_overlay(rng);
+  ov.set_route_path_cache_limit(2);
+  OverlayPathRef stale = ov.route(0, 10);
+  EXPECT_TRUE(stale->valid);  // fresh: dereference is fine
+  // Routing enough other pairs evicts (0, 10); the handle must now abort
+  // on dereference instead of reading a freed cache slot.
+  for (PeerId v = 1; v <= 6; ++v) ov.route(0, v);
+  EXPECT_DEATH((void)stale->valid, "outlived a route-cache eviction");
+}
+
+TEST(Overlay, LivenessChangeInvalidatesOutstandingRefs) {
+  Rng rng(23);
+  OverlayNetwork ov = make_overlay(rng);
+  OverlayPathRef ref = ov.route(0, 10);
+  EXPECT_TRUE(ref->valid);
+  ov.set_alive(5, false);  // clears route caches
+  EXPECT_DEATH((void)ref->valid, "outlived a route-cache eviction");
+}
+
+TEST(Overlay, DenseRandomWiringFallsBackDeterministically) {
+  // 6 peers, degree 16: the rejection loop cannot find 16 distinct
+  // partners among 5, so the deterministic fallback links each peer to
+  // every other peer and reports all of them as underwired (the old
+  // guard loop silently under-provisioned without a trace).
+  Rng rng(24);
+  auto topo = net::power_law(60, 2, rng);
+  net::Router router(topo);
+  std::vector<net::NodeIdx> nodes{2, 7, 11, 23, 31, 47};
+  OverlayNetwork ov = OverlayNetwork::from_topology(
+      topo, router, std::move(nodes), OverlayKind::kRandom, 16, rng);
+  EXPECT_EQ(ov.underwired_peers(), 6u);
+  // The fallback saturated the clique: every peer adjacent to all others.
+  for (PeerId p = 0; p < ov.peer_count(); ++p) {
+    EXPECT_EQ(ov.neighbors(p).size(), 5u);
+  }
+  EXPECT_EQ(ov.link_count(), 15u);  // 6 choose 2
+  EXPECT_TRUE(ov.live_connected());
+}
+
+TEST(Overlay, SparseRandomWiringReportsNoUnderwiredPeers) {
+  Rng rng(25);
+  OverlayNetwork ov = make_overlay(rng, 300, 50, OverlayKind::kRandom);
+  EXPECT_EQ(ov.underwired_peers(), 0u);
 }
 
 }  // namespace

@@ -5,10 +5,13 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <stdexcept>
 #include <thread>
 
 #include "util/hash.hpp"
+#include "util/keys.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/sha1.hpp"
@@ -288,6 +291,42 @@ TEST(Sha1, Prefix64MatchesDigest) {
   std::uint64_t expect = 0;
   for (int i = 0; i < 8; ++i) expect = (expect << 8) | d[std::size_t(i)];
   EXPECT_EQ(sha1_prefix64("abc"), expect);
+}
+
+
+TEST(Keys, OrderedPairKeyDistinguishesOrderAndFields) {
+  using K = util::PairKey<std::uint32_t, std::uint32_t>;
+  EXPECT_EQ((K{1, 2}), (K{1, 2}));
+  EXPECT_FALSE((K{1, 2}) == (K{2, 1}));
+  // The shift-packed family collided when a field outgrew its 32-bit
+  // slice: (a=1, b=0) packed identically to (a=0, b=1<<32). Struct keys
+  // keep every field at full width.
+  using W = util::PairKey<std::uint64_t, std::uint64_t>;
+  const W narrow{1, 0};
+  const W wide{0, std::uint64_t(1) << 32};
+  EXPECT_FALSE(narrow == wide);
+  EXPECT_NE(util::PairKeyHash{}(narrow), util::PairKeyHash{}(wide));
+}
+
+TEST(Keys, UnorderedPairKeyNormalizes) {
+  using K = util::UnorderedPairKey<std::uint32_t>;
+  EXPECT_EQ(K(7, 3), K(3, 7));
+  EXPECT_EQ(util::UnorderedPairKeyHash{}(K(7, 3)),
+            util::UnorderedPairKeyHash{}(K(3, 7)));
+  EXPECT_FALSE(K(3, 7) == K(3, 8));
+  std::unordered_set<K, util::UnorderedPairKeyHash> seen;
+  EXPECT_TRUE(seen.insert(K(1, 2)).second);
+  EXPECT_FALSE(seen.insert(K(2, 1)).second) << "{a,b} and {b,a} are one edge";
+}
+
+TEST(Keys, PairKeyWorksAsUnorderedMapKey) {
+  std::unordered_map<util::PairKey<std::uint32_t, std::uint16_t>, int,
+                     util::PairKeyHash>
+      m;
+  m[{4, 2}] = 42;
+  m[{2, 4}] = 24;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ((m[{4, 2}]), 42);
 }
 
 }  // namespace

@@ -12,6 +12,14 @@
 #   SPIDER_BUILD_DIR=build-ci tools/bench_smoke.sh
 #   SPIDER_SMOKE_JOBS=8 tools/bench_smoke.sh
 #   SPIDER_SCALE_JSON_OUT=$PWD/BENCH_scale.json tools/bench_smoke.sh
+#   SPIDER_SMOKE_XL=1 tools/bench_smoke.sh      # adds the 500k-peer row
+#
+# With SPIDER_SMOKE_XL=1 the --xl --quick tier also runs: one 500k-peer
+# world built through the landmark estimator (DESIGN.md §5h), depth-2
+# row only (~10 min single-threaded). The binary self-asserts its RSS
+# and wall-clock budgets (non-zero exit on breach), and the xl row joins
+# the exact probe-message comparison below, keyed estimator-aware. Its
+# JSON lands at $SPIDER_SCALE_XL_JSON_OUT.
 #
 # The runs are deterministic (fixed seed), so a failure means a real
 # behavior change: either a regression, or an intentional tuning that
@@ -24,6 +32,8 @@ smoke_jobs="${SPIDER_SMOKE_JOBS:-4}"
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
 scale_json="${SPIDER_SCALE_JSON_OUT:-$out_dir/BENCH_scale.json}"
+smoke_xl="${SPIDER_SMOKE_XL:-0}"
+scale_xl_json="${SPIDER_SCALE_XL_JSON_OUT:-$out_dir/BENCH_scale_xl.json}"
 
 for bench in bench_fig8_success_ratio bench_fig9_failure_recovery \
              bench_scale; do
@@ -86,24 +96,48 @@ if ! diff -u <(sed "s/jobs=$smoke_jobs/jobs=1/" "$out_dir/scale_jobs/scale.out")
 fi
 echo "ok   stdout byte-identical to serial"
 
-python3 - "$repo_root/bench/baselines.json" "$out_dir" "$scale_json" <<'PY'
+# Optional 500k-peer xl row: the landmark-estimated build path, with the
+# RSS / wall-clock budget assertion enforced by bench_scale itself.
+if [[ "$smoke_xl" == "1" ]]; then
+  echo "== scale (--xl, 500k peers) =="
+  xl_start=$SECONDS
+  "$build_dir/bench/bench_scale" --xl --seed 42     --json-out "$scale_xl_json" | tail -n 8
+  echo "ok   xl sweep within budget ($((SECONDS - xl_start))s)"
+else
+  scale_xl_json=""
+fi
+
+python3 - "$repo_root/bench/baselines.json" "$out_dir" "$scale_json"     "$scale_xl_json" <<'PY'
 import json
 import sys
 
 baselines_path, out_dir, scale_json = sys.argv[1], sys.argv[2], sys.argv[3]
+scale_xl_json = sys.argv[4] if len(sys.argv) > 4 else ""
 with open(baselines_path) as f:
     baselines = json.load(f)
 
 metrics = {}
 failures = 0
 
-# Exact probe-message counts for the bench_scale quick tier: probing is
-# governed by the β budget, so these are deterministic integers — any
-# drift is a protocol change that must update scale_rows deliberately.
+# Exact probe-message counts for the bench_scale quick tier (and the xl
+# tier when it ran): probing is governed by the β budget, so these are
+# deterministic integers — any drift is a protocol change that must
+# update scale_rows deliberately. Rows are keyed estimator-aware: the
+# same (peers, depth) can legitimately differ between the exact and the
+# landmark-estimated world.
+def row_key(r):
+    return (r["peers"], r["depth"], bool(r.get("estimator", False)))
+
+scale_rows = {}
 with open(scale_json) as f:
-    scale_rows = {(r["peers"], r["depth"]): r for r in json.load(f)["rows"]}
+    scale_rows.update({row_key(r): r for r in json.load(f)["rows"]})
+if scale_xl_json:
+    with open(scale_xl_json) as f:
+        scale_rows.update({row_key(r): r for r in json.load(f)["rows"]})
 for expect in baselines.get("scale_rows", []):
-    key = (expect["peers"], expect["depth"])
+    key = row_key(expect)
+    if key[2] and not scale_xl_json:
+        continue  # xl rows only checked when the xl tier ran
     row = scale_rows.get(key)
     if row is None:
         print(f"FAIL scale:{key}: row missing from BENCH_scale.json")
@@ -111,9 +145,14 @@ for expect in baselines.get("scale_rows", []):
         continue
     actual = row["probe_messages"]
     status = "ok  " if actual == expect["probe_messages"] else "FAIL"
-    print(f"{status} scale:peers={expect['peers']},depth={expect['depth']}: "
+    print(f"{status} scale:peers={expect['peers']},depth={expect['depth']},"
+          f"estimator={key[2]}: "
           f"probe_messages={actual} expected={expect['probe_messages']}")
     if actual != expect["probe_messages"]:
+        failures += 1
+    if key[2] and row.get("est_bound_violations", 0) != 0:
+        print(f"FAIL scale:{key}: estimator bound violations "
+              f"({row['est_bound_violations']})")
         failures += 1
 for check in baselines["checks"]:
     bench = check["bench"]
