@@ -23,9 +23,12 @@ void bump(obs::MetricsRegistry* registry, obs::Counter*& counter,
 
 void AllocationManager::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
-  // Lease counters rebind lazily (see bump()); they only appear in
-  // exports once a lease event actually happens.
+  // Lease and admission counters rebind lazily (see bump()); they only
+  // appear in exports once such an event actually happens.
   m_lease_renewals_ = m_lease_expirations_ = m_lease_reclaimed_kbps_ = nullptr;
+  m_admission_rejects_ = m_admission_queued_ = m_admission_queue_wait_ms_ =
+      nullptr;
+  m_admission_queue_depth_ = nullptr;
   if (metrics == nullptr) {
     m_reserved_ = m_reserve_failures_ = m_confirmed_ = m_confirm_failures_ =
         m_released_ = m_expired_ = m_direct_grants_ =
@@ -190,6 +193,7 @@ bool AllocationManager::confirm(HoldId hold_id, SessionId session) {
     grant.peer = hold.peer;
     grant.peer_amount = hold.peer_amount;
     peer_state_[hold.peer].confirmed += hold.peer_amount;
+    granted_total_ += hold.peer_amount;
     peer_state_[hold.peer].soft.erase(hold_id);
   }
   if (!hold.links.empty()) {
@@ -208,6 +212,65 @@ bool AllocationManager::confirm(HoldId hold_id, SessionId session) {
     update_outstanding_gauges();
   }
   return true;
+}
+
+void AllocationManager::set_admission(const AdmissionConfig& config) {
+  admission_ = config;
+  capacity_total_ = service::Resources{};
+  for (PeerId p = 0; p < PeerId(peer_state_.size()); ++p) {
+    capacity_total_ += deployment_->capacity(p);
+  }
+}
+
+double AllocationManager::grant_utilization() {
+  double util = 0.0;
+  for (std::size_t i = 0; i < service::Resources::kTypes; ++i) {
+    if (capacity_total_.v[i] > 0.0) {
+      util = std::max(util, granted_total_.v[i] / capacity_total_.v[i]);
+    }
+  }
+  return util;
+}
+
+AllocationManager::AdmissionDecision AllocationManager::admit_setup() {
+  if (admission_.high_water_utilization < 0.0) {
+    return AdmissionDecision::kAdmit;
+  }
+  if (admission_queue_depth_ == 0 && admission_open()) {
+    return AdmissionDecision::kAdmit;
+  }
+  if (admission_queue_depth_ < admission_.queue_capacity) {
+    ++admission_queue_depth_;
+    ++admission_queued_count_;
+    bump(metrics_, m_admission_queued_, "alloc.admission_queued");
+    if (metrics_ != nullptr) {
+      if (m_admission_queue_depth_ == nullptr) {
+        m_admission_queue_depth_ =
+            &metrics_->gauge("alloc.admission_queue_depth");
+      }
+      m_admission_queue_depth_->set(double(admission_queue_depth_));
+    }
+    return AdmissionDecision::kQueue;
+  }
+  ++admission_rejects_;
+  bump(metrics_, m_admission_rejects_, "alloc.admission_rejects");
+  return AdmissionDecision::kReject;
+}
+
+void AllocationManager::admission_dequeued(double wait_ms) {
+  SPIDER_REQUIRE(admission_queue_depth_ > 0);
+  --admission_queue_depth_;
+  admission_queue_wait_ms_ += wait_ms;
+  bump(metrics_, m_admission_queue_wait_ms_, "alloc.admission_queue_wait_ms",
+       std::uint64_t(std::llround(wait_ms)));
+  if (m_admission_queue_depth_ != nullptr) {
+    m_admission_queue_depth_->set(double(admission_queue_depth_));
+  }
+}
+
+bool AllocationManager::admission_open() {
+  return admission_.high_water_utilization < 0.0 ||
+         grant_utilization() < admission_.high_water_utilization;
 }
 
 void AllocationManager::stamp_lease(SessionId session) {
@@ -285,6 +348,7 @@ void AllocationManager::release_session(SessionId session) {
   for (const Grant& grant : it->second) {
     if (grant.peer != overlay::kInvalidPeer) {
       peer_state_[grant.peer].confirmed -= grant.peer_amount;
+      granted_total_ -= grant.peer_amount;
     }
     for (overlay::OverlayLinkId link : grant.links) {
       link_state_[link].confirmed_kbps -= grant.kbps;
@@ -328,6 +392,7 @@ bool AllocationManager::grant_direct(
     g.peer = peer;
     g.peer_amount = amount;
     peer_state_[peer].confirmed += amount;
+    granted_total_ += amount;
     grant_list.push_back(std::move(g));
   }
   for (const auto& [link, kbps] : per_link) {

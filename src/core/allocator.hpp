@@ -26,6 +26,18 @@
 // protecting capacity from sources that crashed or whose teardown was
 // lost. The default ttl of 0 means grants never expire (seed behaviour,
 // bit-for-bit).
+//
+// Admission control (set_admission, off by default): under sustained
+// open-loop load, letting every arrival probe-and-reserve once granted
+// capacity is nearly exhausted just thrashes soft holds — probes reserve,
+// fail to find a full graph, and time out while starving each other.
+// With a high-water mark configured, admit_setup() gates *new* setups
+// before any probing happens: admit while aggregate grant utilization is
+// below the mark and nothing is queued, queue (up to queue_capacity)
+// while saturated, reject beyond that. The caller owns the queued work
+// (the allocator has no notion of a request); this class owns the
+// decision and the accounting: alloc.admission_rejects / admission_queued
+// / admission_queue_wait_ms counters and the queue-depth gauge.
 #pragma once
 
 #include <algorithm>
@@ -139,6 +151,56 @@ class AllocationManager : public AvailabilityView {
   std::uint64_t lease_expirations() const { return lease_expirations_; }
   double lease_reclaimed_kbps() const { return lease_reclaimed_kbps_; }
 
+  // ----- admission control (steady-state serving) -----
+
+  /// What admit_setup() told the caller to do with a new setup attempt.
+  enum class AdmissionDecision { kAdmit, kQueue, kReject };
+
+  struct AdmissionConfig {
+    /// Fraction of aggregate peer grant capacity (max over resource
+    /// types) at or above which new setups stop being admitted directly.
+    /// Negative (the default) disables admission control entirely:
+    /// admit_setup() always says kAdmit and counts nothing.
+    double high_water_utilization = -1.0;
+    /// How many setups the caller may hold back for retry while
+    /// saturated; 0 means saturated arrivals are rejected outright.
+    std::size_t queue_capacity = 0;
+  };
+
+  /// Installs (or, with the default config, removes) the admission gate.
+  /// Also re-snapshots aggregate peer capacity, so call it after the
+  /// deployment's capacities are final.
+  void set_admission(const AdmissionConfig& config);
+  const AdmissionConfig& admission() const { return admission_; }
+
+  /// Fraction of aggregate deployed peer capacity currently granted to
+  /// sessions, maximized over resource types (cpu, memory). Soft holds
+  /// are deliberately excluded: they self-expire, and counting them
+  /// would make the gate oscillate with probe traffic. 0 when no peer
+  /// has capacity.
+  double grant_utilization();
+
+  /// Gate for one new setup. Counts kReject into admission_rejects and
+  /// kQueue into admission_queued (and the queue-depth gauge); the
+  /// caller must pair every kQueue with exactly one admission_dequeued()
+  /// once the setup is retried or abandoned. FIFO is preserved: while
+  /// anything is queued, new arrivals queue behind it even if capacity
+  /// recovered.
+  AdmissionDecision admit_setup();
+
+  /// The caller removed one queued setup (served or timed out) after
+  /// waiting `wait_ms` of virtual time.
+  void admission_dequeued(double wait_ms);
+
+  /// True when the gate would admit a *queued* setup right now (below
+  /// the high-water mark). Used by callers to drain their queue.
+  bool admission_open();
+
+  std::uint64_t admission_rejects() const { return admission_rejects_; }
+  std::uint64_t admission_queued() const { return admission_queued_count_; }
+  double admission_queue_wait_ms() const { return admission_queue_wait_ms_; }
+  std::size_t admission_queue_depth() const { return admission_queue_depth_; }
+
   /// Direct session grant without a prior hold (used by the baselines,
   /// which have no probing phase). All-or-nothing across the peer demands
   /// and link demands given. Returns false and changes nothing on failure.
@@ -231,6 +293,18 @@ class AllocationManager : public AvailabilityView {
   HoldId next_hold_id_ = 1;
   SessionId next_session_id_ = 1;
 
+  // Admission control (inert while high_water_utilization < 0).
+  AdmissionConfig admission_;
+  /// Running totals of everything granted / total deployed capacity; the
+  /// capacity side is snapshotted by set_admission() (peer capacities are
+  /// fixed after scenario construction).
+  service::Resources granted_total_;
+  service::Resources capacity_total_;
+  std::size_t admission_queue_depth_ = 0;
+  std::uint64_t admission_rejects_ = 0;
+  std::uint64_t admission_queued_count_ = 0;
+  double admission_queue_wait_ms_ = 0.0;
+
   // Session leases (empty map while lease_ttl_ms_ == 0).
   double lease_ttl_ms_ = 0.0;
   std::unordered_map<SessionId, sim::Time> lease_renew_by_;
@@ -255,6 +329,12 @@ class AllocationManager : public AvailabilityView {
   obs::Counter* m_lease_renewals_ = nullptr;
   obs::Counter* m_lease_expirations_ = nullptr;
   obs::Counter* m_lease_reclaimed_kbps_ = nullptr;
+  // Admission counters bind lazily too: runs with admission off (or that
+  // never saturate) export exactly the same metrics JSON as before.
+  obs::Counter* m_admission_rejects_ = nullptr;
+  obs::Counter* m_admission_queued_ = nullptr;
+  obs::Counter* m_admission_queue_wait_ms_ = nullptr;
+  obs::Gauge* m_admission_queue_depth_ = nullptr;
 };
 
 }  // namespace spider::core

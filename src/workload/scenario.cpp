@@ -176,7 +176,10 @@ GeneratedRequest sample_request(Scenario& scenario,
   std::vector<service::FunctionId> fns;
   std::size_t guard = 0;
   while (fns.size() < k && guard++ < 64 * k + 256) {
-    const auto fn = service::FunctionId(rng.next_below(catalog_size));
+    const auto fn = service::FunctionId(
+        profile.function_zipf_s > 0.0
+            ? rng.next_zipf(catalog_size, profile.function_zipf_s)
+            : rng.next_below(catalog_size));
     if (std::find(fns.begin(), fns.end(), fn) != fns.end()) continue;
     bool has_live = false;
     for (service::ComponentId id : deployment.replicas_oracle(fn)) {

@@ -117,6 +117,12 @@ extern const char* const kMultimediaFunctions[6];
 struct RequestProfile {
   std::size_t min_functions = 2;
   std::size_t max_functions = 4;
+  /// Request-side function popularity skew: > 0 draws each requested
+  /// function Zipf(s) by catalog rank (function 0 hottest — matching the
+  /// deployment-side skew SimScenarioConfig::function_zipf_s applies), so
+  /// open-loop traffic concentrates on popular services. 0 (default) is
+  /// the uniform seed behaviour, draw-for-draw identical.
+  double function_zipf_s = 0.0;
   /// Probability a request's graph is a diamond DAG instead of a chain
   /// (requires >= 4 functions).
   double dag_probability = 0.25;

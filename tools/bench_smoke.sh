@@ -4,14 +4,19 @@
 # expectations in bench/baselines.json. fig8 is additionally re-run with
 # --jobs $SPIDER_SMOKE_JOBS (default 4) and its stdout + metrics JSON are
 # diffed byte-for-byte against the serial run (DESIGN.md §5f). The
-# bench_scale quick tier (1k/2k peers) runs last; its per-row probe
+# bench_scale quick tier (1k/2k peers) runs next; its per-row probe
 # message counts are compared exactly against the scale_rows baseline and
 # its BENCH_scale.json lands at $SPIDER_SCALE_JSON_OUT for CI to archive.
+# The open-loop serving bench (bench_serve --quick) runs last, serial and
+# --jobs, with the same byte-diff discipline; its per-(cell, phase)
+# arrivals/established/rejected are compared exactly against serve_rows
+# and its BENCH_serve.json lands at $SPIDER_SERVE_JSON_OUT.
 #
 #   tools/bench_smoke.sh                 # uses ./build
 #   SPIDER_BUILD_DIR=build-ci tools/bench_smoke.sh
 #   SPIDER_SMOKE_JOBS=8 tools/bench_smoke.sh
 #   SPIDER_SCALE_JSON_OUT=$PWD/BENCH_scale.json tools/bench_smoke.sh
+#   SPIDER_SERVE_JSON_OUT=$PWD/BENCH_serve.json tools/bench_smoke.sh
 #   SPIDER_SMOKE_XL=1 tools/bench_smoke.sh      # adds the 500k-peer row
 #
 # With SPIDER_SMOKE_XL=1 the --xl --quick tier also runs: one 500k-peer
@@ -32,11 +37,12 @@ smoke_jobs="${SPIDER_SMOKE_JOBS:-4}"
 out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
 scale_json="${SPIDER_SCALE_JSON_OUT:-$out_dir/BENCH_scale.json}"
+serve_json="${SPIDER_SERVE_JSON_OUT:-$out_dir/BENCH_serve.json}"
 smoke_xl="${SPIDER_SMOKE_XL:-0}"
 scale_xl_json="${SPIDER_SCALE_XL_JSON_OUT:-$out_dir/BENCH_scale_xl.json}"
 
 for bench in bench_fig8_success_ratio bench_fig9_failure_recovery \
-             bench_scale; do
+             bench_scale bench_serve; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
     echo "error: $build_dir/bench/$bench not built (cmake --build $build_dir)" >&2
     exit 1
@@ -96,6 +102,27 @@ if ! diff -u <(sed "s/jobs=$smoke_jobs/jobs=1/" "$out_dir/scale_jobs/scale.out")
 fi
 echo "ok   stdout byte-identical to serial"
 
+# Open-loop serving: the quick tier is fully deterministic in virtual
+# time (wall-clock only reaches the JSON), so serial vs --jobs stdout is
+# byte-diffed like the others; the bench's own exit code asserts the
+# admission/quiesce invariants (utilization <= 1, saturate rejects,
+# zero leaked grants/holds).
+echo "== serve (quick) =="
+mkdir -p "$out_dir/serve_serial" "$out_dir/serve_jobs"
+(cd "$out_dir/serve_serial" && "$build_dir/bench/bench_serve" \
+  --quick --seed 42 --json-out BENCH_serve.json > serve.out)
+tail -n 4 "$out_dir/serve_serial/serve.out"
+cp "$out_dir/serve_serial/BENCH_serve.json" "$serve_json"
+(cd "$out_dir/serve_jobs" && "$build_dir/bench/bench_serve" \
+  --quick --seed 42 --jobs "$smoke_jobs" \
+  --json-out BENCH_serve.json > serve.out)
+if ! diff -u <(sed "s/jobs=$smoke_jobs/jobs=1/" "$out_dir/serve_jobs/serve.out") \
+             "$out_dir/serve_serial/serve.out"; then
+  echo "FAIL: bench_serve stdout differs between --jobs 1 and --jobs $smoke_jobs" >&2
+  exit 1
+fi
+echo "ok   stdout byte-identical to serial"
+
 # Optional 500k-peer xl row: the landmark-estimated build path, with the
 # RSS / wall-clock budget assertion enforced by bench_scale itself.
 if [[ "$smoke_xl" == "1" ]]; then
@@ -107,12 +134,14 @@ else
   scale_xl_json=""
 fi
 
-python3 - "$repo_root/bench/baselines.json" "$out_dir" "$scale_json"     "$scale_xl_json" <<'PY'
+python3 - "$repo_root/bench/baselines.json" "$out_dir" "$scale_json" \
+    "$serve_json" "$scale_xl_json" <<'PY'
 import json
 import sys
 
 baselines_path, out_dir, scale_json = sys.argv[1], sys.argv[2], sys.argv[3]
-scale_xl_json = sys.argv[4] if len(sys.argv) > 4 else ""
+serve_json = sys.argv[4]
+scale_xl_json = sys.argv[5] if len(sys.argv) > 5 else ""
 with open(baselines_path) as f:
     baselines = json.load(f)
 
@@ -154,6 +183,28 @@ for expect in baselines.get("scale_rows", []):
         print(f"FAIL scale:{key}: estimator bound violations "
               f"({row['est_bound_violations']})")
         failures += 1
+
+# Exact per-(cell, phase) counts for the serving quick tier: the open
+# loop is deterministic in virtual time, so arrivals / established /
+# rejected are integers pinned by serve_rows — drift means the traffic
+# or admission behaviour changed and the baseline must be updated
+# deliberately in the same commit.
+with open(serve_json) as f:
+    serve_rows = {(r["cell"], r["phase"]): r for r in json.load(f)["rows"]}
+for expect in baselines.get("serve_rows", []):
+    key = (expect["cell"], expect["phase"])
+    row = serve_rows.get(key)
+    if row is None:
+        print(f"FAIL serve:{key}: row missing from BENCH_serve.json")
+        failures += 1
+        continue
+    for field in ("arrivals", "established", "rejected"):
+        actual = row[field]
+        status = "ok  " if actual == expect[field] else "FAIL"
+        print(f"{status} serve:{key[0]}/{key[1]}: {field}={actual} "
+              f"expected={expect[field]}")
+        if actual != expect[field]:
+            failures += 1
 for check in baselines["checks"]:
     bench = check["bench"]
     if bench not in metrics:
