@@ -1,13 +1,22 @@
-// Open-loop steady-state serving bench (DESIGN.md §5i).
+// Open-loop steady-state serving bench (DESIGN.md §5i, §5j).
 //
-// Two campaign cells share one scripted load shape (warmup → steady →
+// Four campaign cells share one scripted load shape (warmup → steady →
 // flash crowd → diurnal ramp, workload::PhaseSchedule::serving_profile):
 //
-//  * nominal  — arrival rate well inside capacity: the admission gate is
-//    armed but should essentially never bind;
-//  * saturate — the same script scaled ~3.5×, beyond what session
+//  * nominal      — arrival rate well inside capacity: the admission gate
+//    is armed but should essentially never bind;
+//  * saturate     — the same script scaled ~3.5×, beyond what session
 //    lifetimes can drain: the gate must queue and then reject, and grant
-//    utilization must still stay <= 100%.
+//    utilization must still stay <= 100%;
+//  * flash_static — the same overload offered to two weighted admission
+//    classes (gold/bulk) behind the historical *static* gate, rejects
+//    final: the open-loop baseline of the closed-loop comparison;
+//  * flash_closed — identical load and classes, but the serving loop is
+//    closed: the AIMD controller servos the admission mark on observed
+//    setup latency / compose-failure rate, and rejected or timed-out
+//    clients retry with truncated exponential backoff. The bench
+//    self-asserts this cell beats flash_static on goodput at equal or
+//    better p99 setup latency (§5j).
 //
 // Both cells run sessions through the full lifecycle machinery: leases on
 // grants, periodic maintenance + anti-entropy audits, and a light
@@ -57,6 +66,9 @@ double wall_ms_since(std::chrono::steady_clock::time_point t0) {
 struct CellSpec {
   std::string name;
   double load_multiplier = 1.0;
+  bool weighted_classes = false;  ///< gold/bulk split instead of one FIFO
+  bool adaptive = false;          ///< AIMD controller drives the mark
+  bool retry = false;             ///< client retry-with-backoff
 };
 
 /// Per-cell results: the driver's phase stats plus allocator/session
@@ -66,12 +78,16 @@ struct CellResult {
   std::uint64_t admission_rejects = 0;
   std::uint64_t admission_queued = 0;
   double admission_queue_wait_ms = 0.0;
+  std::vector<std::uint64_t> class_skips;  ///< DRR starvation counters
   std::size_t leaked_grants = 0;
   std::size_t leaked_holds = 0;
   bool audit_conserved = false;
   std::uint64_t established_total = 0;
+  std::uint64_t retries_total = 0;
+  std::uint64_t retry_gaveups_total = 0;
   double steady_throughput_hz = 0.0;  ///< established in steady / steady s
   double setup_p50 = 0.0, setup_p99 = 0.0;  ///< virtual ms, all phases
+  double final_mark = 0.0;  ///< effective admission mark at quiesce
   double wall_ms = 0.0;  ///< JSON only — nondeterministic
 };
 
@@ -81,6 +97,22 @@ struct CellResult {
 // of after compose has already failed.
 constexpr double kHighWaterUtilization = 0.5;
 constexpr std::size_t kQueueCapacity = 64;
+
+// Weighted-class cells: gold gets 3× the dequeue weight of bulk and a
+// deeper queue; the arrival mix sends it a quarter of the traffic.
+constexpr double kGoldWeight = 3.0, kBulkWeight = 1.0;
+constexpr std::size_t kGoldQueueCapacity = 48, kBulkQueueCapacity = 16;
+constexpr double kGoldMixFraction = 0.25;
+
+// Closed-loop cell: the controller backs the mark off whenever the
+// windowed mean setup latency or compose-failure fraction breaches these
+// targets. At this scale compose failures climb from ~0.15 well below the
+// mark to ~0.5 right at it, so 0.45 sits just inside the knee: the
+// controller shaves the mark only while composition is actually thrashing
+// and recovers additively once it stops. The latency target is a backstop
+// well above the healthy-regime mean.
+constexpr double kTargetSetupMs = 600.0;
+constexpr double kTargetFailureRate = 0.45;
 
 struct ServeParams {
   std::size_t peers = 96;
@@ -146,7 +178,23 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t cell_index,
   s->alloc->set_lease_ttl_ms(5000.0);
   core::AllocationManager::AdmissionConfig admission;
   admission.high_water_utilization = kHighWaterUtilization;
-  admission.queue_capacity = kQueueCapacity;
+  if (spec.weighted_classes) {
+    admission.classes = {{kGoldWeight, kGoldQueueCapacity},
+                         {kBulkWeight, kBulkQueueCapacity}};
+  } else {
+    admission.queue_capacity = kQueueCapacity;
+  }
+  if (spec.adaptive) {
+    admission.adaptive = true;
+    admission.target_setup_ms = kTargetSetupMs;
+    admission.target_failure_rate = kTargetFailureRate;
+    // Gentle AIMD: the per-tick window is a few dozen attempts, so a
+    // noisy breach should shave the mark, not halve it.
+    admission.increase_step = 0.02;
+    admission.decrease_factor = 0.9;
+    admission.mark_floor = 0.25;
+    admission.mark_ceiling = 0.90;
+  }
   s->alloc->set_admission(admission);
 
   workload::TrafficDriver::Config traffic;
@@ -164,6 +212,18 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t cell_index,
   traffic.audit_period_ms = 4000.0;
   traffic.queue_timeout_ms = 4000.0;
   traffic.drain_ms = 4.0 * params.lifetime_mean_ms;
+  if (spec.weighted_classes) {
+    traffic.class_mix = {kGoldMixFraction, 1.0 - kGoldMixFraction};
+  }
+  if (spec.retry) {
+    // Long truncated backoff: a flash-crowd reject is most useful when it
+    // comes back after the crowd, so capacity freed in the ramp/drain
+    // serves it instead of it being lost forever.
+    traffic.retry.max_retries = 3;
+    traffic.retry.base_backoff_ms = 1000.0;
+    traffic.retry.multiplier = 2.0;
+    traffic.retry.max_backoff_ms = 8000.0;
+  }
 
   // Deterministic kill/revive churn off the maintenance tick: one victim
   // every 5 ticks, revived 10 ticks later. Victim choice draws from its
@@ -194,6 +254,10 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t cell_index,
   result.admission_rejects = s->alloc->admission_rejects();
   result.admission_queued = s->alloc->admission_queued();
   result.admission_queue_wait_ms = s->alloc->admission_queue_wait_ms();
+  for (std::size_t cls = 0; cls < s->alloc->admission_class_count(); ++cls) {
+    result.class_skips.push_back(s->alloc->admission_class_skips(cls));
+  }
+  result.final_mark = s->alloc->admission_mark();
   result.leaked_grants = s->alloc->active_grants();
   result.leaked_holds = s->alloc->active_holds();
   result.audit_conserved = result.traffic.final_audit.conserved;
@@ -201,6 +265,8 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t cell_index,
   SampleStats setup_all;
   for (const workload::PhaseStats& ps : result.traffic.phases) {
     result.established_total += ps.established;
+    result.retries_total += ps.retries;
+    result.retry_gaveups_total += ps.retry_gaveups;
     for (double v : ps.setup_ms.samples()) setup_all.add(v);
     if (ps.name == "steady") {
       result.steady_throughput_hz =
@@ -228,16 +294,24 @@ int main(int argc, char** argv) {
   }
 
   const ServeParams params = params_for(args.scale);
-  const std::vector<CellSpec> cells{{"nominal", 1.0}, {"saturate", 3.5}};
+  const std::vector<CellSpec> cells{
+      {"nominal", 1.0},
+      {"saturate", 3.5},
+      {"flash_static", 3.5, /*weighted_classes=*/true},
+      {"flash_closed", 3.5, /*weighted_classes=*/true, /*adaptive=*/true,
+       /*retry=*/true}};
 
   std::printf("Open-loop serving: %zu peers, steady %.1f Hz (x%.1f flash), "
               "lifetime %.0f ms, seed=%llu, jobs=%zu\n",
               params.peers, params.steady_hz, params.flash_multiplier,
               params.lifetime_mean_ms, (unsigned long long)args.seed,
               args.jobs);
-  std::printf("(cells: nominal and saturate load; admission high-water %.2f, "
-              "queue %zu; wall-clock goes to %s)\n\n",
-              kHighWaterUtilization, kQueueCapacity, json_out.c_str());
+  std::printf("(cells: nominal/saturate single-class, flash_static vs "
+              "flash_closed weighted-class overload; admission high-water "
+              "%.2f, queue %zu; closed loop: AIMD targets %.0f ms / %.0f%% "
+              "cfail, retry x3 backoff; wall-clock goes to %s)\n\n",
+              kHighWaterUtilization, kQueueCapacity, kTargetSetupMs,
+              100.0 * kTargetFailureRate, json_out.c_str());
 
   std::vector<CellResult> results(cells.size());
   std::vector<obs::MetricsRegistry> cell_metrics(cells.size());
@@ -247,24 +321,29 @@ int main(int argc, char** argv) {
                            with_metrics ? &cell_metrics[ci] : nullptr);
   });
 
-  Table table({"cell", "phase", "arrivals", "admit", "queue", "reject",
-               "served", "timeout", "cfail", "estab", "compl", "setup_p50",
-               "setup_p99", "qwait_mean", "util_peak", "breaks", "switch",
-               "react", "loss", "probe_msgs"});
+  Table table({"cell", "phase", "arrivals", "retry", "admit", "queue",
+               "reject", "served", "timeout", "gaveup", "cfail", "estab",
+               "compl", "setup_p50", "setup_p99", "qwait_mean", "qwait_p99",
+               "util_peak", "mark", "breaks", "switch", "react", "loss",
+               "probe_msgs"});
   for (std::size_t ci = 0; ci < cells.size(); ++ci) {
     for (const workload::PhaseStats& ps : results[ci].traffic.phases) {
       table.add_row(
           {cells[ci].name, ps.name, std::to_string(ps.arrivals),
-           std::to_string(ps.admitted), std::to_string(ps.queued),
-           std::to_string(ps.rejected), std::to_string(ps.queue_served),
-           std::to_string(ps.queue_timeouts),
+           std::to_string(ps.retries), std::to_string(ps.admitted),
+           std::to_string(ps.queued), std::to_string(ps.rejected),
+           std::to_string(ps.queue_served), std::to_string(ps.queue_timeouts),
+           std::to_string(ps.retry_gaveups),
            std::to_string(ps.compose_failures), std::to_string(ps.established),
            std::to_string(ps.completed),
            fmt(ps.setup_ms.empty() ? 0.0 : ps.setup_ms.percentile(50.0), 1),
            fmt(ps.setup_ms.empty() ? 0.0 : ps.setup_ms.percentile(99.0), 1),
            fmt(ps.queue_wait_ms.empty() ? 0.0 : ps.queue_wait_ms.mean(), 1),
-           fmt(ps.util_peak, 3), std::to_string(ps.breaks),
-           std::to_string(ps.backup_switches),
+           fmt(ps.queue_wait_ms.empty() ? 0.0
+                                        : ps.queue_wait_ms.percentile(99.0),
+               1),
+           fmt(ps.util_peak, 3), fmt(ps.admission_mark, 3),
+           std::to_string(ps.breaks), std::to_string(ps.backup_switches),
            std::to_string(ps.reactive_recoveries), std::to_string(ps.losses),
            std::to_string(ps.probe_messages)});
     }
@@ -276,16 +355,47 @@ int main(int argc, char** argv) {
   for (std::size_t ci = 0; ci < cells.size(); ++ci) {
     const CellResult& r = results[ci];
     std::printf(
-        "cell %-8s established=%llu steady_throughput=%.2f/s setup_p50=%.1f "
-        "p99=%.1f rejects=%llu queued=%llu forced=%llu quiesced_ms=%.0f "
-        "leaked_grants=%zu leaked_holds=%zu audit_conserved=%s\n",
+        "cell %-12s established=%llu steady_throughput=%.2f/s setup_p50=%.1f "
+        "p99=%.1f rejects=%llu queued=%llu retries=%llu gaveups=%llu "
+        "forced=%llu quiesced_ms=%.0f leaked_grants=%zu leaked_holds=%zu "
+        "audit_conserved=%s\n",
         cells[ci].name.c_str(), (unsigned long long)r.established_total,
         r.steady_throughput_hz, r.setup_p50, r.setup_p99,
         (unsigned long long)r.admission_rejects,
         (unsigned long long)r.admission_queued,
+        (unsigned long long)r.retries_total,
+        (unsigned long long)r.retry_gaveups_total,
         (unsigned long long)r.traffic.forced_teardowns, r.traffic.quiesced_at_ms,
         r.leaked_grants, r.leaked_holds, r.audit_conserved ? "yes" : "no");
+    if (r.traffic.classes.size() > 1) {
+      for (std::size_t cls = 0; cls < r.traffic.classes.size(); ++cls) {
+        const workload::ClassTrafficStats& cs = r.traffic.classes[cls];
+        std::printf(
+            "cell %-12s   class %zu (%s): arrivals=%llu retries=%llu "
+            "admitted=%llu queued=%llu rejected=%llu served=%llu "
+            "timeouts=%llu gaveups=%llu established=%llu drr_skips=%llu\n",
+            cells[ci].name.c_str(), cls, cls == 0 ? "gold" : "bulk",
+            (unsigned long long)cs.arrivals, (unsigned long long)cs.retries,
+            (unsigned long long)cs.admitted, (unsigned long long)cs.queued,
+            (unsigned long long)cs.rejected,
+            (unsigned long long)cs.queue_served,
+            (unsigned long long)cs.queue_timeouts,
+            (unsigned long long)cs.retry_gaveups,
+            (unsigned long long)cs.established,
+            (unsigned long long)r.class_skips[cls]);
+      }
+    }
 
+    if (r.traffic.open_requests_at_quiesce != 0 ||
+        r.traffic.retries_inflight_at_quiesce != 0) {
+      std::fprintf(stderr,
+                   "serve: FAIL — cell %s leaked requests at quiesce "
+                   "(open=%llu retries_inflight=%llu)\n",
+                   cells[ci].name.c_str(),
+                   (unsigned long long)r.traffic.open_requests_at_quiesce,
+                   (unsigned long long)r.traffic.retries_inflight_at_quiesce);
+      failed = true;
+    }
     if (r.established_total == 0) {
       std::fprintf(stderr, "serve: FAIL — cell %s established nothing\n",
                    cells[ci].name.c_str());
@@ -310,10 +420,37 @@ int main(int argc, char** argv) {
   }
   // The saturate cell exists to push past the high-water mark: a run
   // where it never rejected means the gate was not exercised at all.
-  if (results.back().admission_rejects == 0) {
+  if (results[1].admission_rejects == 0) {
     std::fprintf(stderr,
                  "serve: FAIL — saturate cell never hit admission rejects\n");
     failed = true;
+  }
+  // The closed-loop comparison is the point of the flash cells: adaptive
+  // admission + client retry must convert the same overload into more
+  // goodput without giving back tail latency.
+  {
+    const CellResult& stat = results[2];
+    const CellResult& closed = results[3];
+    if (closed.established_total <= stat.established_total) {
+      std::fprintf(stderr,
+                   "serve: FAIL — flash_closed goodput %llu <= flash_static "
+                   "%llu\n",
+                   (unsigned long long)closed.established_total,
+                   (unsigned long long)stat.established_total);
+      failed = true;
+    }
+    if (closed.setup_p99 > stat.setup_p99 + 1e-9) {
+      std::fprintf(stderr,
+                   "serve: FAIL — flash_closed setup p99 %.1f ms worse than "
+                   "flash_static %.1f ms\n",
+                   closed.setup_p99, stat.setup_p99);
+      failed = true;
+    }
+    if (closed.retries_total == 0) {
+      std::fprintf(stderr,
+                   "serve: FAIL — flash_closed never exercised retries\n");
+      failed = true;
+    }
   }
 
   FILE* jf = std::fopen(json_out.c_str(), "w");
@@ -331,25 +468,30 @@ int main(int argc, char** argv) {
       std::fprintf(
           jf,
           "%s    {\"cell\": \"%s\", \"phase\": \"%s\", \"arrivals\": %llu, "
-          "\"admitted\": %llu, \"queued\": %llu, \"rejected\": %llu, "
-          "\"queue_served\": %llu, \"queue_timeouts\": %llu, "
+          "\"retries\": %llu, \"admitted\": %llu, \"queued\": %llu, "
+          "\"rejected\": %llu, \"queue_served\": %llu, "
+          "\"queue_timeouts\": %llu, \"retry_gaveups\": %llu, "
           "\"compose_failures\": %llu, \"established\": %llu, "
           "\"completed\": %llu, \"setup_p50_ms\": %.3f, "
           "\"setup_p99_ms\": %.3f, \"queue_wait_mean_ms\": %.3f, "
-          "\"util_peak\": %.4f, \"breaks\": %llu, \"backup_switches\": %llu, "
-          "\"reactive_recoveries\": %llu, \"losses\": %llu, "
-          "\"probe_messages\": %llu}",
+          "\"queue_wait_p99_ms\": %.3f, \"util_peak\": %.4f, "
+          "\"admission_mark\": %.4f, \"breaks\": %llu, "
+          "\"backup_switches\": %llu, \"reactive_recoveries\": %llu, "
+          "\"losses\": %llu, \"probe_messages\": %llu}",
           first ? "" : ",\n", cells[ci].name.c_str(), ps.name.c_str(),
-          (unsigned long long)ps.arrivals, (unsigned long long)ps.admitted,
-          (unsigned long long)ps.queued, (unsigned long long)ps.rejected,
+          (unsigned long long)ps.arrivals, (unsigned long long)ps.retries,
+          (unsigned long long)ps.admitted, (unsigned long long)ps.queued,
+          (unsigned long long)ps.rejected,
           (unsigned long long)ps.queue_served,
           (unsigned long long)ps.queue_timeouts,
+          (unsigned long long)ps.retry_gaveups,
           (unsigned long long)ps.compose_failures,
           (unsigned long long)ps.established, (unsigned long long)ps.completed,
           ps.setup_ms.empty() ? 0.0 : ps.setup_ms.percentile(50.0),
           ps.setup_ms.empty() ? 0.0 : ps.setup_ms.percentile(99.0),
           ps.queue_wait_ms.empty() ? 0.0 : ps.queue_wait_ms.mean(),
-          ps.util_peak, (unsigned long long)ps.breaks,
+          ps.queue_wait_ms.empty() ? 0.0 : ps.queue_wait_ms.percentile(99.0),
+          ps.util_peak, ps.admission_mark, (unsigned long long)ps.breaks,
           (unsigned long long)ps.backup_switches,
           (unsigned long long)ps.reactive_recoveries,
           (unsigned long long)ps.losses, (unsigned long long)ps.probe_messages);
@@ -365,18 +507,44 @@ int main(int argc, char** argv) {
         "\"established\": %llu, \"steady_throughput_hz\": %.3f, "
         "\"setup_p50_ms\": %.3f, \"setup_p99_ms\": %.3f, "
         "\"admission_rejects\": %llu, \"admission_queued\": %llu, "
-        "\"admission_queue_wait_ms\": %.3f, \"forced_teardowns\": %llu, "
+        "\"admission_queue_wait_ms\": %.3f, \"retries\": %llu, "
+        "\"retry_gaveups\": %llu, \"admission_mark_final\": %.4f, "
+        "\"open_requests_at_quiesce\": %llu, "
+        "\"retries_inflight_at_quiesce\": %llu, "
+        "\"forced_teardowns\": %llu, "
         "\"quiesced_at_ms\": %.3f, \"leaked_grants\": %zu, "
         "\"leaked_holds\": %zu, \"audit_conserved\": %s, "
-        "\"wall_ms\": %.1f}%s\n",
+        "\"wall_ms\": %.1f, \"classes\": [",
         cells[ci].name.c_str(), cells[ci].load_multiplier,
         (unsigned long long)r.established_total, r.steady_throughput_hz,
         r.setup_p50, r.setup_p99, (unsigned long long)r.admission_rejects,
         (unsigned long long)r.admission_queued, r.admission_queue_wait_ms,
+        (unsigned long long)r.retries_total,
+        (unsigned long long)r.retry_gaveups_total, r.final_mark,
+        (unsigned long long)r.traffic.open_requests_at_quiesce,
+        (unsigned long long)r.traffic.retries_inflight_at_quiesce,
         (unsigned long long)r.traffic.forced_teardowns,
         r.traffic.quiesced_at_ms, r.leaked_grants, r.leaked_holds,
-        r.audit_conserved ? "true" : "false", r.wall_ms,
-        ci + 1 < cells.size() ? "," : "");
+        r.audit_conserved ? "true" : "false", r.wall_ms);
+    for (std::size_t cls = 0; cls < r.traffic.classes.size(); ++cls) {
+      const workload::ClassTrafficStats& cs = r.traffic.classes[cls];
+      std::fprintf(
+          jf,
+          "%s{\"class\": %zu, \"arrivals\": %llu, \"retries\": %llu, "
+          "\"admitted\": %llu, \"queued\": %llu, \"rejected\": %llu, "
+          "\"queue_served\": %llu, \"queue_timeouts\": %llu, "
+          "\"retry_gaveups\": %llu, \"established\": %llu, "
+          "\"drr_skips\": %llu}",
+          cls == 0 ? "" : ", ", cls, (unsigned long long)cs.arrivals,
+          (unsigned long long)cs.retries, (unsigned long long)cs.admitted,
+          (unsigned long long)cs.queued, (unsigned long long)cs.rejected,
+          (unsigned long long)cs.queue_served,
+          (unsigned long long)cs.queue_timeouts,
+          (unsigned long long)cs.retry_gaveups,
+          (unsigned long long)cs.established,
+          (unsigned long long)r.class_skips[cls]);
+    }
+    std::fprintf(jf, "]}%s\n", ci + 1 < cells.size() ? "," : "");
   }
   std::fprintf(jf, "  ]\n}\n");
   std::fclose(jf);

@@ -28,7 +28,8 @@ void AllocationManager::set_metrics(obs::MetricsRegistry* metrics) {
   m_lease_renewals_ = m_lease_expirations_ = m_lease_reclaimed_kbps_ = nullptr;
   m_admission_rejects_ = m_admission_queued_ = m_admission_queue_wait_ms_ =
       nullptr;
-  m_admission_queue_depth_ = nullptr;
+  m_admission_queue_depth_ = m_admission_mark_ = nullptr;
+  m_admission_queue_wait_hist_ = nullptr;
   if (metrics == nullptr) {
     m_reserved_ = m_reserve_failures_ = m_confirmed_ = m_confirm_failures_ =
         m_released_ = m_expired_ = m_direct_grants_ =
@@ -214,15 +215,42 @@ bool AllocationManager::confirm(HoldId hold_id, SessionId session) {
   return true;
 }
 
-void AllocationManager::set_admission(const AdmissionConfig& config) {
-  admission_ = config;
+void AllocationManager::refresh_capacity_snapshot() {
+  capacity_epoch_ = deployment_->liveness_epoch();
   capacity_total_ = service::Resources{};
   for (PeerId p = 0; p < PeerId(peer_state_.size()); ++p) {
-    capacity_total_ += deployment_->capacity(p);
+    if (deployment_->peer_alive(p)) capacity_total_ += deployment_->capacity(p);
   }
 }
 
+void AllocationManager::set_admission(const AdmissionConfig& config) {
+  const std::size_t new_classes =
+      config.classes.empty() ? 1 : config.classes.size();
+  for (const AdmissionClassConfig& cls : config.classes) {
+    SPIDER_REQUIRE_MSG(cls.weight > 0.0,
+                       "admission class weights must be positive");
+  }
+  if (new_classes != class_state_.size()) {
+    SPIDER_REQUIRE_MSG(admission_queue_depth_ == 0,
+                       "cannot change admission class count while queued");
+    class_state_.assign(new_classes, AdmissionClassState{});
+    drr_cursor_ = 0;
+  }
+  admission_ = config;
+  admission_mark_ =
+      admission_.adaptive
+          ? std::clamp(admission_.high_water_utilization, admission_.mark_floor,
+                       admission_.mark_ceiling)
+          : admission_.high_water_utilization;
+  window_attempts_ = window_failures_ = window_setup_count_ = 0;
+  window_setup_sum_ms_ = 0.0;
+  refresh_capacity_snapshot();
+}
+
 double AllocationManager::grant_utilization() {
+  if (capacity_epoch_ != deployment_->liveness_epoch()) {
+    refresh_capacity_snapshot();
+  }
   double util = 0.0;
   for (std::size_t i = 0; i < service::Resources::kTypes; ++i) {
     if (capacity_total_.v[i] > 0.0) {
@@ -232,14 +260,19 @@ double AllocationManager::grant_utilization() {
   return util;
 }
 
-AllocationManager::AdmissionDecision AllocationManager::admit_setup() {
+AllocationManager::AdmissionDecision AllocationManager::admit_setup(
+    std::size_t cls) {
   if (admission_.high_water_utilization < 0.0) {
     return AdmissionDecision::kAdmit;
   }
+  SPIDER_REQUIRE(cls < class_state_.size());
   if (admission_queue_depth_ == 0 && admission_open()) {
     return AdmissionDecision::kAdmit;
   }
-  if (admission_queue_depth_ < admission_.queue_capacity) {
+  AdmissionClassState& state = class_state_[cls];
+  if (state.depth < class_queue_capacity(cls)) {
+    ++state.depth;
+    ++state.queued;
     ++admission_queue_depth_;
     ++admission_queued_count_;
     bump(metrics_, m_admission_queued_, "alloc.admission_queued");
@@ -252,25 +285,118 @@ AllocationManager::AdmissionDecision AllocationManager::admit_setup() {
     }
     return AdmissionDecision::kQueue;
   }
+  ++state.rejects;
   ++admission_rejects_;
   bump(metrics_, m_admission_rejects_, "alloc.admission_rejects");
   return AdmissionDecision::kReject;
 }
 
-void AllocationManager::admission_dequeued(double wait_ms) {
-  SPIDER_REQUIRE(admission_queue_depth_ > 0);
+void AllocationManager::admission_dequeued(double wait_ms, std::size_t cls) {
+  SPIDER_REQUIRE(cls < class_state_.size());
+  SPIDER_REQUIRE(class_state_[cls].depth > 0);
+  --class_state_[cls].depth;
   --admission_queue_depth_;
   admission_queue_wait_ms_ += wait_ms;
   bump(metrics_, m_admission_queue_wait_ms_, "alloc.admission_queue_wait_ms",
        std::uint64_t(std::llround(wait_ms)));
+  if (metrics_ != nullptr) {
+    if (m_admission_queue_wait_hist_ == nullptr) {
+      m_admission_queue_wait_hist_ = &metrics_->histogram(
+          "alloc.admission_queue_wait",
+          {5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+           10000.0, 20000.0});
+    }
+    m_admission_queue_wait_hist_->observe(wait_ms);
+  }
   if (m_admission_queue_depth_ != nullptr) {
     m_admission_queue_depth_->set(double(admission_queue_depth_));
   }
 }
 
+std::optional<std::size_t> AllocationManager::admission_next_class() {
+  if (admission_queue_depth_ == 0 || !admission_open()) return std::nullopt;
+  const std::size_t n = class_state_.size();
+  if (n == 1) return 0;  // plain FIFO: no deficit arithmetic, ever
+  // Deficit round robin, one served request per call (cost 1.0). The
+  // cursor stays on a class while its credit lasts; a visited backlogged
+  // class without credit earns its weight and, if still short, records a
+  // starvation skip and yields the pass. Positive weights bound the
+  // number of passes any backlogged class can be skipped by ~1/weight.
+  double min_weight = admission_.classes[0].weight;
+  for (const AdmissionClassConfig& cls : admission_.classes) {
+    min_weight = std::min(min_weight, cls.weight);
+  }
+  const std::size_t guard =
+      n * (2 + std::size_t(std::ceil(1.0 / min_weight)));
+  for (std::size_t pass = 0; pass < guard; ++pass) {
+    const std::size_t cls = drr_cursor_;
+    AdmissionClassState& state = class_state_[cls];
+    if (state.depth == 0) {
+      state.deficit = 0.0;  // idle classes do not bank credit
+      drr_cursor_ = (drr_cursor_ + 1) % n;
+      continue;
+    }
+    if (state.deficit < 1.0) {
+      state.deficit += admission_.classes[cls].weight;
+      if (state.deficit < 1.0) {
+        ++state.skips;
+        drr_cursor_ = (drr_cursor_ + 1) % n;
+        continue;
+      }
+    }
+    state.deficit -= 1.0;
+    // Burst over (credit spent): yield the rest of the round to the next
+    // class, else a backlogged heavy class would re-earn its quantum on
+    // every call and starve everyone behind it.
+    if (state.deficit < 1.0) drr_cursor_ = (drr_cursor_ + 1) % n;
+    return cls;
+  }
+  SPIDER_REQUIRE_MSG(false, "DRR failed to pick a backlogged class");
+  return std::nullopt;
+}
+
 bool AllocationManager::admission_open() {
   return admission_.high_water_utilization < 0.0 ||
-         grant_utilization() < admission_.high_water_utilization;
+         grant_utilization() < admission_mark_;
+}
+
+void AllocationManager::admission_observe_setup(bool success,
+                                                double setup_ms) {
+  ++window_attempts_;
+  if (success) {
+    ++window_setup_count_;
+    window_setup_sum_ms_ += setup_ms;
+  } else {
+    ++window_failures_;
+  }
+}
+
+void AllocationManager::admission_controller_tick() {
+  if (!admission_.adaptive || admission_.high_water_utilization < 0.0) return;
+  if (window_attempts_ > 0) {
+    bool breach = false;
+    if (admission_.target_failure_rate >= 0.0) {
+      breach |= double(window_failures_) / double(window_attempts_) >
+                admission_.target_failure_rate;
+    }
+    if (admission_.target_setup_ms > 0.0 && window_setup_count_ > 0) {
+      breach |= window_setup_sum_ms_ / double(window_setup_count_) >
+                admission_.target_setup_ms;
+    }
+    admission_mark_ =
+        breach ? std::max(admission_.mark_floor,
+                          admission_mark_ * admission_.decrease_factor)
+               : std::min(admission_.mark_ceiling,
+                          admission_mark_ + admission_.increase_step);
+  }
+  window_attempts_ = window_failures_ = window_setup_count_ = 0;
+  window_setup_sum_ms_ = 0.0;
+  if (metrics_ != nullptr) {
+    if (m_admission_mark_ == nullptr) {
+      m_admission_mark_ = &metrics_->gauge("alloc.admission_mark");
+    }
+    m_admission_mark_->set(admission_mark_);
+  }
 }
 
 void AllocationManager::stamp_lease(SessionId session) {

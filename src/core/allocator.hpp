@@ -31,13 +31,19 @@
 // open-loop load, letting every arrival probe-and-reserve once granted
 // capacity is nearly exhausted just thrashes soft holds — probes reserve,
 // fail to find a full graph, and time out while starving each other.
-// With a high-water mark configured, admit_setup() gates *new* setups
+// With a high-water mark configured, admit_setup(cls) gates *new* setups
 // before any probing happens: admit while aggregate grant utilization is
-// below the mark and nothing is queued, queue (up to queue_capacity)
-// while saturated, reject beyond that. The caller owns the queued work
-// (the allocator has no notion of a request); this class owns the
-// decision and the accounting: alloc.admission_rejects / admission_queued
-// / admission_queue_wait_ms counters and the queue-depth gauge.
+// below the mark and nothing is queued, queue (per-class bounded queues)
+// while saturated, reject beyond that. Queued work drains in deficit-
+// weighted round-robin order across the configured admission classes
+// (admission_next_class; one class = plain FIFO, the seed behaviour),
+// and the effective mark may be driven by a deterministic AIMD
+// controller servoing on observed setup latency / compose-failure rate
+// (DESIGN.md §5j). The caller owns the queued work (the allocator has no
+// notion of a request); this class owns the decision and the accounting:
+// alloc.admission_rejects / admission_queued / admission_queue_wait_ms
+// counters, a queue-wait histogram, the queue-depth and admission_mark
+// gauges, and per-class queued/reject/starvation counters.
 #pragma once
 
 #include <algorithm>
@@ -55,6 +61,7 @@ namespace spider::obs {
 class MetricsRegistry;
 class Counter;
 class Gauge;
+class Histogram;
 }  // namespace spider::obs
 
 namespace spider::core {
@@ -156,6 +163,16 @@ class AllocationManager : public AvailabilityView {
   /// What admit_setup() told the caller to do with a new setup attempt.
   enum class AdmissionDecision { kAdmit, kQueue, kReject };
 
+  /// One weighted admission class. Weights are relative deficit-round-
+  /// robin shares: while several classes are backlogged, class i drains
+  /// roughly weight_i / Σ weights of the served slots, and any positive
+  /// weight guarantees eventual service (no starvation). A near-zero
+  /// weight against a huge one degenerates to strict priority.
+  struct AdmissionClassConfig {
+    double weight = 1.0;
+    std::size_t queue_capacity = 0;
+  };
+
   struct AdmissionConfig {
     /// Fraction of aggregate peer grant capacity (max over resource
     /// types) at or above which new setups stop being admitted directly.
@@ -164,42 +181,124 @@ class AllocationManager : public AvailabilityView {
     double high_water_utilization = -1.0;
     /// How many setups the caller may hold back for retry while
     /// saturated; 0 means saturated arrivals are rejected outright.
+    /// Only consulted when `classes` is empty.
     std::size_t queue_capacity = 0;
+    /// Weighted admission classes. Empty (the default) configures one
+    /// implicit class bounded by `queue_capacity` whose dequeue order is
+    /// plain FIFO — bit-for-bit the historical single-queue behaviour.
+    std::vector<AdmissionClassConfig> classes;
+
+    // --- adaptive controller (AIMD; inert unless `adaptive`) ---
+
+    /// When true, the effective high-water mark starts at
+    /// high_water_utilization and is adjusted by every
+    /// admission_controller_tick(): additive increase while the observed
+    /// window stays inside both targets, multiplicative decrease when
+    /// either is breached. When false the mark is the configured
+    /// constant, exactly as before.
+    bool adaptive = false;
+    /// Mean virtual setup latency (successful setups, per window) above
+    /// which the controller backs off; <= 0 disables the latency signal.
+    double target_setup_ms = -1.0;
+    /// Compose-failure fraction (failed / attempted setups, per window)
+    /// above which the controller backs off; < 0 disables that signal.
+    double target_failure_rate = -1.0;
+    /// Additive increase per calm tick (utilization fraction).
+    double increase_step = 0.02;
+    /// Multiplicative decrease applied on a breached tick.
+    double decrease_factor = 0.7;
+    /// The adaptive mark is clamped to [mark_floor, mark_ceiling].
+    double mark_floor = 0.05;
+    double mark_ceiling = 0.95;
   };
 
   /// Installs (or, with the default config, removes) the admission gate.
   /// Also re-snapshots aggregate peer capacity, so call it after the
-  /// deployment's capacities are final.
+  /// deployment's capacities are final. Per-class queue depths survive a
+  /// re-arm with the same class count (re-arming while queued is how the
+  /// tests move the mark); changing the class count requires an empty
+  /// queue. Class weights must be positive.
   void set_admission(const AdmissionConfig& config);
   const AdmissionConfig& admission() const { return admission_; }
 
-  /// Fraction of aggregate deployed peer capacity currently granted to
+  /// Fraction of aggregate *live* peer capacity currently granted to
   /// sessions, maximized over resource types (cpu, memory). Soft holds
   /// are deliberately excluded: they self-expire, and counting them
-  /// would make the gate oscillate with probe traffic. 0 when no peer
-  /// has capacity.
+  /// would make the gate oscillate with probe traffic. The capacity
+  /// denominator tracks peer liveness lazily: kill/revive bumps the
+  /// deployment's liveness epoch and the next query recomputes the
+  /// snapshot, so churn cannot leave the gate judging against capacity
+  /// that no longer exists. 0 when no live peer has capacity.
   double grant_utilization();
 
-  /// Gate for one new setup. Counts kReject into admission_rejects and
-  /// kQueue into admission_queued (and the queue-depth gauge); the
-  /// caller must pair every kQueue with exactly one admission_dequeued()
-  /// once the setup is retried or abandoned. FIFO is preserved: while
-  /// anything is queued, new arrivals queue behind it even if capacity
-  /// recovered.
-  AdmissionDecision admit_setup();
+  /// Gate for one new setup in admission class `cls`. Counts kReject
+  /// into admission_rejects and kQueue into admission_queued (and the
+  /// queue-depth gauge); the caller must pair every kQueue with exactly
+  /// one admission_dequeued() once the setup is served or abandoned.
+  /// FIFO across the gate is preserved: while anything is queued (any
+  /// class), new arrivals queue behind it even if capacity recovered.
+  AdmissionDecision admit_setup(std::size_t cls = 0);
 
-  /// The caller removed one queued setup (served or timed out) after
-  /// waiting `wait_ms` of virtual time.
-  void admission_dequeued(double wait_ms);
+  /// The caller removed one queued setup of class `cls` (served or
+  /// timed out) after waiting `wait_ms` of virtual time.
+  void admission_dequeued(double wait_ms, std::size_t cls = 0);
+
+  /// Which class's queue head should be served next, consuming that
+  /// class's deficit: nullopt when nothing is queued or the gate is
+  /// closed (so a closed gate can never dequeue-for-service; timeouts go
+  /// through admission_dequeued directly). With one class this is plain
+  /// FIFO; with several it is deficit-weighted round robin over the
+  /// backlogged classes, counting admission_class_skips for every pass
+  /// a backlogged class had to wait for credit.
+  std::optional<std::size_t> admission_next_class();
 
   /// True when the gate would admit a *queued* setup right now (below
-  /// the high-water mark). Used by callers to drain their queue.
+  /// the effective high-water mark). Used by callers to drain queues.
   bool admission_open();
+
+  // --- adaptive-controller feed (harmless no-ops while static) ---
+
+  /// The caller attempted one admitted setup: `success` says whether it
+  /// established, `setup_ms` its virtual setup latency (successes only).
+  /// Accumulates the controller's current observation window.
+  void admission_observe_setup(bool success, double setup_ms);
+
+  /// One deterministic controller step over the window accumulated since
+  /// the previous tick (drive it from a virtual-time timer, never from
+  /// wall clock). Applies AIMD to the effective mark when `adaptive`,
+  /// publishes the alloc.admission_mark gauge, and resets the window. A
+  /// window with no attempted setups holds the mark (no information).
+  void admission_controller_tick();
+
+  /// The effective high-water mark admission_open() gates against (the
+  /// configured constant when static, the controller's current value
+  /// when adaptive; meaningless while admission is disabled).
+  double admission_mark() const { return admission_mark_; }
 
   std::uint64_t admission_rejects() const { return admission_rejects_; }
   std::uint64_t admission_queued() const { return admission_queued_count_; }
   double admission_queue_wait_ms() const { return admission_queue_wait_ms_; }
   std::size_t admission_queue_depth() const { return admission_queue_depth_; }
+
+  // --- per-class accounting (class 0 aliases the implicit class) ---
+
+  std::size_t admission_class_count() const {
+    return admission_.classes.empty() ? 1 : admission_.classes.size();
+  }
+  std::size_t admission_queue_depth(std::size_t cls) const {
+    return class_state_.at(cls).depth;
+  }
+  std::uint64_t admission_class_queued(std::size_t cls) const {
+    return class_state_.at(cls).queued;
+  }
+  std::uint64_t admission_class_rejects(std::size_t cls) const {
+    return class_state_.at(cls).rejects;
+  }
+  /// Starvation counter: passes where the class was backlogged but had
+  /// to wait another round for deficit credit.
+  std::uint64_t admission_class_skips(std::size_t cls) const {
+    return class_state_.at(cls).skips;
+  }
 
   /// Direct session grant without a prior hold (used by the baselines,
   /// which have no probing phase). All-or-nothing across the peer demands
@@ -294,16 +393,38 @@ class AllocationManager : public AvailabilityView {
   SessionId next_session_id_ = 1;
 
   // Admission control (inert while high_water_utilization < 0).
+  struct AdmissionClassState {
+    std::size_t depth = 0;      ///< entries currently queued
+    std::uint64_t queued = 0;   ///< cumulative kQueue decisions
+    std::uint64_t rejects = 0;  ///< cumulative kReject decisions
+    std::uint64_t skips = 0;    ///< backlogged passes without credit
+    double deficit = 0.0;       ///< DRR credit (requests; cost 1 each)
+  };
+  std::size_t class_queue_capacity(std::size_t cls) const {
+    return admission_.classes.empty() ? admission_.queue_capacity
+                                      : admission_.classes[cls].queue_capacity;
+  }
+  void refresh_capacity_snapshot();
+
   AdmissionConfig admission_;
-  /// Running totals of everything granted / total deployed capacity; the
-  /// capacity side is snapshotted by set_admission() (peer capacities are
-  /// fixed after scenario construction).
+  /// Running totals of everything granted / capacity of the live peers;
+  /// the capacity side is recomputed by set_admission() and lazily
+  /// whenever the deployment's liveness epoch moved (churn).
   service::Resources granted_total_;
   service::Resources capacity_total_;
+  std::uint64_t capacity_epoch_ = std::uint64_t(-1);
+  std::vector<AdmissionClassState> class_state_{AdmissionClassState{}};
+  std::size_t drr_cursor_ = 0;
+  double admission_mark_ = -1.0;
   std::size_t admission_queue_depth_ = 0;
   std::uint64_t admission_rejects_ = 0;
   std::uint64_t admission_queued_count_ = 0;
   double admission_queue_wait_ms_ = 0.0;
+  // Adaptive-controller observation window (since the previous tick).
+  std::uint64_t window_attempts_ = 0;
+  std::uint64_t window_failures_ = 0;
+  std::uint64_t window_setup_count_ = 0;
+  double window_setup_sum_ms_ = 0.0;
 
   // Session leases (empty map while lease_ttl_ms_ == 0).
   double lease_ttl_ms_ = 0.0;
@@ -335,6 +456,8 @@ class AllocationManager : public AvailabilityView {
   obs::Counter* m_admission_queued_ = nullptr;
   obs::Counter* m_admission_queue_wait_ms_ = nullptr;
   obs::Gauge* m_admission_queue_depth_ = nullptr;
+  obs::Histogram* m_admission_queue_wait_hist_ = nullptr;
+  obs::Gauge* m_admission_mark_ = nullptr;
 };
 
 }  // namespace spider::core

@@ -94,6 +94,7 @@ const service::Resources& Deployment::capacity(PeerId peer) const {
 void Deployment::kill_peer(PeerId peer) {
   SPIDER_REQUIRE(peer < peer_count());
   if (!overlay_.alive(peer)) return;
+  ++liveness_epoch_;
   overlay_.set_alive(peer, false);
   dht_.fail(peer);
 }
@@ -101,6 +102,7 @@ void Deployment::kill_peer(PeerId peer) {
 void Deployment::revive_peer(PeerId peer) {
   SPIDER_REQUIRE(peer < peer_count());
   if (overlay_.alive(peer)) return;
+  ++liveness_epoch_;
   overlay_.set_alive(peer, true);
   // Fresh DHT identity (a rejoining peer is a new DHT node in practice —
   // its old id may still linger as a dead ring entry).

@@ -69,6 +69,11 @@ class Deployment {
   /// bootstrap; its components re-register).
   void revive_peer(PeerId peer);
   std::vector<PeerId> live_peers() const;
+  /// Bumped on every effective kill/revive. Consumers that cache anything
+  /// derived from the live-peer set (e.g. the allocator's aggregate
+  /// capacity snapshot) compare epochs to recompute lazily instead of
+  /// subscribing to lifecycle callbacks.
+  std::uint64_t liveness_epoch() const { return liveness_epoch_; }
 
   // ----- accessors -----
 
@@ -94,6 +99,7 @@ class Deployment {
   std::vector<service::Resources> capacity_;
   std::vector<std::uint32_t> next_local_id_;
   std::uint64_t revive_counter_ = 0;
+  std::uint64_t liveness_epoch_ = 0;
 };
 
 }  // namespace spider::core

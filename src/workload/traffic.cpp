@@ -159,9 +159,16 @@ TrafficDriver::TrafficDriver(Scenario& scenario, core::BcpEngine& bcp,
       arrivals_(std::move(arrivals)),
       // Lifetime draws get their own stream: arrival counts must not
       // perturb request sampling (scenario rng) or vice versa.
-      rng_(util::hash_values(config_.seed, std::uint64_t(0x11f37a))) {
+      rng_(util::hash_values(config_.seed, std::uint64_t(0x11f37a))),
+      class_rng_(util::hash_values(config_.seed, std::uint64_t(0xc1a55))),
+      retry_rng_(util::hash_values(config_.seed, std::uint64_t(0x4e712))) {
   SPIDER_REQUIRE(config_.schedule.phase_count() > 0);
   SPIDER_REQUIRE(config_.maintenance_period_ms > 0.0);
+  if (config_.retry.enabled()) {
+    SPIDER_REQUIRE(config_.retry.base_backoff_ms > 0.0);
+    SPIDER_REQUIRE(config_.retry.multiplier >= 1.0);
+    SPIDER_REQUIRE(config_.retry.max_backoff_ms >= config_.retry.base_backoff_ms);
+  }
   if (arrivals_ == nullptr) {
     arrivals_ =
         std::make_unique<PoissonProcess>(config_.schedule, config_.seed);
@@ -182,6 +189,14 @@ const TrafficStats& TrafficDriver::run() {
   // Refresh the allocator's capacity snapshot so grant_utilization() is
   // meaningful even when the caller never armed the admission gate.
   alloc.set_admission(alloc.admission());
+  const std::size_t n_classes = alloc.admission_class_count();
+  if (!config_.class_mix.empty()) {
+    SPIDER_REQUIRE_MSG(config_.class_mix.size() == n_classes,
+                       "class_mix size must match the allocator's classes");
+    for (double w : config_.class_mix) SPIDER_REQUIRE(w >= 0.0);
+  }
+  queues_.resize(n_classes);
+  stats_.classes.resize(n_classes);
 
   accepting_ = true;
   maintenance_ = std::make_unique<sim::PeriodicTimer>(
@@ -210,12 +225,19 @@ const TrafficStats& TrafficDriver::run() {
   maintenance_->stop();
   sessions_->enable_periodic_audit(0.0);
 
-  // Whatever still waits in the admission queue was never served.
-  while (!queue_.empty()) {
-    QueuedSetup entry = std::move(queue_.front());
-    queue_.pop_front();
-    alloc.admission_dequeued(sim.now() - entry.enqueued_at);
-    ++stats_.phases[entry.phase].queue_timeouts;
+  // Whatever still waits in the admission queues was never served.
+  for (std::size_t cls = 0; cls < queues_.size(); ++cls) {
+    auto& q = queues_[cls];
+    while (!q.empty()) {
+      QueuedSetup entry = std::move(q.front());
+      q.pop_front();
+      alloc.admission_dequeued(sim.now() - entry.enqueued_at, cls);
+      ++stats_.phases[entry.phase].queue_timeouts;
+      ++stats_.classes[cls].queue_timeouts;
+      // accepting_ is already false, so this is a give-up (retries on) or
+      // a plain close (retries off) — never a new backoff timer.
+      finish_or_retry(std::move(entry.pending));
+    }
   }
   // Sessions that outlived the drain window are torn down forcibly, in
   // session-id order (live_ is an ordered set) for determinism.
@@ -234,6 +256,11 @@ const TrafficStats& TrafficDriver::run() {
   alloc.sweep_expired();
   stats_.final_audit = sessions_->audit();
   stats_.quiesced_at_ms = sim.now();
+  // Conservation: every arrival must have reached a terminal outcome and
+  // every backoff timer must have fired (pending ones give up above once
+  // accepting_ went false). The caller asserts both are zero.
+  stats_.open_requests_at_quiesce = open_requests_;
+  stats_.retries_inflight_at_quiesce = retries_inflight_;
   // Recovery activity during the drain window lands in the last phase.
   snapshot_phase_deltas(stats_.phases.size() - 1);
   return stats_;
@@ -249,49 +276,131 @@ void TrafficDriver::schedule_next_arrival() {
 void TrafficDriver::on_arrival() {
   schedule_next_arrival();
   if (!accepting_) return;
+  PendingSetup p;
+  p.cls = draw_class();
+  ++open_requests_;
+  submit(std::move(p), /*is_retry=*/false);
+  observe_utilization();
+}
+
+std::size_t TrafficDriver::draw_class() {
+  if (config_.class_mix.size() < 2) return 0;
+  double total = 0.0;
+  for (double w : config_.class_mix) total += w;
+  SPIDER_REQUIRE(total > 0.0);
+  double x = class_rng_.next_double() * total;
+  for (std::size_t i = 0; i + 1 < config_.class_mix.size(); ++i) {
+    x -= config_.class_mix[i];
+    if (x < 0.0) return i;
+  }
+  return config_.class_mix.size() - 1;
+}
+
+void TrafficDriver::submit(PendingSetup p, bool is_retry) {
   const sim::Time now = scenario_->sim.now();
   const std::size_t phase = config_.schedule.phase_at(now);
   PhaseStats& ps = stats_.phases[phase];
-  ++ps.arrivals;
-  switch (scenario_->alloc->admit_setup()) {
+  ClassTrafficStats& cs = stats_.classes[p.cls];
+  if (is_retry) {
+    ++ps.retries;
+    ++cs.retries;
+  } else {
+    ++ps.arrivals;
+    ++cs.arrivals;
+  }
+  ++p.submissions;
+  switch (scenario_->alloc->admit_setup(p.cls)) {
     case core::AllocationManager::AdmissionDecision::kAdmit:
       ++ps.admitted;
-      attempt_setup(sample_request(*scenario_, config_.profile), phase);
+      ++cs.admitted;
+      if (!p.gen.has_value()) {
+        p.gen = sample_request(*scenario_, config_.profile);
+      }
+      attempt_setup(std::move(p), phase);
       break;
     case core::AllocationManager::AdmissionDecision::kQueue:
       ++ps.queued;
+      ++cs.queued;
       // Sample at enqueue time: the request's content draws stay in
-      // arrival order no matter when the queue drains.
-      queue_.push_back({sample_request(*scenario_, config_.profile), now,
-                        phase});
+      // decision order no matter when the queue drains.
+      if (!p.gen.has_value()) {
+        p.gen = sample_request(*scenario_, config_.profile);
+      }
+      queues_[p.cls].push_back({std::move(p), now, phase});
       break;
     case core::AllocationManager::AdmissionDecision::kReject:
       // Never sampled, never probed — the cheapest possible outcome,
       // which is the whole point of gating before composition.
       ++ps.rejected;
+      ++cs.rejected;
+      finish_or_retry(std::move(p));
       break;
   }
-  observe_utilization();
 }
 
-void TrafficDriver::attempt_setup(GeneratedRequest gen, std::size_t phase) {
+void TrafficDriver::finish_or_retry(PendingSetup p) {
+  const bool budget_left =
+      config_.retry.enabled() && p.submissions <= config_.retry.max_retries;
+  if (budget_left && accepting_) {
+    const double cap = config_.retry.max_backoff_ms;
+    double backoff = config_.retry.base_backoff_ms;
+    for (std::size_t i = 1; i < p.submissions && backoff < cap; ++i) {
+      backoff *= config_.retry.multiplier;
+    }
+    backoff = std::min(backoff, cap);
+    const double delay = backoff * retry_rng_.next_double(0.5, 1.0);
+    ++retries_inflight_;
+    scenario_->sim.schedule_after(delay, [this, p]() mutable {
+      --retries_inflight_;
+      if (!accepting_) {
+        // The world quiesced while this timer was pending: the retry
+        // never happens, and the request closes as a give-up.
+        give_up(p, config_.schedule.phase_at(scenario_->sim.now()));
+        return;
+      }
+      submit(std::move(p), /*is_retry=*/true);
+      observe_utilization();
+    });
+  } else if (config_.retry.enabled()) {
+    give_up(p, config_.schedule.phase_at(scenario_->sim.now()));
+  } else {
+    --open_requests_;  // final reject/timeout: the seed-era terminal outcome
+  }
+}
+
+void TrafficDriver::give_up(const PendingSetup& p, std::size_t phase) {
+  ++stats_.phases[phase].retry_gaveups;
+  ++stats_.classes[p.cls].retry_gaveups;
+  --open_requests_;
+}
+
+void TrafficDriver::attempt_setup(PendingSetup p, std::size_t phase) {
+  SPIDER_REQUIRE(p.gen.has_value());
   PhaseStats& ps = stats_.phases[phase];
-  core::ComposeResult result = bcp_->compose(gen.request, scenario_->rng);
+  auto& alloc = *scenario_->alloc;
+  core::ComposeResult result = bcp_->compose(p.gen->request, scenario_->rng);
   probe_messages_total_ +=
       result.stats.probe_messages + result.stats.discovery_messages;
   if (!result.success) {
     ++ps.compose_failures;
+    alloc.admission_observe_setup(false, 0.0);
+    --open_requests_;  // compose failures are terminal (no retry)
     return;
   }
   const double setup_ms = result.stats.setup_time_ms;
   const core::SessionId id =
-      sessions_->establish(gen.request, std::move(result));
+      sessions_->establish(p.gen->request, std::move(result));
   if (id == core::kInvalidSession) {
     ++ps.compose_failures;  // hold expired before confirm: admission lost
+    alloc.admission_observe_setup(false, 0.0);
+    --open_requests_;
     return;
   }
   ++ps.established;
+  ++stats_.classes[p.cls].established;
   ps.setup_ms.add(setup_ms);
+  alloc.admission_observe_setup(true, setup_ms);
+  --open_requests_;
   live_.insert(id);
   const double lifetime = std::max(config_.lifetime.sample(rng_), 0.0);
   scenario_->sim.schedule_after(lifetime, [this, id] { complete_session(id); });
@@ -317,30 +426,40 @@ void TrafficDriver::drain_queue() {
   if (!accepting_) return;
   auto& alloc = *scenario_->alloc;
   const sim::Time now = scenario_->sim.now();
-  while (!queue_.empty() && alloc.admission_open()) {
-    QueuedSetup entry = std::move(queue_.front());
-    queue_.pop_front();
+  // The allocator picks the class to serve next (deficit-weighted round
+  // robin; plain FIFO with one class) and stops when the gate closes.
+  while (std::optional<std::size_t> cls = alloc.admission_next_class()) {
+    auto& q = queues_[*cls];
+    SPIDER_REQUIRE_MSG(!q.empty(), "allocator/driver queue depth mismatch");
+    QueuedSetup entry = std::move(q.front());
+    q.pop_front();
     const double wait = now - entry.enqueued_at;
-    alloc.admission_dequeued(wait);
+    alloc.admission_dequeued(wait, *cls);
     const std::size_t phase = config_.schedule.phase_at(now);
     PhaseStats& ps = stats_.phases[phase];
     ++ps.queue_served;
+    ++stats_.classes[*cls].queue_served;
     ps.queue_wait_ms.add(wait);
-    attempt_setup(std::move(entry.gen), phase);
+    attempt_setup(std::move(entry.pending), phase);
   }
 }
 
 void TrafficDriver::expire_queue_waits() {
   auto& alloc = *scenario_->alloc;
   const sim::Time now = scenario_->sim.now();
-  while (!queue_.empty() &&
-         now - queue_.front().enqueued_at >= config_.queue_timeout_ms) {
-    QueuedSetup entry = std::move(queue_.front());
-    queue_.pop_front();
-    alloc.admission_dequeued(now - entry.enqueued_at);
-    // Attributed to the phase that enqueued it: that arrival is the one
-    // that experienced the abandonment.
-    ++stats_.phases[entry.phase].queue_timeouts;
+  for (std::size_t cls = 0; cls < queues_.size(); ++cls) {
+    auto& q = queues_[cls];
+    while (!q.empty() &&
+           now - q.front().enqueued_at >= config_.queue_timeout_ms) {
+      QueuedSetup entry = std::move(q.front());
+      q.pop_front();
+      alloc.admission_dequeued(now - entry.enqueued_at, cls);
+      // Attributed to the phase that enqueued it: that arrival is the one
+      // that experienced the abandonment.
+      ++stats_.phases[entry.phase].queue_timeouts;
+      ++stats_.classes[cls].queue_timeouts;
+      finish_or_retry(std::move(entry.pending));
+    }
   }
 }
 
@@ -349,6 +468,9 @@ void TrafficDriver::maintenance_tick() {
   if (config_.on_maintenance_tick) config_.on_maintenance_tick(maintenance_ticks_);
   sessions_->monitor_active_sessions(scenario_->rng);
   sessions_->run_maintenance();
+  // One deterministic controller step per tick, before the queue drains
+  // against the (possibly moved) mark. A no-op for static gates.
+  scenario_->alloc->admission_controller_tick();
   expire_queue_waits();
   drain_queue();  // recovery losses may have freed capacity
   observe_utilization();
@@ -364,6 +486,7 @@ void TrafficDriver::observe_utilization() {
 void TrafficDriver::snapshot_phase_deltas(std::size_t i) {
   const core::SessionStats& st = sessions_->stats();
   PhaseStats& ps = stats_.phases.at(i);
+  ps.admission_mark = scenario_->alloc->admission_mark();
   ps.breaks += st.breaks - prev_breaks_;
   ps.backup_switches += st.backup_switches - prev_switches_;
   ps.reactive_recoveries += st.reactive_recoveries - prev_reactive_;

@@ -152,11 +152,15 @@ struct SessionLifetime {
 /// Per-phase accounting of one open-loop run. Arrival-side fields are
 /// attributed to the phase the arrival happened in; completion-side
 /// fields to the phase of the completion (drain-window events land in
-/// the last phase).
+/// the last phase). Retries count as fresh submissions in the phase the
+/// backoff timer fired in (they are new load on the gate), but never as
+/// arrivals — `arrivals` stays the offered first-contact load.
 struct PhaseStats {
   std::string name;
   double begin_ms = 0.0, end_ms = 0.0;
   std::uint64_t arrivals = 0;
+  std::uint64_t retries = 0;          ///< backoff re-submissions fired here
+  std::uint64_t retry_gaveups = 0;    ///< requests whose retry budget ran out
   std::uint64_t admitted = 0;         ///< setups attempted immediately
   std::uint64_t queued = 0;           ///< held back by the admission gate
   std::uint64_t rejected = 0;         ///< admission rejects (never probed)
@@ -169,18 +173,64 @@ struct PhaseStats {
   SampleStats setup_ms;               ///< virtual setup latency (successes)
   SampleStats queue_wait_ms;          ///< virtual wait of served queue entries
   double util_peak = 0.0;             ///< peak grant utilization observed
+  /// Effective admission mark when the phase was snapshotted (the static
+  /// high-water constant, or the AIMD controller's value; -1 when
+  /// admission is disabled).
+  double admission_mark = -1.0;
   // SessionManager recovery deltas over the phase window.
   std::uint64_t breaks = 0, backup_switches = 0, reactive_recoveries = 0,
                 losses = 0;
   std::uint64_t probe_messages = 0;   ///< BCP messages spent in this phase
 };
 
+/// Per-admission-class totals over a whole run (slices of the same events
+/// the PhaseStats count; `arrivals` excludes retries, like the phases).
+struct ClassTrafficStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t queue_served = 0;
+  std::uint64_t queue_timeouts = 0;
+  std::uint64_t retry_gaveups = 0;
+  std::uint64_t established = 0;
+};
+
 /// Whole-run accounting (see PhaseStats for the per-phase slices).
 struct TrafficStats {
   std::vector<PhaseStats> phases;
+  /// One entry per admission class (a single entry when no classes were
+  /// configured).
+  std::vector<ClassTrafficStats> classes;
   std::uint64_t forced_teardowns = 0;  ///< alive past the drain window
   double quiesced_at_ms = 0.0;         ///< virtual time the world went quiet
   core::SessionManager::AuditReport final_audit;
+  /// Conservation audit at quiesce: both must be zero. Every first-contact
+  /// arrival reaches exactly one terminal outcome (established, compose
+  /// failure, final reject/timeout, or retry give-up), and no backoff
+  /// timer is still pending.
+  std::uint64_t open_requests_at_quiesce = 0;
+  std::uint64_t retries_inflight_at_quiesce = 0;
+};
+
+/// Client retry behaviour for rejected and queue-timed-out setups:
+/// truncated exponential backoff with a bounded budget. Disabled by
+/// default (max_retries == 0), in which case rejects and timeouts are
+/// final — bit-for-bit the historical behaviour.
+struct RetryPolicy {
+  /// Re-submissions allowed per request beyond its first attempt; once
+  /// exhausted the request is counted as a retry_gaveup.
+  std::size_t max_retries = 0;
+  /// Backoff before retry k (1-based) is drawn uniformly from
+  /// [0.5, 1.0) · min(base_backoff_ms · multiplier^(k-1), max_backoff_ms):
+  /// exponential growth, truncated, with deterministic half-jitter from a
+  /// dedicated RNG stream so synchronized retry waves decorrelate without
+  /// perturbing any other draw.
+  double base_backoff_ms = 500.0;
+  double multiplier = 2.0;
+  double max_backoff_ms = 8000.0;
+  bool enabled() const { return max_retries > 0; }
 };
 
 /// Drives one open-loop serving run on a fully wired Scenario.
@@ -208,6 +258,13 @@ class TrafficDriver {
     /// Optional per-maintenance-tick hook (e.g. bench-side churn). Runs
     /// before the tick's maintenance pass.
     std::function<void(std::size_t tick)> on_maintenance_tick;
+    /// Client retry-with-backoff for rejected / queue-timed-out setups.
+    RetryPolicy retry;
+    /// Relative probability weights assigning each arrival an admission
+    /// class (index = class id). Size must match the allocator's
+    /// configured class count; empty (the default) sends everything to
+    /// class 0 without consuming any randomness.
+    std::vector<double> class_mix;
   };
 
   /// `arrivals` defaults to a PoissonProcess over config.schedule seeded
@@ -225,19 +282,39 @@ class TrafficDriver {
   std::size_t live_sessions() const { return live_.size(); }
 
  private:
+  /// One request making its way through the gate, possibly across
+  /// several submissions (admission retries). The request content is
+  /// sampled lazily at the first kAdmit/kQueue decision, so a request
+  /// that only ever got rejected consumes no scenario randomness —
+  /// exactly as before retries existed.
+  struct PendingSetup {
+    std::optional<GeneratedRequest> gen;
+    std::size_t cls = 0;
+    std::size_t submissions = 0;  ///< completed admit_setup() calls
+  };
   struct QueuedSetup {
-    GeneratedRequest gen;
+    PendingSetup pending;
     sim::Time enqueued_at = 0.0;
     std::size_t phase = 0;
   };
 
   void schedule_next_arrival();
   void on_arrival();
+  std::size_t draw_class();
+  /// Runs one submission (first or retry) of `p` through the admission
+  /// gate and dispatches on the decision.
+  void submit(PendingSetup p, bool is_retry);
+  /// Handles a terminal-for-this-submission reject/timeout: schedules a
+  /// backoff retry while budget remains, otherwise closes the request
+  /// (counting a retry_gaveup when retries are enabled).
+  void finish_or_retry(PendingSetup p);
+  void give_up(const PendingSetup& p, std::size_t phase);
   /// Composes + establishes one setup, attributing results to phase
   /// `phase` (queue accounting is the dequeuer's job, not this one's).
-  void attempt_setup(GeneratedRequest gen, std::size_t phase);
+  void attempt_setup(PendingSetup p, std::size_t phase);
   void complete_session(core::SessionId id);
-  /// Admits queued setups while the gate is open (FIFO).
+  /// Admits queued setups while the gate is open, in the allocator's
+  /// deficit-weighted class order (plain FIFO with one class).
   void drain_queue();
   /// Abandons queue entries older than queue_timeout_ms.
   void expire_queue_waits();
@@ -254,9 +331,16 @@ class TrafficDriver {
   Config config_;
   std::unique_ptr<ArrivalProcess> arrivals_;
   Rng rng_;  ///< lifetimes (request content draws from scenario_->rng)
-  std::deque<QueuedSetup> queue_;
+  /// Class assignment and backoff jitter each get a dedicated stream:
+  /// neither is touched in single-class / no-retry runs, so legacy
+  /// replays stay byte-identical.
+  Rng class_rng_;
+  Rng retry_rng_;
+  std::vector<std::deque<QueuedSetup>> queues_;  ///< one per admission class
   std::set<core::SessionId> live_;  ///< ordered: deterministic force-teardown
   TrafficStats stats_;
+  std::uint64_t open_requests_ = 0;     ///< arrivals without a terminal outcome
+  std::uint64_t retries_inflight_ = 0;  ///< backoff timers pending
   std::unique_ptr<sim::PeriodicTimer> maintenance_;
   std::size_t maintenance_ticks_ = 0;
   bool accepting_ = false;  ///< arrivals/queue still being served

@@ -57,6 +57,20 @@ TEST_F(DeploymentTest, KillPeerTakesAllLayersDown) {
   EXPECT_FALSE(d.peer_alive(victim));
 }
 
+TEST_F(DeploymentTest, LivenessEpochCountsEffectiveTransitionsOnly) {
+  auto& d = *scenario_->deployment;
+  const std::uint64_t epoch0 = d.liveness_epoch();
+  const overlay::PeerId victim = 5;
+  d.kill_peer(victim);
+  EXPECT_EQ(d.liveness_epoch(), epoch0 + 1);
+  d.kill_peer(victim);  // no-op kill: epoch must not move
+  EXPECT_EQ(d.liveness_epoch(), epoch0 + 1);
+  d.revive_peer(victim);
+  EXPECT_EQ(d.liveness_epoch(), epoch0 + 2);
+  d.revive_peer(victim);  // no-op revive
+  EXPECT_EQ(d.liveness_epoch(), epoch0 + 2);
+}
+
 TEST_F(DeploymentTest, ReviveRestoresDiscovery) {
   auto& d = *scenario_->deployment;
   const overlay::PeerId victim = 7;

@@ -257,6 +257,104 @@ TEST(TrafficDriverTest, SaturationEngagesTheGateDeterministically) {
   EXPECT_DOUBLE_EQ(a.util_peak, b.util_peak);
 }
 
+struct RetryRunTotals {
+  std::uint64_t arrivals = 0, retries = 0, rejected = 0, gaveups = 0,
+                established = 0, queue_timeouts = 0;
+  std::uint64_t open_at_quiesce = 0, inflight_at_quiesce = 0;
+};
+
+RetryRunTotals run_retry_against_closed_gate(std::uint64_t seed) {
+  auto s = spider::testing::small_scenario(seed);
+  core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim);
+  core::SessionManager manager(*s->deployment, *s->alloc, *s->evaluator, bcp,
+                               s->sim);
+  // A closed gate with no queue: every submission is rejected, which
+  // isolates the retry/backoff arithmetic from composition entirely.
+  core::AllocationManager::AdmissionConfig admission;
+  admission.high_water_utilization = 0.0;
+  admission.queue_capacity = 0;
+  s->alloc->set_admission(admission);
+
+  TrafficDriver::Config config;
+  config.schedule = PhaseSchedule({{"only", 1000.0, 1.0}});
+  config.seed = seed;
+  config.drain_ms = 5000.0;
+  config.retry.max_retries = 2;
+  config.retry.base_backoff_ms = 400.0;
+  config.retry.multiplier = 2.0;
+  config.retry.max_backoff_ms = 1600.0;
+  auto trace = std::make_unique<TraceProcess>(
+      std::vector<sim::Time>{100.0, 200.0, 300.0});
+  TrafficDriver driver(*s, bcp, manager, std::move(config), std::move(trace));
+  const TrafficStats& stats = driver.run();
+
+  RetryRunTotals out;
+  for (const PhaseStats& ps : stats.phases) {
+    out.arrivals += ps.arrivals;
+    out.retries += ps.retries;
+    out.rejected += ps.rejected;
+    out.gaveups += ps.retry_gaveups;
+    out.established += ps.established;
+    out.queue_timeouts += ps.queue_timeouts;
+  }
+  out.open_at_quiesce = stats.open_requests_at_quiesce;
+  out.inflight_at_quiesce = stats.retries_inflight_at_quiesce;
+  return out;
+}
+
+TEST(RetryBackoffTest, RejectedArrivalsRetryThenGiveUpExactly) {
+  const RetryRunTotals r = run_retry_against_closed_gate(23);
+  EXPECT_EQ(r.arrivals, 3u);
+  // Budget 2: each arrival is submitted three times (1 + 2 retries), all
+  // rejected, then gives up. Nothing leaks, nothing establishes.
+  EXPECT_EQ(r.retries, 6u);
+  EXPECT_EQ(r.rejected, 9u);
+  EXPECT_EQ(r.gaveups, 3u);
+  EXPECT_EQ(r.established, 0u);
+  EXPECT_EQ(r.queue_timeouts, 0u);
+  EXPECT_EQ(r.open_at_quiesce, 0u);
+  EXPECT_EQ(r.inflight_at_quiesce, 0u);
+
+  // Bit-for-bit repeatable: the backoff jitter comes from its own seeded
+  // stream.
+  const RetryRunTotals again = run_retry_against_closed_gate(23);
+  EXPECT_EQ(again.retries, r.retries);
+  EXPECT_EQ(again.rejected, r.rejected);
+  EXPECT_EQ(again.gaveups, r.gaveups);
+}
+
+TEST(RetryBackoffTest, DisabledRetryLeavesSeedAccountingUntouched) {
+  // The same closed-gate world with retries off: rejects are final and
+  // the new counters stay zero — the seed-era accounting, bit-for-bit.
+  auto s = spider::testing::small_scenario(23);
+  core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim);
+  core::SessionManager manager(*s->deployment, *s->alloc, *s->evaluator, bcp,
+                               s->sim);
+  core::AllocationManager::AdmissionConfig admission;
+  admission.high_water_utilization = 0.0;
+  admission.queue_capacity = 0;
+  s->alloc->set_admission(admission);
+  TrafficDriver::Config config;
+  config.schedule = PhaseSchedule({{"only", 1000.0, 1.0}});
+  config.seed = 23;
+  config.drain_ms = 5000.0;
+  auto trace = std::make_unique<TraceProcess>(
+      std::vector<sim::Time>{100.0, 200.0, 300.0});
+  TrafficDriver driver(*s, bcp, manager, std::move(config), std::move(trace));
+  const TrafficStats& stats = driver.run();
+  std::uint64_t rejected = 0, retries = 0, gaveups = 0;
+  for (const PhaseStats& ps : stats.phases) {
+    rejected += ps.rejected;
+    retries += ps.retries;
+    gaveups += ps.retry_gaveups;
+  }
+  EXPECT_EQ(rejected, 3u);
+  EXPECT_EQ(retries, 0u);
+  EXPECT_EQ(gaveups, 0u);
+  EXPECT_EQ(stats.open_requests_at_quiesce, 0u);
+  EXPECT_EQ(stats.retries_inflight_at_quiesce, 0u);
+}
+
 TEST(TrafficDriverTest, TraceArrivalAtBoundaryLandsInNextPhase) {
   auto s = spider::testing::small_scenario(13);
   core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim);

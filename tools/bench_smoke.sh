@@ -7,10 +7,11 @@
 # bench_scale quick tier (1k/2k peers) runs next; its per-row probe
 # message counts are compared exactly against the scale_rows baseline and
 # its BENCH_scale.json lands at $SPIDER_SCALE_JSON_OUT for CI to archive.
-# The open-loop serving bench (bench_serve --quick) runs last, serial and
-# --jobs, with the same byte-diff discipline; its per-(cell, phase)
-# arrivals/established/rejected are compared exactly against serve_rows
-# and its BENCH_serve.json lands at $SPIDER_SERVE_JSON_OUT.
+# The serving bench (bench_serve --quick) runs last, serial and --jobs,
+# with the same byte-diff discipline; every counter a serve_rows baseline
+# row pins (arrivals/established/rejected, plus retries/retry_gaveups on
+# the closed-loop cell) is compared exactly and its BENCH_serve.json
+# lands at $SPIDER_SERVE_JSON_OUT.
 #
 #   tools/bench_smoke.sh                 # uses ./build
 #   SPIDER_BUILD_DIR=build-ci tools/bench_smoke.sh
@@ -185,10 +186,11 @@ for expect in baselines.get("scale_rows", []):
         failures += 1
 
 # Exact per-(cell, phase) counts for the serving quick tier: the open
-# loop is deterministic in virtual time, so arrivals / established /
-# rejected are integers pinned by serve_rows — drift means the traffic
-# or admission behaviour changed and the baseline must be updated
-# deliberately in the same commit.
+# loop is deterministic in virtual time, so every integer counter a
+# baseline row pins (arrivals / established / rejected, plus retries /
+# retry_gaveups on the closed-loop cell) is compared exactly — drift
+# means the traffic, admission, or retry behaviour changed and the
+# baseline must be updated deliberately in the same commit.
 with open(serve_json) as f:
     serve_rows = {(r["cell"], r["phase"]): r for r in json.load(f)["rows"]}
 for expect in baselines.get("serve_rows", []):
@@ -198,7 +200,7 @@ for expect in baselines.get("serve_rows", []):
         print(f"FAIL serve:{key}: row missing from BENCH_serve.json")
         failures += 1
         continue
-    for field in ("arrivals", "established", "rejected"):
+    for field in sorted(k for k in expect if k not in ("cell", "phase")):
         actual = row[field]
         status = "ok  " if actual == expect[field] else "FAIL"
         print(f"{status} serve:{key[0]}/{key[1]}: {field}={actual} "
