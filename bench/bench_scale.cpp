@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <string>
@@ -36,6 +37,7 @@
 #include "core/bcp.hpp"
 #include "util/hash.hpp"
 #include "util/parallel.hpp"
+#include "util/procstat.hpp"
 #include "util/stats.hpp"
 #include "workload/scenario.hpp"
 
@@ -72,26 +74,15 @@ struct Row {
   // Wall-clock (JSON only — nondeterministic).
   double scenario_build_ms = 0.0;
   double compose_wall_ms = 0.0;
+  // Per-phase build wall-clock (JSON only; constant across a cell's rows).
+  workload::Scenario::BuildTimings build;
+  // VmHWM snapshots bracketing this row's cell (before the scenario
+  // build / after the cell's last row). Their clamped delta attributes
+  // the high-water growth to the cell — valid only when cells run one
+  // at a time (see the budget check).
+  std::uint64_t vm_hwm_before = 0;
+  std::uint64_t vm_hwm_after = 0;
 };
-
-/// Peak RSS (VmHWM) of this process in bytes; 0 where unsupported.
-std::uint64_t vm_hwm_bytes() {
-#ifdef __linux__
-  FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
-  char line[256];
-  std::uint64_t kb = 0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (std::sscanf(line, "VmHWM: %llu kB", (unsigned long long*)&kb) == 1) {
-      break;
-    }
-  }
-  std::fclose(f);
-  return kb * 1024;
-#else
-  return 0;
-#endif
-}
 
 /// Exact-vs-estimated delay error over a deterministic hashed sample of
 /// peer pairs: 16 sources (16 lazy overlay Dijkstras) × 16 destinations.
@@ -136,12 +127,14 @@ struct XlBudget {
 
 XlBudget xl_budget_for(std::size_t max_peers, std::size_t scale) {
   // Measured on the dev container (1 core), 500k peers / 1M IP nodes:
-  // VmHWM ≈ 3.5 GB; build ≈ 6 min, depth-2 compose ≈ 4 min, depth-4
-  // compose ≈ 15 min (25 min total). Budgets leave ~2× headroom for
-  // slower CI runners; the 1M --full cell is extrapolated.
+  // VmHWM ≈ 4.0 GB; serial build ≈ 4 min with bulk Pastry loading (the
+  // routed-join build it replaced took ≈ 6; --build-jobs divides the
+  // DHT/deploy/overlay phases further), depth-2 compose ≈ 4 min,
+  // depth-4 compose ≈ 15 min (~23 min total). Budgets leave ~2×
+  // headroom for slower CI runners; the 1M --full cell is extrapolated.
   if (max_peers > 500000) return XlBudget{std::uint64_t(12) << 30, 1.08e7};
-  if (scale == 0) return XlBudget{std::uint64_t(6) << 30, 1.8e6};
-  return XlBudget{std::uint64_t(6) << 30, 3.0e6};
+  if (scale == 0) return XlBudget{std::uint64_t(6) << 30, 1.2e6};
+  return XlBudget{std::uint64_t(6) << 30, 2.4e6};
 }
 
 }  // namespace
@@ -150,12 +143,16 @@ int main(int argc, char** argv) {
   const BenchArgs args = parse_args(argc, argv);
   std::string json_out = "BENCH_scale.json";
   bool xl = false;
+  std::size_t build_jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
       json_out = argv[i + 1];
       ++i;
     } else if (std::strcmp(argv[i], "--xl") == 0) {
       xl = true;
+    } else if (std::strcmp(argv[i], "--build-jobs") == 0 && i + 1 < argc) {
+      build_jobs = std::max(1, std::atoi(argv[i + 1]));
+      ++i;
     }
   }
 
@@ -175,8 +172,9 @@ int main(int argc, char** argv) {
   const auto sweep_t0 = std::chrono::steady_clock::now();
 
   std::printf("Scaling sweep: peers x request depth, %zu requests per row, "
-              "seed=%llu, jobs=%zu\n",
-              requests_per_row, (unsigned long long)args.seed, args.jobs);
+              "seed=%llu, jobs=%zu, build-jobs=%zu\n",
+              requests_per_row, (unsigned long long)args.seed, args.jobs,
+              build_jobs);
   std::printf("(full tier sweeps to 50k peers and takes tens of minutes; "
               "wall-clock columns are written to %s)\n\n",
               json_out.c_str());
@@ -198,6 +196,7 @@ int main(int argc, char** argv) {
     // bounds route memory during probing. Results are unaffected.
     config.router_cache_limit = xl ? 4 : 8;
     config.route_cache_limit = xl ? 16 : 64;
+    config.build_jobs = build_jobs;
     if (xl) {
       // Million-peer worlds: landmark-estimated construction and bounded
       // path materialization (§5h). Exact routes stay exact — only their
@@ -207,6 +206,7 @@ int main(int argc, char** argv) {
       config.route_path_cache_limit = std::size_t(1) << 14;
     }
 
+    const std::uint64_t cell_hwm_before = util::vm_hwm_bytes();
     const auto build_t0 = std::chrono::steady_clock::now();
     auto s = workload::build_sim_scenario(config);
     const double build_ms = wall_ms_since(build_t0);
@@ -219,6 +219,8 @@ int main(int argc, char** argv) {
       row.requests = requests_per_row;
       row.estimator = config.use_latency_estimator;
       row.scenario_build_ms = build_ms;
+      row.build = s->build_timings;
+      row.vm_hwm_before = cell_hwm_before;
 
       // Per-row request stream: rows are independent of execution order.
       s->rng.reseed(util::hash_values(args.seed, peers, depth));
@@ -266,6 +268,7 @@ int main(int argc, char** argv) {
                                util::hash_values(args.seed, peers, depth),
                                &row);
       }
+      row.vm_hwm_after = util::vm_hwm_bytes();
       cells[ci].push_back(row);
     }
   });
@@ -308,12 +311,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scale: failed to write %s\n", json_out.c_str());
     return 1;
   }
-  const std::uint64_t rss = vm_hwm_bytes();
+  const std::uint64_t rss = util::vm_hwm_bytes();
   const double sweep_wall_ms = wall_ms_since(sweep_t0);
   const XlBudget budget = xl_budget_for(peer_counts.back(), args.scale);
   std::fprintf(jf, "{\n  \"bench\": \"scale\",\n  \"seed\": %llu,\n"
-               "  \"jobs\": %zu,\n  \"path_segment_bytes\": %zu,\n",
-               (unsigned long long)args.seed, args.jobs,
+               "  \"jobs\": %zu,\n  \"build_jobs\": %zu,\n"
+               "  \"path_segment_bytes\": %zu,\n",
+               (unsigned long long)args.seed, args.jobs, build_jobs,
                sizeof(core::PathSegment));
   std::fprintf(jf, "  \"vm_hwm_bytes\": %llu,\n  \"sweep_wall_ms\": %.1f,\n",
                (unsigned long long)rss, sweep_wall_ms);
@@ -337,6 +341,10 @@ int main(int argc, char** argv) {
           "%llu, \"arena_peak_bytes\": %llu, \"estimator\": %s, "
           "\"est_err_mean\": %.4f, \"est_err_max\": %.4f, "
           "\"est_bound_violations\": %llu, \"scenario_build_ms\": %.3f, "
+          "\"build_topology_ms\": %.3f, \"build_overlay_ms\": %.3f, "
+          "\"build_estimator_ms\": %.3f, \"build_dht_ms\": %.3f, "
+          "\"build_deploy_ms\": %.3f, \"vm_hwm_before_bytes\": %llu, "
+          "\"vm_hwm_after_bytes\": %llu, \"vm_hwm_attributed_bytes\": %llu, "
           "\"compose_wall_ms\": %.3f}",
           first ? "" : ",\n", row.peers, row.ip_nodes, row.depth, row.requests,
           row.success_ratio, (unsigned long long)row.probes_spawned,
@@ -351,7 +359,13 @@ int main(int argc, char** argv) {
                                sizeof(core::PathSegment)),
           row.estimator ? "true" : "false", row.est_err_mean, row.est_err_max,
           (unsigned long long)row.est_bound_violations,
-          row.scenario_build_ms, row.compose_wall_ms);
+          row.scenario_build_ms, row.build.topology_ms, row.build.overlay_ms,
+          row.build.estimator_ms, row.build.dht_ms, row.build.deploy_ms,
+          (unsigned long long)row.vm_hwm_before,
+          (unsigned long long)row.vm_hwm_after,
+          (unsigned long long)util::attributed_hwm_delta(row.vm_hwm_before,
+                                                         row.vm_hwm_after),
+          row.compose_wall_ms);
       first = false;
     }
   }
@@ -371,11 +385,29 @@ int main(int argc, char** argv) {
                    "scale: FAIL — estimator bound violations (see rows)\n");
       return 1;
     }
-    if (rss > budget.rss_bytes) {
+    // Budgeted RSS: attribute each cell its own high-water growth (delta
+    // of the snapshots bracketing it) rather than charging it the whole
+    // process mark, which bakes in whatever ran before the cell — the old
+    // check flagged a budgeted cell for a peak an earlier, unbudgeted
+    // cell set. Deltas of concurrent cells contaminate each other, so the
+    // attribution only applies when cells ran one at a time.
+    const bool cells_serial = args.jobs <= 1 || peer_counts.size() == 1;
+    std::uint64_t budgeted_rss = rss;
+    if (cells_serial) {
+      budgeted_rss = 0;
+      for (const auto& cell : cells) {
+        for (const Row& row : cell) {
+          budgeted_rss = std::max(
+              budgeted_rss,
+              util::attributed_hwm_delta(row.vm_hwm_before, row.vm_hwm_after));
+        }
+      }
+    }
+    if (budgeted_rss > budget.rss_bytes) {
       std::fprintf(stderr,
                    "scale: FAIL — peak RSS %.2f GB exceeds the %.2f GB "
                    "--xl budget\n",
-                   double(rss) / double(1u << 30),
+                   double(budgeted_rss) / double(1u << 30),
                    double(budget.rss_bytes) / double(1u << 30));
       return 1;
     }

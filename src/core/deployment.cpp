@@ -1,6 +1,8 @@
 #include "core/deployment.hpp"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
 #include "util/require.hpp"
 
@@ -16,6 +18,12 @@ dht::NodeId peer_node_id(PeerId peer) {
 
 Deployment::Deployment(overlay::OverlayNetwork overlay_net, Rng& rng,
                        int leaf_set_size, int replication)
+    : Deployment(std::move(overlay_net), rng, BuildOptions{}, leaf_set_size,
+                 replication) {}
+
+Deployment::Deployment(overlay::OverlayNetwork overlay_net, Rng& rng,
+                       const BuildOptions& opts, int leaf_set_size,
+                       int replication)
     : overlay_(std::move(overlay_net)),
       dht_(leaf_set_size, replication),
       registry_(dht_, catalog_) {
@@ -27,16 +35,22 @@ Deployment::Deployment(overlay::OverlayNetwork overlay_net, Rng& rng,
 
   // Pastry locality: contested routing-table cells keep the entry with
   // the lower overlay delay. A proximity *hint* — estimated when the
-  // overlay carries a landmark table (exact otherwise), because answering
-  // it exactly during 500k joins is the all-pairs Dijkstra this PR
-  // retires.
+  // overlay carries a landmark table (exact otherwise, where answering it
+  // walks the overlay route cache).
   dht_.set_proximity(
       [this](PeerId a, PeerId b) { return overlay_.estimated_delay_ms(a, b); });
 
-  // Join all peers into the DHT, bootstrapping through peer 0.
-  dht_.bootstrap(0, peer_node_id(0));
-  for (PeerId p = 1; p < n; ++p) {
-    dht_.join(p, peer_node_id(p), 0);
+  // Initial world construction bulk-loads canonical routing state from
+  // the sorted id space instead of N routed joins. Live join() stays the
+  // path for revive_peer/churn. Without an estimator the proximity hint
+  // mutates overlay route caches, so the parallel fill must stay serial.
+  std::vector<std::pair<dht::NodeId, PeerId>> entries;
+  entries.reserve(n);
+  for (PeerId p = 0; p < n; ++p) entries.emplace_back(peer_node_id(p), p);
+  std::sort(entries.begin(), entries.end());
+  if (n > 0) {
+    dht_.bulk_load(entries,
+                   overlay_.has_estimator() ? opts.build_jobs : std::size_t{1});
   }
 }
 
@@ -53,6 +67,25 @@ const service::ServiceComponent& Deployment::deploy_component(
   SPIDER_REQUIRE(inserted);
   registry_.register_component(service::ComponentMetadata::from(it->second));
   return it->second;
+}
+
+void Deployment::deploy_components(
+    std::vector<service::ServiceComponent> components, std::size_t jobs) {
+  std::vector<service::ComponentMetadata> metas;
+  metas.reserve(components.size());
+  for (service::ServiceComponent& component : components) {
+    const PeerId host = component.host;
+    SPIDER_REQUIRE(host < peer_count());
+    SPIDER_REQUIRE(component.function != service::kInvalidFunction);
+    component.id = service::make_component_id(host, next_local_id_[host]++);
+    const service::ComponentId id = component.id;
+    by_peer_[host].push_back(id);
+    by_function_[component.function].push_back(id);
+    auto [it, inserted] = components_.emplace(id, std::move(component));
+    SPIDER_REQUIRE(inserted);
+    metas.push_back(service::ComponentMetadata::from(it->second));
+  }
+  registry_.bulk_register(metas, jobs);
 }
 
 const service::ServiceComponent& Deployment::component(
@@ -105,7 +138,9 @@ void Deployment::revive_peer(PeerId peer) {
   ++liveness_epoch_;
   overlay_.set_alive(peer, true);
   // Fresh DHT identity (a rejoining peer is a new DHT node in practice —
-  // its old id may still linger as a dead ring entry).
+  // its old id may still linger as a dead ring entry). The bootstrap is
+  // the lowest live PeerId — a deterministic choice, so a kill/revive
+  // sequence replays bit-for-bit regardless of build parallelism.
   PeerId bootstrap = overlay::kInvalidPeer;
   for (PeerId p = 0; p < peer_count(); ++p) {
     if (p != peer && dht_.alive(p)) {

@@ -26,11 +26,24 @@ using overlay::PeerId;
 
 class Deployment {
  public:
-  /// Takes ownership of a built overlay; peers' DHT nodes are joined with
-  /// ids derived from the peer index. `leaf_set_size`/`replication` are
-  /// forwarded to the Pastry network.
+  /// World-construction knobs. The initial DHT is always bulk-loaded
+  /// (canonical state straight from the sorted id space — see
+  /// PastryNetwork::bulk_load); `build_jobs` spreads the per-node fill
+  /// over a WorkerPool. State is identical at any job count; jobs > 1
+  /// needs the estimator-backed proximity hint (thread-safe), so the fill
+  /// silently runs serial when the overlay has no estimator.
+  struct BuildOptions {
+    std::size_t build_jobs = 1;
+  };
+
+  /// Takes ownership of a built overlay; peers' DHT nodes are bulk-loaded
+  /// with ids derived from the peer index. `leaf_set_size`/`replication`
+  /// are forwarded to the Pastry network.
   Deployment(overlay::OverlayNetwork overlay_net, Rng& rng,
              int leaf_set_size = 16, int replication = 3);
+  Deployment(overlay::OverlayNetwork overlay_net, Rng& rng,
+             const BuildOptions& opts, int leaf_set_size = 16,
+             int replication = 3);
 
   // Self-referential (the DHT proximity callback captures `this`).
   Deployment(const Deployment&) = delete;
@@ -44,6 +57,14 @@ class Deployment {
   /// Returns the stored instance (id assigned from the host's counter).
   const service::ServiceComponent& deploy_component(
       service::ServiceComponent component);
+
+  /// Deploys a batch: bookkeeping runs serially in vector order (ids and
+  /// oracle lists come out exactly as repeated deploy_component calls),
+  /// then all DHT registrations go through the registry's bulk path with
+  /// route computation across `jobs` workers. Requires an all-live DHT —
+  /// use during world construction, before any churn.
+  void deploy_components(std::vector<service::ServiceComponent> components,
+                         std::size_t jobs = 1);
 
   const service::ServiceComponent& component(service::ComponentId id) const;
   bool component_alive(service::ComponentId id) const;

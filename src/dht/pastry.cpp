@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "util/parallel.hpp"
 #include "util/require.hpp"
 
 namespace spider::dht {
@@ -137,6 +138,108 @@ RouteResult PastryNetwork::join(PeerId peer, NodeId id, PeerId bootstrap_peer) {
   return route_result;
 }
 
+void PastryNetwork::bulk_fill_node(
+    Node& x, const std::vector<std::pair<NodeId, PeerId>>& entries,
+    std::size_t index, std::size_t candidate_budget) {
+  const std::size_t n = entries.size();
+
+  // Leaf set: ascending sorted ids are clockwise ring order, so the
+  // canonical members are the nearest `leaf_half_` indices on each side
+  // (mod n). LeafSet::insert places every candidate on whichever sides it
+  // belongs to, so feeding it exactly this union yields the exact
+  // half-closest per side.
+  const std::size_t span =
+      std::min<std::size_t>(std::size_t(leaf_half_), n - 1);
+  for (std::size_t s = 1; s <= span; ++s) {
+    x.leaves.insert(entries[(index + s) % n].first);
+    x.leaves.insert(entries[(index + n - s) % n].first);
+  }
+
+  // Routing table: walk the prefix rows. At row r, [lo, hi) spans the ids
+  // sharing the first r digits with x (ids there sort by digit r), so
+  // every sibling digit's candidates form a contiguous subrange found by
+  // binary search. Cell choice is the proximity-argmin over a bounded
+  // candidate window — prefix-correctness doesn't care which candidate
+  // wins, the budget only caps per-cell work at scale.
+  const auto begin = entries.begin();
+  std::size_t lo = 0, hi = n;
+  for (int row = 0; row < kDigitsPerId && hi - lo > 1; ++row) {
+    const int self_digit = x.id.digit(row);
+    std::size_t next_lo = lo, next_hi = lo;
+    for (int c = 0; c < kDigitRadix; ++c) {
+      const auto first = std::lower_bound(
+          begin + long(lo), begin + long(hi), c,
+          [row](const std::pair<NodeId, PeerId>& e, int digit) {
+            return e.first.digit(row) < digit;
+          });
+      const auto last = std::lower_bound(
+          first, begin + long(hi), c + 1,
+          [row](const std::pair<NodeId, PeerId>& e, int digit) {
+            return e.first.digit(row) < digit;
+          });
+      if (c == self_digit) {
+        next_lo = std::size_t(first - begin);
+        next_hi = std::size_t(last - begin);
+        continue;
+      }
+      if (first == last) continue;
+      std::size_t cand_lo = std::size_t(first - begin);
+      std::size_t cand_hi = std::size_t(last - begin);
+      if (candidate_budget > 0 && cand_hi - cand_lo > candidate_budget) {
+        // Keep the window numerically closest to x: the whole subrange
+        // sits on one side of x's id (it differs at digit `row`).
+        if (c < self_digit) {
+          cand_lo = cand_hi - candidate_budget;
+        } else {
+          cand_hi = cand_lo + candidate_budget;
+        }
+      }
+      NodeId best = entries[cand_lo].first;
+      if (proximity_fn_) {
+        double best_d = proximity_fn_(x.peer, entries[cand_lo].second);
+        for (std::size_t j = cand_lo + 1; j < cand_hi; ++j) {
+          const double d = proximity_fn_(x.peer, entries[j].second);
+          if (d < best_d) {
+            best_d = d;
+            best = entries[j].first;
+          }
+        }
+      }
+      x.table.insert(best);
+    }
+    lo = next_lo;
+    hi = next_hi;
+  }
+}
+
+void PastryNetwork::bulk_load(
+    const std::vector<std::pair<NodeId, PeerId>>& entries, std::size_t jobs,
+    std::size_t candidate_budget) {
+  SPIDER_REQUIRE_MSG(nodes_.empty(), "bulk_load needs an empty network");
+  const std::size_t n = entries.size();
+  SPIDER_REQUIRE(n >= 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    SPIDER_REQUIRE_MSG(entries[i - 1].first < entries[i].first,
+                       "bulk_load ids must be sorted and distinct");
+  }
+  // Serial membership pass: node storage must not rehash while workers
+  // hold pointers, so all nodes exist before any fill starts.
+  std::vector<Node*> slot(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [id, peer] = entries[i];
+    ring_.emplace_hint(ring_.end(), id, peer);
+    auto [it, inserted] = nodes_.emplace(peer, Node(id, peer, leaf_half_));
+    SPIDER_REQUIRE_MSG(inserted, "duplicate peer in bulk_load");
+    slot[i] = &it->second;
+  }
+  live_count_ = n;
+  // Per-node fill: each worker writes only its own node and reads the
+  // shared sorted array, so the result is identical at any job count.
+  util::parallel_for_each(jobs, n, [&](std::size_t i) {
+    bulk_fill_node(*slot[i], entries, i, candidate_budget);
+  });
+}
+
 void PastryNetwork::leave(PeerId peer) {
   Node& n = node(peer);
   SPIDER_REQUIRE(n.alive);
@@ -247,6 +350,93 @@ std::optional<NodeId> PastryNetwork::next_hop(Node& cur, NodeId key) {
   for (NodeId member : cur.leaves.members()) consider(member);
   for (NodeId entry : cur.table.entries()) consider(entry);
   return fallback;  // nullopt -> deliver here (best effort)
+}
+
+std::optional<NodeId> PastryNetwork::next_hop_readonly(const Node& cur,
+                                                       NodeId key) const {
+  if (cur.id == key) return std::nullopt;
+
+  // (1) Leaf-set delivery. All-alive precondition: the repair loop in
+  // next_hop() never fires, so one closest() call decides.
+  if (cur.leaves.covers(key)) {
+    const NodeId best = cur.leaves.closest(key);
+    if (best != cur.id && alive_id(best)) return best;
+    const unsigned __int128 self_dist = NodeId::ring_distance(cur.id, key);
+    std::optional<NodeId> closer;
+    unsigned __int128 closer_dist = self_dist;
+    for (NodeId entry : cur.table.entries()) {
+      if (!alive_id(entry)) continue;
+      const unsigned __int128 d = NodeId::ring_distance(entry, key);
+      if (d < closer_dist) {
+        closer = entry;
+        closer_dist = d;
+      }
+    }
+    return closer;  // nullopt -> deliver here
+  }
+
+  // (2) Prefix routing.
+  const int row = cur.id.shared_prefix(key);
+  if (auto entry = cur.table.next_hop(key); entry.has_value()) {
+    if (alive_id(*entry)) return *entry;
+  }
+
+  // (3) Fallback: any known live node sharing at least as long a prefix
+  // and strictly closer to the key.
+  const unsigned __int128 self_dist = NodeId::ring_distance(cur.id, key);
+  std::optional<NodeId> fallback;
+  unsigned __int128 fallback_dist = self_dist;
+  auto consider = [&](NodeId candidate) {
+    if (!alive_id(candidate)) return;
+    if (candidate.shared_prefix(key) < row) return;
+    const unsigned __int128 d = NodeId::ring_distance(candidate, key);
+    if (d < fallback_dist) {
+      fallback = candidate;
+      fallback_dist = d;
+    }
+  };
+  for (NodeId member : cur.leaves.members()) consider(member);
+  for (NodeId entry : cur.table.entries()) consider(entry);
+  return fallback;  // nullopt -> deliver here (best effort)
+}
+
+RouteResult PastryNetwork::route_readonly(PeerId from, NodeId key) const {
+  RouteResult result;
+  SPIDER_REQUIRE(alive(from));
+  result.path.push_back(from);
+  const Node* cur = &node(from);
+  for (int guard = 0; guard < 2 * kDigitsPerId + int(leaf_half_) * 4;
+       ++guard) {
+    std::optional<NodeId> nxt = next_hop_readonly(*cur, key);
+    if (!nxt.has_value()) break;
+    auto it = ring_.find(*nxt);
+    SPIDER_REQUIRE_MSG(it != ring_.end(), "unknown node id");
+    cur = &node(it->second);
+    result.path.push_back(cur->peer);
+  }
+  result.ok = true;
+  return result;
+}
+
+void PastryNetwork::bulk_put(const std::vector<BulkPutItem>& items,
+                             std::size_t jobs) {
+  SPIDER_REQUIRE_MSG(live_count_ == nodes_.size(),
+                     "bulk_put requires an all-live network");
+  std::vector<RouteResult> routes(items.size());
+  util::parallel_for_each(jobs, items.size(), [&](std::size_t i) {
+    routes[i] = route_readonly(items[i].from, items[i].key);
+  });
+  // Serial application in item order replays what sequential put() calls
+  // would have done, message/metric accounting included.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const RouteResult& r = routes[i];
+    messages_ += r.hops();
+    if (m_routes_ != nullptr) {
+      m_routes_->inc();
+      m_route_hops_->inc(r.hops());
+    }
+    if (r.ok) store_at_replicas(node(r.target()), items[i].key, items[i].value);
+  }
 }
 
 RouteResult PastryNetwork::route(PeerId from, NodeId key) {

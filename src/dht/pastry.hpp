@@ -76,6 +76,25 @@ class PastryNetwork {
   /// Joins `peer` through `bootstrap_peer`. Returns the join route.
   RouteResult join(PeerId peer, NodeId id, PeerId bootstrap_peer);
 
+  /// Offline world construction: loads every (id, peer) pair at once and
+  /// builds canonical routing state straight from the sorted id space —
+  /// leaf sets are the exact L/2 ring-closest per side, and each routing
+  /// cell holds the proximity-argmin (first-in-id-order without a
+  /// proximity metric) over its candidate subrange — instead of N routed
+  /// joins. Construction is out-of-band, so no protocol messages are
+  /// counted. Requires an empty network and ids sorted ascending,
+  /// distinct.
+  ///
+  /// `jobs > 1` fills per-node state on a WorkerPool (each node writes
+  /// only itself; the sorted array is shared read-only) — identical state
+  /// at any job count, but the proximity callback must then be
+  /// thread-safe. `candidate_budget` caps how many candidates a contested
+  /// cell scans (the window of the subrange numerically closest to the
+  /// owner); 0 scans the full subrange, which is what the join-parity
+  /// oracle test uses.
+  void bulk_load(const std::vector<std::pair<NodeId, PeerId>>& entries,
+                 std::size_t jobs = 1, std::size_t candidate_budget = 8);
+
   /// Graceful departure: keys handed to the ring successor, contacts
   /// notified.
   void leave(PeerId peer);
@@ -96,6 +115,13 @@ class PastryNetwork {
   /// entries encountered on the way.
   RouteResult route(PeerId from, NodeId key);
 
+  /// Route computation with no side effects — no lazy repair, no message
+  /// or metric accounting. On an all-live network route() mutates no
+  /// protocol state either, so both return identical paths there; this
+  /// variant is additionally safe to call concurrently. bulk_put's
+  /// parallel phase runs on it.
+  RouteResult route_readonly(PeerId from, NodeId key) const;
+
   // ----- replicated storage -----
 
   /// Appends `value` to the list stored under `key` (idempotent for equal
@@ -105,6 +131,19 @@ class PastryNetwork {
   /// Fetches the value list under `key`. Falls back to the delivery node's
   /// leaf set replicas if the owner lost the key to churn.
   GetResult get(PeerId from, NodeId key);
+
+  struct BulkPutItem {
+    PeerId from = 0;
+    NodeId key;
+    std::string value;
+  };
+
+  /// Byte-equivalent to calling put() for each item in order — same
+  /// stores, same message and metric totals — but the route computations
+  /// run read-only across `jobs` workers first (routing state never
+  /// depends on stores, so precomputed routes equal the sequential ones).
+  /// Requires every node alive: lazy repair must have nothing to do.
+  void bulk_put(const std::vector<BulkPutItem>& items, std::size_t jobs = 1);
 
   /// Removes `value` from `key`'s list on all live replicas holding it.
   void erase(NodeId key, const std::string& value);
@@ -161,6 +200,14 @@ class PastryNetwork {
   /// node id or nullopt when `cur` is the delivery node. Removes dead
   /// entries it trips over (lazy repair).
   std::optional<NodeId> next_hop(Node& cur, NodeId key);
+  /// next_hop minus the repair writes; identical decisions when every
+  /// node is alive (the repair branches are then unreachable).
+  std::optional<NodeId> next_hop_readonly(const Node& cur, NodeId key) const;
+  /// Fills one bulk-loaded node's leaf set and routing table from the
+  /// sorted id array (bulk_load's per-node worker body).
+  void bulk_fill_node(Node& x,
+                      const std::vector<std::pair<NodeId, PeerId>>& entries,
+                      std::size_t index, std::size_t candidate_budget);
 
   /// Inserts `who` into `target`'s routing table, applying the proximity
   /// preference when the canonical cell is already occupied.

@@ -97,6 +97,17 @@ dht::RouteResult ServiceRegistry::register_component(
   return dht_->put(meta.host, key_for(meta.function), serialize(meta));
 }
 
+void ServiceRegistry::bulk_register(
+    const std::vector<ComponentMetadata>& metas, std::size_t jobs) {
+  std::vector<dht::PastryNetwork::BulkPutItem> items;
+  items.reserve(metas.size());
+  for (const ComponentMetadata& meta : metas) {
+    SPIDER_REQUIRE(meta.function != service::kInvalidFunction);
+    items.push_back({meta.host, key_for(meta.function), serialize(meta)});
+  }
+  dht_->bulk_put(items, jobs);
+}
+
 void ServiceRegistry::unregister_component(const ComponentMetadata& meta) {
   dht_->erase(key_for(meta.function), serialize(meta));
 }

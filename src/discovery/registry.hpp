@@ -107,6 +107,13 @@ class ServiceRegistry {
   /// Registers a component from its hosting peer. Returns the DHT route.
   dht::RouteResult register_component(const service::ComponentMetadata& meta);
 
+  /// Registers a batch in one shot via PastryNetwork::bulk_put — same
+  /// stored state and message totals as register_component() called in
+  /// order, with the route computations spread over `jobs` workers.
+  /// Requires an all-live DHT (initial world construction).
+  void bulk_register(const std::vector<service::ComponentMetadata>& metas,
+                     std::size_t jobs = 1);
+
   /// Removes a component's registration from all replicas.
   void unregister_component(const service::ComponentMetadata& meta);
 

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <utility>
 
+#include "util/parallel.hpp"
 #include "util/require.hpp"
 
 namespace spider::net {
@@ -15,7 +17,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 LandmarkTable LandmarkTable::build(
     std::size_t target_count, std::size_t landmark_count,
-    const std::function<Column(std::uint32_t target)>& sssp) {
+    const std::function<Column(std::uint32_t target)>& sssp,
+    std::size_t jobs) {
   SPIDER_REQUIRE(target_count >= 1);
   SPIDER_REQUIRE(landmark_count >= 1);
   LandmarkTable table;
@@ -26,20 +29,22 @@ LandmarkTable LandmarkTable::build(
   // min over chosen landmarks of delay to each target; drives the
   // farthest-point selection of the next landmark.
   std::vector<double> min_delay(target_count, kInf);
-  std::uint32_t next = 0;  // landmark 0 is target 0 (deterministic)
-  for (std::size_t l = 0; l < k; ++l) {
-    Column col = sssp(next);
-    SPIDER_REQUIRE(col.target == next);
+
+  // Merge a column into the frontier and append it to the table.
+  auto commit = [&](Column col, std::uint32_t expect) {
+    SPIDER_REQUIRE(col.target == expect);
     SPIDER_REQUIRE(col.delay_ms.size() == target_count);
     for (std::size_t t = 0; t < target_count; ++t) {
       min_delay[t] = std::min(min_delay[t], col.delay_ms[t]);
     }
     table.cols_.push_back(std::move(col));
-    // Farthest reachable target from the current landmark set; ties go to
-    // the lowest index. Unreachable targets (min inf) are skipped — a
-    // landmark there could never triangulate the connected component.
+  };
+  // Farthest reachable target from the current landmark set; ties go to
+  // the lowest index. Unreachable targets (min inf) are skipped — a
+  // landmark there could never triangulate the connected component.
+  auto select_next = [&](std::uint32_t fallback, double* best_out) {
     double best = -1.0;
-    std::uint32_t arg = next;
+    std::uint32_t arg = fallback;
     for (std::size_t t = 0; t < target_count; ++t) {
       if (min_delay[t] == kInf) continue;
       if (min_delay[t] > best) {
@@ -47,8 +52,69 @@ LandmarkTable LandmarkTable::build(
         arg = std::uint32_t(t);
       }
     }
-    if (best <= 0.0) break;  // every target is itself a landmark already
-    next = arg;
+    *best_out = best;
+    return arg;
+  };
+
+  std::uint32_t next = 0;  // landmark 0 is target 0 (deterministic)
+  if (jobs <= 1) {
+    for (std::size_t l = 0; l < k; ++l) {
+      commit(sssp(next), next);
+      double best = -1.0;
+      const std::uint32_t arg = select_next(next, &best);
+      if (best <= 0.0) break;  // every target is itself a landmark already
+      next = arg;
+    }
+    return table;
+  }
+
+  // Speculative waves: the exact next column plus up to jobs-1 guesses run
+  // concurrently, each into its own pre-sized slot. A guess commits only
+  // if, after the previous commit merged, it equals the serial selection
+  // rule's pick — otherwise the rest of the wave is discarded. Commits
+  // therefore replay the serial loop exactly, whatever the hit rate.
+  std::size_t committed = 0;
+  bool done = false;
+  while (committed < k && !done) {
+    std::vector<std::uint32_t> wave{next};
+    if (committed > 0) {
+      // Rank guesses by the current frontier (descending, lowest index on
+      // ties): the committed column mostly lowers min_delay near its own
+      // landmark, so today's runners-up are likely tomorrow's argmax.
+      std::vector<std::pair<double, std::uint32_t>> ranked;
+      for (std::size_t t = 0; t < target_count; ++t) {
+        if (std::uint32_t(t) == next) continue;
+        if (min_delay[t] == kInf || min_delay[t] <= 0.0) continue;
+        ranked.emplace_back(min_delay[t], std::uint32_t(t));
+      }
+      const std::size_t guesses =
+          std::min({jobs - 1, k - committed - 1, ranked.size()});
+      std::partial_sort(
+          ranked.begin(), ranked.begin() + long(guesses), ranked.end(),
+          [](const auto& a, const auto& b) {
+            if (a.first != b.first) return a.first > b.first;
+            return a.second < b.second;
+          });
+      for (std::size_t g = 0; g < guesses; ++g) {
+        wave.push_back(ranked[g].second);
+      }
+    }
+    std::vector<Column> slots(wave.size());
+    util::parallel_for_each(jobs, wave.size(), [&](std::size_t i) {
+      slots[i] = sssp(wave[i]);
+    });
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      if (i > 0 && wave[i] != next) break;  // misprediction: discard rest
+      commit(std::move(slots[i]), wave[i]);
+      ++committed;
+      double best = -1.0;
+      const std::uint32_t arg = select_next(wave[i], &best);
+      if (best <= 0.0) {
+        done = true;
+        break;
+      }
+      next = arg;
+    }
   }
   return table;
 }
@@ -106,7 +172,8 @@ PathMetrics LandmarkTable::through_metrics(std::uint32_t u,
 
 LandmarkTable build_ip_landmarks(const Topology& topo,
                                  std::span<const NodeIdx> targets,
-                                 std::size_t landmark_count) {
+                                 std::size_t landmark_count,
+                                 std::size_t jobs) {
   SPIDER_REQUIRE(!targets.empty());
   const std::size_t n = topo.node_count();
   for (NodeIdx t : targets) SPIDER_REQUIRE(t < n);
@@ -152,7 +219,7 @@ LandmarkTable build_ip_landmarks(const Topology& topo,
     }
     return col;
   };
-  return LandmarkTable::build(targets.size(), landmark_count, sssp);
+  return LandmarkTable::build(targets.size(), landmark_count, sssp, jobs);
 }
 
 }  // namespace spider::net

@@ -47,9 +47,18 @@ class LandmarkTable {
   /// the target farthest (max-min delay) from the landmarks chosen so far
   /// — deterministic farthest-point sampling, ties broken toward the
   /// lowest index. `sssp(t)` must return the full Column for target `t`.
+  ///
+  /// `jobs > 1` computes columns in speculative waves on a WorkerPool:
+  /// each wave runs the exact next landmark's column alongside up to
+  /// jobs-1 guesses ranked by the current min-delay frontier, and a guess
+  /// is committed only if it matches what the serial selection rule would
+  /// pick after the preceding commit — so the chosen landmarks and their
+  /// columns are byte-identical at any job count (mispredicted columns
+  /// are discarded). `sssp` must be safe to call concurrently.
   static LandmarkTable build(
       std::size_t target_count, std::size_t landmark_count,
-      const std::function<Column(std::uint32_t target)>& sssp);
+      const std::function<Column(std::uint32_t target)>& sssp,
+      std::size_t jobs = 1);
 
   std::size_t landmark_count() const { return cols_.size(); }
   std::size_t target_count() const { return targets_; }
@@ -88,6 +97,7 @@ class LandmarkTable {
 /// during relaxation, so through_metrics describes real IP paths.
 LandmarkTable build_ip_landmarks(const Topology& topo,
                                  std::span<const NodeIdx> targets,
-                                 std::size_t landmark_count);
+                                 std::size_t landmark_count,
+                                 std::size_t jobs = 1);
 
 }  // namespace spider::net

@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "util/parallel.hpp"
 #include "util/require.hpp"
 
 namespace spider::overlay {
@@ -111,7 +112,7 @@ OverlayNetwork OverlayNetwork::from_topology(const net::Topology& topo,
 OverlayNetwork OverlayNetwork::from_topology_estimated(
     const net::Topology& topo, std::vector<net::NodeIdx> peer_nodes,
     OverlayKind kind, std::size_t degree, Rng& rng,
-    std::size_t landmark_count) {
+    std::size_t landmark_count, std::size_t jobs) {
   SPIDER_REQUIRE(peer_nodes.size() >= 2);
   SPIDER_REQUIRE(degree >= 1);
   SPIDER_REQUIRE(landmark_count >= 1);
@@ -123,7 +124,7 @@ OverlayNetwork OverlayNetwork::from_topology_estimated(
   OverlayNetwork net;
   net.peer_node_ = std::move(peer_nodes);
   const net::LandmarkTable table =
-      net::build_ip_landmarks(topo, net.peer_node_, landmark_count);
+      net::build_ip_landmarks(topo, net.peer_node_, landmark_count, jobs);
 
   SeenSet seen;
   auto add_link = [&](PeerId a, PeerId b) {
@@ -142,14 +143,18 @@ OverlayNetwork OverlayNetwork::from_topology_estimated(
     // sort within the bucket by distance to it; each peer ranks only a
     // small window of its sorted neighborhood by the full triangulation
     // estimate and links to the best `degree`. O(n·degree·k) total — no
-    // per-peer full scan, no per-peer Dijkstra.
+    // per-peer full scan, no per-peer Dijkstra. Every per-peer step
+    // (bucket assignment, window ranking, link pricing) writes its own
+    // pre-sized slot, so the worker fan-out below is order-free; only the
+    // final seen-set merge is serial, and it runs in slot order.
     struct Slot {
       std::uint32_t bucket = 0;
       double dist = 0.0;
       PeerId peer = 0;
     };
     std::vector<Slot> slots(n);
-    for (PeerId p = 0; p < n; ++p) {
+    util::parallel_for_each(jobs, n, [&](std::size_t pi) {
+      const PeerId p = PeerId(pi);
       std::uint32_t best_l = 0;
       double best = table.landmark_delay_ms(0, p);
       for (std::size_t l = 1; l < table.landmark_count(); ++l) {
@@ -159,8 +164,8 @@ OverlayNetwork OverlayNetwork::from_topology_estimated(
           best_l = std::uint32_t(l);
         }
       }
-      slots[p] = Slot{best_l, best, p};
-    }
+      slots[pi] = Slot{best_l, best, p};
+    });
     std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
       if (a.bucket != b.bucket) return a.bucket < b.bucket;
       if (a.dist != b.dist) return a.dist < b.dist;
@@ -168,12 +173,18 @@ OverlayNetwork OverlayNetwork::from_topology_estimated(
     });
     // Window over the global bucket-major order (not clamped to bucket
     // boundaries): tiny buckets then borrow candidates from adjacent
-    // buckets instead of starving a peer below its degree.
+    // buckets instead of starving a peer below its degree. Ranking and
+    // through-landmark pricing are pure table reads, so each position
+    // selects and prices its links concurrently.
     const std::size_t window = degree + 8;
-    std::vector<std::pair<double, PeerId>> ranked;
-    for (std::size_t i = 0; i < n; ++i) {
+    struct Pick {
+      PeerId peer;
+      net::PathMetrics metrics;
+    };
+    std::vector<std::vector<Pick>> picks(n);
+    util::parallel_for_each(jobs, n, [&](std::size_t i) {
       const PeerId p = slots[i].peer;
-      ranked.clear();
+      std::vector<std::pair<double, PeerId>> ranked;
       const std::size_t from = i > window ? i - window : 0;
       const std::size_t to = std::min(n, i + window + 1);
       for (std::size_t j = from; j < to; ++j) {
@@ -184,7 +195,26 @@ OverlayNetwork OverlayNetwork::from_topology_estimated(
       const std::size_t k = std::min(degree, ranked.size());
       std::partial_sort(ranked.begin(), ranked.begin() + long(k),
                         ranked.end());
-      for (std::size_t j = 0; j < k; ++j) add_link(p, ranked[j].second);
+      picks[i].reserve(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        picks[i].push_back(
+            Pick{ranked[j].second, table.through_metrics(p, ranked[j].second)});
+      }
+    });
+    // Serial merge in slot order: dedup against the seen set and append —
+    // identical link order to the all-serial loop (pricing is pure, so
+    // pre-pricing deduped picks changes nothing but wasted work).
+    for (std::size_t i = 0; i < n; ++i) {
+      const PeerId p = slots[i].peer;
+      for (const Pick& pick : picks[i]) {
+        if (p == pick.peer) continue;
+        if (!seen.insert(PeerPairKey(p, pick.peer)).second) continue;
+        const net::PathMetrics& m = pick.metrics;
+        SPIDER_REQUIRE_MSG(m.reachable(), "IP topology must be connected");
+        net.links_.push_back(OverlayLink{p, pick.peer, m.delay_ms,
+                                         m.bottleneck_kbps,
+                                         std::max<std::uint32_t>(m.hops, 1)});
+      }
     }
   } else {
     wire_random(n, degree, rng, seen, add_link, &net.underwired_peers_);
@@ -404,11 +434,15 @@ net::LandmarkTable::Column OverlayNetwork::overlay_sssp_column(
   return col;
 }
 
-void OverlayNetwork::build_estimator(std::size_t landmark_count) {
+void OverlayNetwork::build_estimator(std::size_t landmark_count,
+                                     std::size_t jobs) {
   SPIDER_REQUIRE(landmark_count >= 1);
+  // overlay_sssp_column computes a fresh tree without touching the route
+  // caches, so concurrent columns are safe.
   estimator_ = std::make_unique<net::LandmarkTable>(net::LandmarkTable::build(
       peer_count(), landmark_count,
-      [this](std::uint32_t target) { return overlay_sssp_column(target); }));
+      [this](std::uint32_t target) { return overlay_sssp_column(target); },
+      jobs));
 }
 
 bool OverlayNetwork::live_connected() const {

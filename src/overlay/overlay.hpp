@@ -132,10 +132,16 @@ class OverlayNetwork {
   /// paths (triangulation upper bound — admissible, never optimistic),
   /// and the nearest-mesh candidate scan is sharded by nearest landmark
   /// so construction is O(n · degree · k) instead of O(n²).
+  /// `jobs > 1` shards construction across a WorkerPool — landmark SSSP
+  /// columns in speculative waves, then nearest-landmark bucket
+  /// assignment, candidate ranking and link pricing in per-peer slots
+  /// merged in bucket order — with byte-identical links at any job count
+  /// (DESIGN.md §5k). Random wiring and the connectivity ring stay serial
+  /// (they consume the sequential RNG stream).
   static OverlayNetwork from_topology_estimated(
       const net::Topology& topo, std::vector<net::NodeIdx> peer_nodes,
       OverlayKind kind, std::size_t degree, Rng& rng,
-      std::size_t landmark_count);
+      std::size_t landmark_count, std::size_t jobs = 1);
 
   /// Builds a degree-bounded overlay over a PlanetLab-style delay matrix
   /// (hosts == peers; IP hop count is 1 per link).
@@ -213,7 +219,10 @@ class OverlayNetwork {
 
   /// Attaches a k-landmark estimator over the *overlay* graph (farthest-
   /// point sampling over peers, one overlay Dijkstra per landmark).
-  void build_estimator(std::size_t landmark_count);
+  /// `jobs > 1` computes columns in parallel speculative waves — same
+  /// table at any job count (the per-column Dijkstra is const and touches
+  /// no caches).
+  void build_estimator(std::size_t landmark_count, std::size_t jobs = 1);
   bool has_estimator() const { return estimator_ != nullptr; }
   const net::LandmarkTable* estimator() const { return estimator_.get(); }
 

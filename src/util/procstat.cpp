@@ -1,0 +1,29 @@
+#include "util/procstat.hpp"
+
+#include <cstdio>
+
+namespace spider::util {
+
+std::uint64_t vm_hwm_bytes() {
+#ifdef __linux__
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", (unsigned long long*)&kb) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t attributed_hwm_delta(std::uint64_t before, std::uint64_t after) {
+  return after > before ? after - before : 0;
+}
+
+}  // namespace spider::util

@@ -1,0 +1,20 @@
+// Process self-inspection helpers for benchmarks and budget checks.
+#pragma once
+
+#include <cstdint>
+
+namespace spider::util {
+
+/// Peak RSS (Linux VmHWM) of this process in bytes; 0 where unsupported.
+std::uint64_t vm_hwm_bytes();
+
+/// Portion of a VmHWM reading attributable to work done between two
+/// snapshots. VmHWM is a process-wide monotone high-water mark: it never
+/// decreases, and work that stays below an earlier peak moves it not at
+/// all — so the delta is a *lower bound* on the work's own peak, valid
+/// as attribution only when nothing else ran concurrently. Clamps to 0
+/// (never underflows) when `after < before`, which only a misuse or a
+/// /proc read failure can produce.
+std::uint64_t attributed_hwm_delta(std::uint64_t before, std::uint64_t after);
+
+}  // namespace spider::util

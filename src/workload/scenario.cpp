@@ -1,8 +1,12 @@
 #include "workload/scenario.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <utility>
 
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
 #include "util/require.hpp"
 
 namespace spider::workload {
@@ -13,6 +17,20 @@ const char* const kMultimediaFunctions[6] = {
 };
 
 namespace {
+
+using BuildClock = std::chrono::steady_clock;
+
+double ms_since(BuildClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(BuildClock::now() - start)
+      .count();
+}
+
+/// Component sampling runs in fixed 1024-peer shards, each drawing from
+/// its own RNG stream derived from (seed, tag, shard). The shard size and
+/// tag are part of the output contract: components depend only on the
+/// scenario seed, never on build_jobs or worker scheduling.
+constexpr std::size_t kComponentShardPeers = 1024;
+constexpr std::uint64_t kComponentStreamTag = 0xc0317ull;
 
 service::ServiceComponent sample_component(Rng& rng, overlay::PeerId host,
                                            service::FunctionId fn,
@@ -39,10 +57,12 @@ std::unique_ptr<Scenario> build_sim_scenario(const SimScenarioConfig& config) {
   auto s = std::make_unique<Scenario>();
   s->rng.reseed(config.seed);
 
+  auto t0 = BuildClock::now();
   s->topology = std::make_unique<net::Topology>(
       net::power_law(config.ip_nodes, config.ip_links_per_node, s->rng));
   s->router = std::make_unique<net::Router>(*s->topology);
   s->router->set_cache_limit(config.router_cache_limit);
+  s->build_timings.topology_ms = ms_since(t0);
 
   // Pick the overlay peers among the IP nodes.
   SPIDER_REQUIRE(config.peers >= 2 && config.peers <= config.ip_nodes);
@@ -53,22 +73,30 @@ std::unique_ptr<Scenario> build_sim_scenario(const SimScenarioConfig& config) {
   }
   std::sort(peer_nodes.begin(), peer_nodes.end());
 
+  t0 = BuildClock::now();
   overlay::OverlayNetwork ov =
       config.use_latency_estimator
           ? overlay::OverlayNetwork::from_topology_estimated(
                 *s->topology, std::move(peer_nodes), config.overlay_kind,
-                config.overlay_degree, s->rng, config.landmark_count)
+                config.overlay_degree, s->rng, config.landmark_count,
+                config.build_jobs)
           : overlay::OverlayNetwork::from_topology(
                 *s->topology, *s->router, std::move(peer_nodes),
                 config.overlay_kind, config.overlay_degree, s->rng);
   ov.set_route_cache_limit(config.route_cache_limit);
   ov.set_route_path_cache_limit(config.route_path_cache_limit);
+  s->build_timings.overlay_ms = ms_since(t0);
   if (config.use_latency_estimator) {
     // Overlay-layer landmarks for delay hints (DHT proximity, discovery
-    // timing); built before the Deployment so the DHT joins see them.
-    ov.build_estimator(config.landmark_count);
+    // timing); built before the Deployment so the DHT bulk load sees them.
+    t0 = BuildClock::now();
+    ov.build_estimator(config.landmark_count, config.build_jobs);
+    s->build_timings.estimator_ms = ms_since(t0);
   }
-  s->deployment = std::make_unique<core::Deployment>(std::move(ov), s->rng);
+  t0 = BuildClock::now();
+  s->deployment = std::make_unique<core::Deployment>(
+      std::move(ov), s->rng, core::Deployment::BuildOptions{config.build_jobs});
+  s->build_timings.dht_ms = ms_since(t0);
   s->alloc =
       std::make_unique<core::AllocationManager>(*s->deployment, s->sim);
   s->evaluator =
@@ -82,37 +110,67 @@ std::unique_ptr<Scenario> build_sim_scenario(const SimScenarioConfig& config) {
 
   // Components: each peer provides [min, max] components whose functions
   // are drawn from the catalog (optionally Zipf-skewed popularity).
+  // Sampling runs per 1024-peer shard on its own hash-derived RNG stream
+  // (see kComponentStreamTag) so shards can run concurrently without the
+  // result depending on build_jobs; deployment bookkeeping then replays
+  // serially in shard order.
+  t0 = BuildClock::now();
   for (overlay::PeerId p = 0; p < config.peers; ++p) {
     s->deployment->set_capacity(
         p, service::Resources::cpu_mem(config.peer_cpu_capacity,
                                        config.peer_mem_capacity));
-    const std::size_t count = std::size_t(
-        s->rng.next_int(std::int64_t(config.min_components_per_peer),
-                        std::int64_t(config.max_components_per_peer)));
-    for (std::size_t k = 0; k < count; ++k) {
-      const auto fn = service::FunctionId(
-          config.function_zipf_s > 0.0
-              ? s->rng.next_zipf(config.function_count, config.function_zipf_s)
-              : s->rng.next_below(config.function_count));
-      service::ServiceComponent component = sample_component(
-          s->rng, p, fn, config.min_perf_delay_ms, config.max_perf_delay_ms,
-          config.min_loss, config.max_loss, config.min_cpu, config.max_cpu,
-          config.min_mem, config.max_mem, config.min_fail_prob,
-          config.max_fail_prob);
-      if (config.max_quality_level > 0) {
-        component.input_level = std::uint32_t(
-            s->rng.next_below(config.max_quality_level + 1));
-        component.output_level = std::uint32_t(
-            s->rng.next_below(config.max_quality_level + 1));
-      }
-      if (config.max_jitter_ms > 0.0) {
-        component.perf = service::Qos::delay_loss_jitter(
-            component.perf.delay_ms(), component.perf.loss_log(),
-            s->rng.next_double(config.min_jitter_ms, config.max_jitter_ms));
-      }
-      s->deployment->deploy_component(component);
+  }
+  const std::size_t shard_count =
+      (config.peers + kComponentShardPeers - 1) / kComponentShardPeers;
+  std::vector<std::vector<service::ServiceComponent>> shard_components(
+      shard_count);
+  util::parallel_for_each(
+      config.build_jobs, shard_count, [&](std::size_t shard) {
+        Rng rng(util::hash_values(config.seed, kComponentStreamTag,
+                                  std::uint64_t(shard)));
+        const std::size_t begin = shard * kComponentShardPeers;
+        const std::size_t end =
+            std::min(config.peers, begin + kComponentShardPeers);
+        std::vector<service::ServiceComponent>& out = shard_components[shard];
+        for (std::size_t p = begin; p < end; ++p) {
+          const std::size_t count = std::size_t(
+              rng.next_int(std::int64_t(config.min_components_per_peer),
+                           std::int64_t(config.max_components_per_peer)));
+          for (std::size_t k = 0; k < count; ++k) {
+            const auto fn = service::FunctionId(
+                config.function_zipf_s > 0.0
+                    ? rng.next_zipf(config.function_count,
+                                    config.function_zipf_s)
+                    : rng.next_below(config.function_count));
+            service::ServiceComponent component = sample_component(
+                rng, overlay::PeerId(p), fn, config.min_perf_delay_ms,
+                config.max_perf_delay_ms, config.min_loss, config.max_loss,
+                config.min_cpu, config.max_cpu, config.min_mem, config.max_mem,
+                config.min_fail_prob, config.max_fail_prob);
+            if (config.max_quality_level > 0) {
+              component.input_level = std::uint32_t(
+                  rng.next_below(config.max_quality_level + 1));
+              component.output_level = std::uint32_t(
+                  rng.next_below(config.max_quality_level + 1));
+            }
+            if (config.max_jitter_ms > 0.0) {
+              component.perf = service::Qos::delay_loss_jitter(
+                  component.perf.delay_ms(), component.perf.loss_log(),
+                  rng.next_double(config.min_jitter_ms, config.max_jitter_ms));
+            }
+            out.push_back(std::move(component));
+          }
+        }
+      });
+  std::vector<service::ServiceComponent> all_components;
+  for (std::vector<service::ServiceComponent>& shard : shard_components) {
+    for (service::ServiceComponent& component : shard) {
+      all_components.push_back(std::move(component));
     }
   }
+  s->deployment->deploy_components(std::move(all_components),
+                                   config.build_jobs);
+  s->build_timings.deploy_ms = ms_since(t0);
   return s;
 }
 

@@ -27,8 +27,20 @@ namespace spider::workload {
 
 /// Fully wired testbed.
 struct Scenario {
+  /// Wall-clock spent in each world-construction phase of the builder
+  /// (milliseconds; zero for phases a scenario kind skips). Benchmarks
+  /// report these so build-parallelism regressions are visible per layer.
+  struct BuildTimings {
+    double topology_ms = 0.0;
+    double overlay_ms = 0.0;
+    double estimator_ms = 0.0;
+    double dht_ms = 0.0;
+    double deploy_ms = 0.0;
+  };
+
   Rng rng{1};
   sim::Simulator sim;
+  BuildTimings build_timings;
   // IP substrate (null for PlanetLab-matrix scenarios).
   std::unique_ptr<net::Topology> topology;
   std::unique_ptr<net::Router> router;
@@ -86,6 +98,13 @@ struct SimScenarioConfig {
   /// for candidate service graphs.
   bool use_latency_estimator = false;
   std::size_t landmark_count = 16;
+  /// World-construction parallelism (§5k): landmark SSSP columns, overlay
+  /// link pricing, the DHT bulk load and component registration spread
+  /// over this many workers. Output is identical at any value — component
+  /// sampling draws from hash-derived per-shard RNG streams (fixed
+  /// 1024-peer shards), not the sequential scenario RNG, precisely so the
+  /// result cannot depend on scheduling. 1 (default) builds serially.
+  std::size_t build_jobs = 1;
 };
 
 /// §6.2-style prototype testbed over a synthetic PlanetLab delay matrix.

@@ -163,11 +163,22 @@ TEST(BcpFaultTest, RetransmissionIsBudgetBounded) {
 TEST(BcpFaultTest, CertainLossOnOneLinkDropsExactlyThatBranch) {
   // Find the winning first-hop route in a clean run, then make its first
   // link perfectly lossy: that branch (and only loss-dropped branches)
-  // must disappear while composition still succeeds via others.
-  const ComposeResult clean = compose_with_model(7, nullptr);
-  ASSERT_TRUE(clean.success);
+  // must disappear while composition still succeeds via others. The
+  // scenario draw must put the winner's first component off the source
+  // peer (a same-peer winner has no first link to poison), so scan seeds
+  // for one where the precondition holds.
+  std::uint64_t seed = 0;
+  ComposeResult clean;
+  for (std::uint64_t candidate = 7; candidate < 32; ++candidate) {
+    clean = compose_with_model(candidate, nullptr);
+    if (!clean.success) continue;
+    if (clean.best.mapping[0].host == clean.best.source) continue;
+    seed = candidate;
+    break;
+  }
+  ASSERT_NE(seed, 0u) << "no seed with an off-source first hop in range";
 
-  auto s = spider::testing::small_scenario(7);
+  auto s = spider::testing::small_scenario(seed);
   const overlay::PeerId first_host = clean.best.mapping[0].host;
   const overlay::OverlayPath path =
       *s->deployment->overlay().route(clean.best.source, first_host);

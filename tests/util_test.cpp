@@ -13,6 +13,7 @@
 #include "util/hash.hpp"
 #include "util/keys.hpp"
 #include "util/parallel.hpp"
+#include "util/procstat.hpp"
 #include "util/rng.hpp"
 #include "util/sha1.hpp"
 #include "util/stats.hpp"
@@ -170,6 +171,47 @@ TEST(SampleStats, PercentileAfterInterleavedAdds) {
   s.add(1);  // invalidates sorted cache
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
   EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(SampleStats, InterleavedAddsAlwaysSeeTheFullSampleSet) {
+  // Regression guard on the lazy percentile cache: the rebuild trigger is
+  // a size comparison, which is only sound because add() eagerly clears
+  // the cache — any future mutation path that changes samples without
+  // clearing would serve stale order statistics. Interleave adds and
+  // percentile reads and check every read against a freshly computed
+  // expectation.
+  SampleStats s;
+  for (int i = 1; i <= 64; ++i) {
+    // Descending inserts make a stale cache maximally visible: each new
+    // sample shifts every low percentile.
+    s.add(double(65 - i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), double(65 - i)) << "after add " << i;
+    EXPECT_DOUBLE_EQ(s.percentile(100), 64.0);
+    if (i % 2 == 1) continue;  // also exercise add-after-read-after-add
+    const double median = s.percentile(50);
+    EXPECT_DOUBLE_EQ(median, (65 - i + 64) / 2.0) << "median after " << i;
+  }
+  EXPECT_EQ(s.count(), 64u);
+}
+
+TEST(ProcStat, AttributedHwmDeltaArithmetic) {
+  EXPECT_EQ(util::attributed_hwm_delta(0, 0), 0u);
+  EXPECT_EQ(util::attributed_hwm_delta(100, 350), 250u);
+  // VmHWM is monotone, so after < before only happens on misuse or a
+  // failed /proc read (0); the delta clamps instead of underflowing.
+  EXPECT_EQ(util::attributed_hwm_delta(350, 100), 0u);
+  EXPECT_EQ(util::attributed_hwm_delta(350, 0), 0u);
+  const std::uint64_t big = std::uint64_t(48) << 30;
+  EXPECT_EQ(util::attributed_hwm_delta(big, big + 1), 1u);
+}
+
+TEST(ProcStat, VmHwmReadsAPositivePeakOnLinux) {
+#ifdef __linux__
+  const std::uint64_t hwm = util::vm_hwm_bytes();
+  EXPECT_GT(hwm, 0u);
+  // Monotone: a second read never goes down.
+  EXPECT_GE(util::vm_hwm_bytes(), hwm);
+#endif
 }
 
 TEST(SampleStats, SamplesPreserveInsertionOrder) {

@@ -7,6 +7,9 @@
 # bench_scale quick tier (1k/2k peers) runs next; its per-row probe
 # message counts are compared exactly against the scale_rows baseline and
 # its BENCH_scale.json lands at $SPIDER_SCALE_JSON_OUT for CI to archive.
+# A third scale pass re-runs the quick tier with --build-jobs
+# $SPIDER_SMOKE_JOBS (parallel world construction, DESIGN.md §5k) and
+# byte-diffs its stdout against the serial build.
 # The serving bench (bench_serve --quick) runs last, serial and --jobs,
 # with the same byte-diff discipline; every counter a serve_rows baseline
 # row pins (arrivals/established/rejected, plus retries/retry_gaveups on
@@ -103,6 +106,22 @@ if ! diff -u <(sed "s/jobs=$smoke_jobs/jobs=1/" "$out_dir/scale_jobs/scale.out")
 fi
 echo "ok   stdout byte-identical to serial"
 
+# Parallel world construction (DESIGN.md §5k) must not change a single
+# output byte either: rebuild the same worlds with --build-jobs and diff
+# against the serial run, normalizing only the banner token.
+mkdir -p "$out_dir/scale_build_jobs"
+(cd "$out_dir/scale_build_jobs" && "$build_dir/bench/bench_scale" \
+  --quick --seed 42 --build-jobs "$smoke_jobs" \
+  --json-out BENCH_scale.json > scale.out)
+if ! diff -u <(sed "s/build-jobs=$smoke_jobs/build-jobs=1/" \
+               "$out_dir/scale_build_jobs/scale.out") \
+             "$out_dir/scale_serial/scale.out"; then
+  echo "FAIL: bench_scale stdout differs between --build-jobs 1 and" \
+       "--build-jobs $smoke_jobs" >&2
+  exit 1
+fi
+echo "ok   stdout byte-identical with --build-jobs $smoke_jobs"
+
 # Open-loop serving: the quick tier is fully deterministic in virtual
 # time (wall-clock only reaches the JSON), so serial vs --jobs stdout is
 # byte-diffed like the others; the bench's own exit code asserts the
@@ -129,7 +148,8 @@ echo "ok   stdout byte-identical to serial"
 if [[ "$smoke_xl" == "1" ]]; then
   echo "== scale (--xl, 500k peers) =="
   xl_start=$SECONDS
-  "$build_dir/bench/bench_scale" --xl --seed 42     --json-out "$scale_xl_json" | tail -n 8
+  "$build_dir/bench/bench_scale" --xl --seed 42 --build-jobs "$smoke_jobs" \
+    --json-out "$scale_xl_json" | tail -n 8
   echo "ok   xl sweep within budget ($((SECONDS - xl_start))s)"
 else
   scale_xl_json=""
