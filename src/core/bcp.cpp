@@ -8,9 +8,11 @@
 #include <unordered_set>
 
 #include "core/hold_keys.hpp"
+#include "discovery/community_index.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "overlay/community.hpp"
 #include "util/hash.hpp"
 #include "util/keys.hpp"
 #include "util/require.hpp"
@@ -124,6 +126,10 @@ struct BcpEngine::ComposeState {
   std::vector<Probe> seeds;    ///< filled by init_state
   std::vector<Probe> arrived;  ///< probes that completed their final leg
   bool faults_active = false;  ///< fault model attached AND non-clean
+  // Two-tier state (filled by coarse_select; untouched in flat mode).
+  bool two_tier = false;
+  double coarse_time_ms = 0.0;  ///< when the coarse tier's answers are in
+  std::vector<overlay::CommunityId> allowed_communities;  ///< ascending
 };
 
 /// Outcome of delivering one probe hop under the fault model.
@@ -141,6 +147,25 @@ const BcpEngine::DiscoveryEntry& BcpEngine::discover(ComposeState& state,
   const util::PairKey<PeerId, service::FunctionId> key{peer, fn};
   auto it = state.discovery_cache.find(key);
   if (it != state.discovery_cache.end()) return it->second;
+  if (state.two_tier) {
+    // Fine tier: replicas come from the candidate communities' indices
+    // (one request + reply per community head) instead of the global DHT
+    // — the intra-community restriction that makes probing cost scale
+    // with the communities selected, not the overlay.
+    DiscoveryEntry entry;
+    for (overlay::CommunityId c : state.allowed_communities) {
+      const auto span = community_index_->replicas(c, fn);
+      entry.components.insert(entry.components.end(), span.begin(),
+                              span.end());
+      entry.time_ms = std::max(
+          entry.time_ms,
+          2.0 * ov.estimated_delay_ms(peer, communities_->head(c)));
+    }
+    state.result.stats.discovery_messages +=
+        2 * state.allowed_communities.size();
+    return state.discovery_cache.emplace(key, std::move(entry))
+        .first->second;
+  }
   DiscoveryEntry entry;
   discovery::DiscoveryResult found = deployment_->registry().discover(peer, fn);
   state.result.stats.discovery_messages += found.hops() + 1;  // lookup + reply
@@ -211,6 +236,102 @@ int BcpEngine::quota_for(std::size_t replica_count) const {
   return 1;
 }
 
+int BcpEngine::coarse_select(ComposeState& state, int budget_total) {
+  auto& ov = deployment_->overlay();
+  ComposeStats& stats = state.result.stats;
+  const service::CompositeRequest& request = state.request;
+  const overlay::CommunityMap& map = *communities_;
+  const std::size_t community_count = map.community_count();
+
+  // The functions this request needs (commutation permutes their order,
+  // never their set, so one coarse pass covers every pattern).
+  std::vector<service::FunctionId> fns;
+  for (service::FnNode n = 0; n < request.graph.node_count(); ++n) {
+    fns.push_back(request.graph.function(n));
+  }
+  std::sort(fns.begin(), fns.end());
+  fns.erase(std::unique(fns.begin(), fns.end()), fns.end());
+
+  // Rank communities by the source's delay hint to their heads, then
+  // probe the nearest ⌊β · share⌋ of them: one summary request + reply
+  // per head, one budget unit each.
+  std::vector<std::pair<double, overlay::CommunityId>> by_prior;
+  by_prior.reserve(community_count);
+  for (std::size_t c = 0; c < community_count; ++c) {
+    by_prior.emplace_back(
+        ov.estimated_delay_ms(request.source, map.head(overlay::CommunityId(c))),
+        overlay::CommunityId(c));
+  }
+  std::stable_sort(by_prior.begin(), by_prior.end());
+
+  const int coarse_budget =
+      std::clamp(int(double(budget_total) * config_.coarse_budget_share), 1,
+                 budget_total - 1);
+  const std::size_t probed =
+      std::min<std::size_t>(std::size_t(coarse_budget), community_count);
+
+  // Score each probed community on its summary answers: head proximity
+  // plus the best advertised per-function QoS, with a large penalty per
+  // requested function the community cannot serve at all.
+  struct Scored {
+    double score;
+    overlay::CommunityId c;
+    std::uint32_t covered_mask;  // bit i: hosts a replica of fns[i]
+  };
+  SPIDER_REQUIRE_MSG(fns.size() <= 32,
+                     "coarse tier supports up to 32 distinct functions");
+  std::vector<Scored> scored;
+  scored.reserve(probed);
+  for (std::size_t i = 0; i < probed; ++i) {
+    const auto [prior, c] = by_prior[i];
+    ++stats.coarse_probes;
+    stats.probe_messages += 2;  // summary request + reply
+    state.coarse_time_ms =
+        std::max(state.coarse_time_ms,
+                 2.0 * prior + config_.per_hop_processing_ms);
+    Scored s{prior, c, 0};
+    for (std::size_t f = 0; f < fns.size(); ++f) {
+      const discovery::CommunitySummary* sum =
+          community_index_->summary(c, fns[f]);
+      if (sum == nullptr) {
+        s.score += 1e9;  // missing function: near-useless on its own
+      } else {
+        s.score += config_.metric_w_perf_delay * sum->min_perf_delay_ms +
+                   config_.metric_w_failure * sum->min_failure_prob;
+        s.covered_mask |= 1u << f;
+      }
+    }
+    scored.push_back(s);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     if (a.score != b.score) return a.score < b.score;
+                     return a.c < b.c;
+                   });
+
+  // Greedy cover: keep a community only while it adds coverage of a
+  // requested function (always keep the best-scoring one so the fine
+  // tier has somewhere to go), capped at max_candidate_communities.
+  const std::uint32_t full_mask =
+      fns.size() >= 32 ? ~0u : (1u << fns.size()) - 1u;
+  std::uint32_t covered = 0;
+  for (const Scored& s : scored) {
+    if (!state.allowed_communities.empty() &&
+        (state.allowed_communities.size() >=
+             config_.max_candidate_communities ||
+         covered == full_mask || (s.covered_mask & ~covered) == 0)) {
+      continue;
+    }
+    state.allowed_communities.push_back(s.c);
+    covered |= s.covered_mask;
+  }
+  std::sort(state.allowed_communities.begin(),
+            state.allowed_communities.end());
+  stats.communities_pruned += probed - state.allowed_communities.size();
+  state.two_tier = true;
+  return int(probed);
+}
+
 bool BcpEngine::init_state(ComposeState& state,
                            const service::CompositeRequest& request,
                            Rng& rng) {
@@ -243,8 +364,18 @@ bool BcpEngine::init_state(ComposeState& state,
   // When β < S only the first β seeds spawn at all — the budget is a hard
   // ceiling on probes in flight, never rounded up per seed.
   const int budget_total = std::max(config_.probing_budget, 0);
-  const int seed_base = budget_total / int(total_seeds);
-  const int seed_extra = budget_total % int(total_seeds);
+  // Coarse inter-community tier first (two-tier mode only): it spends
+  // part of β on summary probes and restricts discovery to the selected
+  // communities; the remainder seeds the fine tier below, so coarse +
+  // fine == β exactly. Tiny budgets (< 4) and single-community maps run
+  // flat — there is nothing worth pruning.
+  int fine_budget = budget_total;
+  if (communities_ != nullptr && community_index_ != nullptr &&
+      communities_->community_count() > 1 && budget_total >= 4) {
+    fine_budget -= coarse_select(state, budget_total);
+  }
+  const int seed_base = fine_budget / int(total_seeds);
+  const int seed_extra = fine_budget % int(total_seeds);
 
   int granted = 0;
   std::size_t seed_idx = 0;
@@ -259,6 +390,7 @@ bool BcpEngine::init_state(ComposeState& state,
       seed.pattern_idx = pi;
       seed.branch_idx = bi;
       seed.at = request.source;
+      seed.arrival = state.coarse_time_ms;  // 0 in flat mode
       seed.budget = seed_budget;
       seed.qos_acc = Qos(request.qos_req.size());
       seed.level = request.source_level;
@@ -276,7 +408,7 @@ bool BcpEngine::init_state(ComposeState& state,
       }
     }
   }
-  SPIDER_DCHECK(granted <= budget_total);
+  SPIDER_DCHECK(granted <= fine_budget);
   (void)granted;
   return !state.seeds.empty();
 }
@@ -1011,6 +1143,14 @@ void BcpEngine::flush_metrics(const ComposeStats& stats, bool success) {
   m.counter("bcp.holds_reused").inc(stats.holds_reused);
   m.counter("bcp.probe_bytes_copied").inc(stats.probe_bytes_copied);
   m.counter("bcp.prefix_nodes_shared").inc(stats.prefix_nodes_shared);
+  // Two-tier counters (lazily registered so flat runs' metric exports
+  // stay byte-identical to the pre-community builds).
+  if (stats.coarse_probes > 0) {
+    m.counter("bcp.coarse_probes").inc(stats.coarse_probes);
+  }
+  if (stats.communities_pruned > 0) {
+    m.counter("bcp.communities_pruned").inc(stats.communities_pruned);
+  }
   m.counter("bcp.probe_messages").inc(stats.probe_messages);
   m.counter("bcp.discovery_messages").inc(stats.discovery_messages);
   m.counter("bcp.candidates_merged").inc(stats.candidates_merged);

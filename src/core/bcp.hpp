@@ -44,6 +44,14 @@ namespace spider::fault {
 class LinkFaultModel;
 }  // namespace spider::fault
 
+namespace spider::overlay {
+class CommunityMap;
+}  // namespace spider::overlay
+
+namespace spider::discovery {
+class CommunityIndex;
+}  // namespace spider::discovery
+
 namespace spider::core {
 
 enum class QuotaPolicy {
@@ -126,6 +134,19 @@ struct BcpConfig {
   double retx_rtt_factor = 2.0;
   double retx_backoff = 2.0;
 
+  // ---- two-tier probing (consulted only with communities attached, see
+  // set_communities; flat BCP never reads these) ------------------------
+  /// Share of β spent on the coarse inter-community tier: up to
+  /// ⌊β · share⌋ communities are probed for QoS summaries (1 budget unit
+  /// each, clamped to [1, β−1]) before the remaining budget seeds the
+  /// per-hop fine tier. Σ coarse + fine == β, so the budget invariants of
+  /// §4.2 hold across both tiers.
+  double coarse_budget_share = 0.125;
+  /// Cap on candidate communities the fine tier probes into; the coarse
+  /// ranking greedily keeps the best-scoring communities that still add
+  /// coverage of a requested function, pruning the rest.
+  std::size_t max_candidate_communities = 4;
+
   /// Test-only: spawn children by deep-copying the parent's prefix chain
   /// instead of sharing its tail. Protocol decisions, results, stats and
   /// metrics are identical either way — the prefix-sharing equivalence
@@ -183,6 +204,9 @@ struct ComposeStats {
   // message-level drivers (they depend on spawn events, not timing).
   std::uint64_t probe_bytes_copied = 0;
   std::uint64_t prefix_nodes_shared = 0;
+  // Two-tier accounting (both zero in flat mode — see set_communities).
+  std::uint64_t coarse_probes = 0;       ///< inter-community summary probes
+  std::uint64_t communities_pruned = 0;  ///< probed but not selected
   std::uint64_t probe_messages = 0;      ///< probe + ack transmissions
   std::uint64_t discovery_messages = 0;  ///< DHT lookup hops
   double discovery_time_ms = 0.0;        ///< critical-path discovery share
@@ -269,6 +293,22 @@ class BcpEngine {
   void set_fault_model(const fault::LinkFaultModel* model) { fault_ = model; }
   const fault::LinkFaultModel* fault_model() const { return fault_; }
 
+  /// Attaches a community partition + per-community discovery index,
+  /// switching composes to two-tier probing: a coarse inter-community
+  /// phase (summary probes to community heads, paid for out of β per
+  /// coarse_budget_share) selects candidate communities, then the fine
+  /// per-hop tier discovers replicas inside those communities only.
+  /// Either pointer null detaches (the default — flat BCP, bit-for-bit
+  /// the pre-community behavior). A map with a single community also runs
+  /// flat: one community is the whole overlay, so there is nothing to
+  /// prune and the legacy path is byte-identical.
+  void set_communities(const overlay::CommunityMap* map,
+                       const discovery::CommunityIndex* index) {
+    communities_ = map;
+    community_index_ = index;
+  }
+  const overlay::CommunityMap* communities() const { return communities_; }
+
   /// Probe-path arena accounting accumulated over all composes (see
   /// ProbeArenaTotals). Peak probe-state bytes ≈ peak_live_segments ×
   /// sizeof(PathSegment).
@@ -284,6 +324,10 @@ class BcpEngine {
   /// composition is impossible before probing starts).
   bool init_state(ComposeState& state, const service::CompositeRequest& request,
                   Rng& rng);
+  /// Coarse inter-community tier: probes community heads for summaries,
+  /// greedily selects candidate communities and fills the state's allowed
+  /// set. Returns the budget spent (== coarse probe count).
+  int coarse_select(ComposeState& state, int budget_total);
   /// Executes one per-hop step (§4.2) for `probe`: either the final leg
   /// to the destination (probe lands in state.arrived) or next-hop
   /// selection + soft allocation, appending spawned children to
@@ -311,6 +355,8 @@ class BcpEngine {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::ProbeTrace* trace_ = nullptr;
   const fault::LinkFaultModel* fault_ = nullptr;
+  const overlay::CommunityMap* communities_ = nullptr;
+  const discovery::CommunityIndex* community_index_ = nullptr;
   ProbeArenaTotals arena_totals_;
 };
 

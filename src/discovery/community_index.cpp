@@ -1,0 +1,63 @@
+#include "discovery/community_index.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+#include "util/require.hpp"
+
+namespace spider::discovery {
+
+CommunityIndex CommunityIndex::build(
+    const std::vector<service::ComponentMetadata>& components,
+    const overlay::CommunityMap& map, std::size_t jobs) {
+  CommunityIndex index;
+  index.buckets_.assign(map.community_count(), Bucket{});
+  // One slot per community; each task filters the shared component list
+  // by its own community, so no two tasks touch the same bucket.
+  util::parallel_for_each(jobs, map.community_count(), [&](std::size_t c) {
+    Bucket& bucket = index.buckets_[c];
+    for (const auto& meta : components) {
+      SPIDER_DCHECK(meta.host < map.peer_count());
+      if (map.community_of(meta.host) != overlay::CommunityId(c)) continue;
+      Entry& entry = bucket[meta.function];
+      entry.metas.push_back(meta);
+    }
+    for (auto& [fn, entry] : bucket) {
+      std::sort(entry.metas.begin(), entry.metas.end(),
+                [](const auto& a, const auto& b) { return a.id < b.id; });
+      CommunitySummary s;
+      s.replicas = std::uint32_t(entry.metas.size());
+      s.min_perf_delay_ms = entry.metas.front().perf[service::Qos::kDelay];
+      s.min_failure_prob = entry.metas.front().failure_prob;
+      for (const auto& meta : entry.metas) {
+        s.min_perf_delay_ms =
+            std::min(s.min_perf_delay_ms, meta.perf[service::Qos::kDelay]);
+        s.min_failure_prob = std::min(s.min_failure_prob, meta.failure_prob);
+      }
+      entry.summary = s;
+    }
+  });
+  return index;
+}
+
+const CommunityIndex::Entry* CommunityIndex::find(
+    overlay::CommunityId c, service::FunctionId fn) const {
+  const Bucket& bucket = buckets_.at(c);
+  auto it = bucket.find(fn);
+  return it == bucket.end() ? nullptr : &it->second;
+}
+
+std::span<const service::ComponentMetadata> CommunityIndex::replicas(
+    overlay::CommunityId c, service::FunctionId fn) const {
+  const Entry* entry = find(c, fn);
+  if (entry == nullptr) return {};
+  return entry->metas;
+}
+
+const CommunitySummary* CommunityIndex::summary(
+    overlay::CommunityId c, service::FunctionId fn) const {
+  const Entry* entry = find(c, fn);
+  return entry == nullptr ? nullptr : &entry->summary;
+}
+
+}  // namespace spider::discovery

@@ -1,0 +1,72 @@
+// Per-community discovery index for two-tier BCP (§3.2 adapted to the
+// partitioned overlay of overlay::CommunityMap).
+//
+// Flat discovery answers "who implements f?" over the whole overlay via
+// the DHT registry. The coarse tier instead needs two cheaper answers
+// per community: a QoS *summary* of f's replicas inside the community
+// (for inter-community candidate selection) and the replica list itself
+// restricted to the community (for intra-community fine probing). This
+// index precomputes both from the deployed component metadata — the same
+// advertisement payload the DHT registry stores — bucketed by the host
+// peer's community.
+//
+// Construction is deterministic at any job count: communities are
+// indexed into preallocated per-community slots under
+// util::parallel_for_each, each slot scanning the (host-ascending,
+// id-ascending) component list independently, so replica spans come out
+// id-ascending and byte-identical regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/community.hpp"
+#include "service/component.hpp"
+
+namespace spider::discovery {
+
+/// Coarse QoS summary of one function's replicas within one community —
+/// what an inter-community probe carries back.
+struct CommunitySummary {
+  std::uint32_t replicas = 0;
+  double min_perf_delay_ms = 0.0;   ///< best advertised processing delay
+  double min_failure_prob = 1.0;    ///< most reliable replica's estimate
+};
+
+class CommunityIndex {
+ public:
+  /// Indexes `components` (any order; entries are re-sorted per bucket by
+  /// ComponentId) against the community assignment in `map`.
+  static CommunityIndex build(
+      const std::vector<service::ComponentMetadata>& components,
+      const overlay::CommunityMap& map, std::size_t jobs = 1);
+
+  std::size_t community_count() const { return buckets_.size(); }
+
+  /// Replicas of `fn` hosted inside community `c`, ascending ComponentId
+  /// (empty span if none).
+  std::span<const service::ComponentMetadata> replicas(
+      overlay::CommunityId c, service::FunctionId fn) const;
+
+  /// Summary of `fn` inside community `c`, or nullptr if the community
+  /// hosts no replica.
+  const CommunitySummary* summary(overlay::CommunityId c,
+                                  service::FunctionId fn) const;
+
+ private:
+  CommunityIndex() = default;
+
+  struct Entry {
+    std::vector<service::ComponentMetadata> metas;
+    CommunitySummary summary;
+  };
+  using Bucket = std::unordered_map<service::FunctionId, Entry>;
+
+  const Entry* find(overlay::CommunityId c, service::FunctionId fn) const;
+
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace spider::discovery

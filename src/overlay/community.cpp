@@ -1,0 +1,63 @@
+#include "overlay/community.hpp"
+
+#include <limits>
+
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+#include "util/require.hpp"
+
+namespace spider::overlay {
+
+CommunityMap CommunityMap::build(const OverlayNetwork& net,
+                                 std::size_t community_count,
+                                 std::size_t jobs) {
+  const std::size_t n = net.peer_count();
+  SPIDER_REQUIRE(n >= 1);
+  std::size_t count = community_count < 1 ? 1 : community_count;
+  if (count > n) count = n;
+
+  CommunityMap map;
+  // Head selection: farthest-point sampling over overlay SSSP columns —
+  // the exact machinery (and determinism argument) of build_estimator.
+  map.heads_ = net::LandmarkTable::build(
+      n, count, [&net](std::uint32_t target) { return net.sssp_column(target); },
+      jobs);
+
+  // Peer assignment: nearest head by overlay delay, lowest community id
+  // on ties, community 0 for peers no head reaches. Pure function of the
+  // head columns, one preallocated slot per peer — byte-identical at any
+  // job count.
+  map.community_of_.assign(n, 0);
+  const std::size_t heads = map.heads_.landmark_count();
+  util::parallel_for_each(jobs, n, [&](std::size_t p) {
+    double best = std::numeric_limits<double>::infinity();
+    CommunityId best_c = 0;
+    for (std::size_t c = 0; c < heads; ++c) {
+      const double d = map.heads_.landmark_delay_ms(c, std::uint32_t(p));
+      if (d < best) {
+        best = d;
+        best_c = CommunityId(c);
+      }
+    }
+    map.community_of_[p] = best_c;
+  });
+
+  // Member lists folded serially in peer order: ascending PeerId within
+  // each community, independent of assignment scheduling.
+  map.members_.assign(heads, {});
+  for (PeerId p = 0; p < n; ++p) {
+    map.members_[map.community_of_[p]].push_back(p);
+  }
+  return map;
+}
+
+std::uint64_t CommunityMap::fingerprint() const {
+  std::uint64_t acc = 0x51de9c05ULL;
+  for (std::size_t p = 0; p < community_of_.size(); ++p) {
+    acc = util::mix64(acc ^ util::mix64((std::uint64_t(p) << 32) |
+                                        community_of_[p]));
+  }
+  return acc;
+}
+
+}  // namespace spider::overlay

@@ -1,0 +1,80 @@
+// Deterministic overlay partitioning into latency communities (§2.3 + the
+// community-composition line of work in PAPERS.md).
+//
+// A CommunityMap clusters the peers of an OverlayNetwork around k
+// community heads chosen by the same deterministic farthest-point
+// sampling the landmark estimator uses (net::LandmarkTable::build over
+// overlay SSSP columns): head 0 is peer 0, each further head is the peer
+// farthest (max-min delay) from the heads chosen so far, ties toward the
+// lowest index. Every peer then joins the community whose head is
+// nearest by overlay delay (argmin over head columns, lowest community id
+// on ties, community 0 when unreachable from every head) — the same
+// nearest-landmark bucket rule from_topology_estimated shards by, so a
+// community is a latency-coherent neighborhood, not an arbitrary hash
+// bucket.
+//
+// Determinism recipe (DESIGN.md §5l): head selection reuses the
+// speculative-wave LandmarkTable builder (byte-identical at any job
+// count); peer assignment writes one preallocated slot per peer under
+// util::parallel_for_each and is a pure function of the head columns;
+// member lists are folded serially in peer order afterwards. The result
+// is byte-identical at any `jobs`, which `fingerprint()` pins in tests
+// and bench output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/landmark.hpp"
+#include "overlay/overlay.hpp"
+
+namespace spider::overlay {
+
+/// Dense community index, 0..community_count-1.
+using CommunityId = std::uint32_t;
+
+class CommunityMap {
+ public:
+  /// Partitions `net`'s peers into (up to) `community_count` communities.
+  /// The count is clamped to [1, peer_count]. `jobs > 1` parallelizes
+  /// both head selection and peer assignment with byte-identical output.
+  static CommunityMap build(const OverlayNetwork& net,
+                            std::size_t community_count, std::size_t jobs = 1);
+
+  std::size_t community_count() const { return members_.size(); }
+  std::size_t peer_count() const { return community_of_.size(); }
+
+  CommunityId community_of(PeerId p) const { return community_of_.at(p); }
+
+  /// Members of community `c`, ascending by PeerId.
+  std::span<const PeerId> members(CommunityId c) const {
+    return members_.at(c);
+  }
+
+  /// The community's head peer (its landmark/rendezvous point).
+  PeerId head(CommunityId c) const {
+    return PeerId(heads_.landmark_target(c));
+  }
+
+  /// Build-time overlay delay from community `c`'s head to peer `p` —
+  /// the coarse tier's QoS yardstick (churn-oblivious, like every
+  /// estimator column; see OverlayNetwork::estimated_delay_ms).
+  double head_delay_ms(CommunityId c, PeerId p) const {
+    return heads_.landmark_delay_ms(c, p);
+  }
+
+  /// Order-sensitive digest of the full assignment vector; equal at any
+  /// job count by construction, and pinned by determinism tests and the
+  /// bench_communities output rows.
+  std::uint64_t fingerprint() const;
+
+ private:
+  CommunityMap() = default;
+
+  net::LandmarkTable heads_;             // head columns (delays per peer)
+  std::vector<CommunityId> community_of_;
+  std::vector<std::vector<PeerId>> members_;
+};
+
+}  // namespace spider::overlay

@@ -421,7 +421,17 @@ double OverlayNetwork::delay_ms(PeerId src, PeerId dst) {
 
 double OverlayNetwork::estimated_delay_ms(PeerId src, PeerId dst) {
   if (src == dst) return 0.0;
-  if (estimator_ != nullptr) return estimator_->estimate_ms(src, dst);
+  if (estimator_ != nullptr) {
+    // Staleness invariant: the table was built over the full overlay and is
+    // deliberately churn-oblivious — kill/revive does not refresh columns,
+    // so hints for dead peers keep answering build-time delays. That is
+    // sound because estimates only ever order/time *hints* (DHT locality,
+    // discovery timing); candidate liveness is filtered per-probe and every
+    // path that reaches a service graph goes through route(), which is
+    // liveness-exact. The table must still cover the current peer space.
+    SPIDER_DCHECK(estimator_->target_count() == peer_count());
+    return estimator_->estimate_ms(src, dst);
+  }
   return delay_ms(src, dst);
 }
 

@@ -226,6 +226,14 @@ class OverlayNetwork {
   bool has_estimator() const { return estimator_ != nullptr; }
   const net::LandmarkTable* estimator() const { return estimator_.get(); }
 
+  /// Single-source min-delay column over live peers. Computes a fresh
+  /// Dijkstra tree without touching the route caches, so concurrent calls
+  /// are safe; build_estimator and CommunityMap::build both feed it to
+  /// net::LandmarkTable::build.
+  net::LandmarkTable::Column sssp_column(PeerId target) const {
+    return overlay_sssp_column(target);
+  }
+
   /// True if the overlay graph restricted to live peers is connected.
   bool live_connected() const;
 

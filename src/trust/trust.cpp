@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "util/require.hpp"
 
 namespace spider::trust {
@@ -56,11 +57,48 @@ TrustRecord TrustManager::record(PeerId requester, PeerId subject) {
   return out;
 }
 
+void TrustManager::note_evictions(std::size_t count) {
+  if (count == 0) return;
+  cache_evictions_ += count;
+  // Lazily registered so cache-free runs keep their exact metric exports.
+  if (metrics_ != nullptr && m_cache_evictions_ == nullptr) {
+    m_cache_evictions_ = &metrics_->counter("trust.cache_evictions");
+  }
+  if (m_cache_evictions_ != nullptr) m_cache_evictions_->inc(count);
+}
+
+std::size_t TrustManager::sweep_expired() {
+  if (config_.cache_ttl <= 0.0) return 0;
+  const double now = sim_->now();
+  std::size_t evicted = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.expires_at <= now) {
+      it = cache_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  note_evictions(evicted);
+  return evicted;
+}
+
 double TrustManager::trust(PeerId requester, PeerId subject) {
   if (config_.cache_ttl > 0.0) {
+    // Amortized reclamation for subjects never queried again: sweep the
+    // whole map every kCacheSweepInterval cached lookups.
+    if (++cached_lookups_since_sweep_ >= kCacheSweepInterval) {
+      cached_lookups_since_sweep_ = 0;
+      sweep_expired();
+    }
     auto it = cache_.find(subject);
-    if (it != cache_.end() && it->second.expires_at > sim_->now()) {
-      return it->second.score;
+    if (it != cache_.end()) {
+      if (it->second.expires_at > sim_->now()) {
+        return it->second.score;
+      }
+      // Expired: evict on touch (re-inserted below after the DHT fetch).
+      cache_.erase(it);
+      note_evictions(1);
     }
   }
   const TrustRecord rec = record(requester, subject);

@@ -31,6 +31,11 @@
 #include "sim/simulator.hpp"
 #include "util/keys.hpp"
 
+namespace spider::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace spider::obs
+
 namespace spider::trust {
 
 using overlay::PeerId;
@@ -76,11 +81,37 @@ class TrustManager {
 
   std::uint64_t reports_published() const { return reports_; }
 
+  std::size_t cache_size() const { return cache_.size(); }
+  /// Entries dropped because their TTL lapsed (touched-on-lookup or via
+  /// sweep_expired); report()'s invalidation drops are not counted.
+  std::uint64_t cache_evictions() const { return cache_evictions_; }
+
+  /// Evicts every cached score whose TTL has lapsed and returns how many
+  /// were dropped. trust() already evicts the expired entry it touches,
+  /// but scores for subjects never queried again would otherwise pin the
+  /// map forever — the PR 4 discovery-cache bug family. trust()
+  /// piggybacks a full sweep every kCacheSweepInterval cached lookups;
+  /// call this directly for prompt reclamation.
+  std::size_t sweep_expired();
+
+  /// Attaches a metrics registry (null detaches). The only counter,
+  /// "trust.cache_evictions", is registered lazily on the first eviction
+  /// so cache-free runs keep their exact metric exports.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    m_cache_evictions_ = nullptr;
+  }
+
  private:
   struct CacheEntry {
     double score;
     double expires_at;
   };
+
+  /// Cached lookups between piggybacked full sweeps in trust().
+  static constexpr std::uint64_t kCacheSweepInterval = 256;
+
+  void note_evictions(std::size_t count);
 
   static dht::NodeId key_for(PeerId subject);
   static std::string serialize(PeerId rater, std::uint32_t pos,
@@ -97,6 +128,10 @@ class TrustManager {
       own_counts_;
   std::unordered_map<PeerId, CacheEntry> cache_;
   std::uint64_t reports_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+  std::uint64_t cached_lookups_since_sweep_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_cache_evictions_ = nullptr;
 };
 
 }  // namespace spider::trust

@@ -171,6 +171,29 @@ std::unique_ptr<Scenario> build_sim_scenario(const SimScenarioConfig& config) {
   s->deployment->deploy_components(std::move(all_components),
                                    config.build_jobs);
   s->build_timings.deploy_ms = ms_since(t0);
+
+  if (config.use_communities) {
+    // Partition after deployment so the per-community index sees the
+    // final replica set. Both phases shard over the WorkerPool and are
+    // byte-identical at any build_jobs (DESIGN.md §5l).
+    t0 = BuildClock::now();
+    s->communities = std::make_unique<overlay::CommunityMap>(
+        overlay::CommunityMap::build(s->deployment->overlay(),
+                                     config.community_count,
+                                     config.build_jobs));
+    std::vector<service::ComponentMetadata> metas;
+    metas.reserve(s->deployment->component_count());
+    for (overlay::PeerId p = 0; p < config.peers; ++p) {
+      for (service::ComponentId id : s->deployment->components_on(p)) {
+        metas.push_back(
+            service::ComponentMetadata::from(s->deployment->component(id)));
+      }
+    }
+    s->community_index = std::make_unique<discovery::CommunityIndex>(
+        discovery::CommunityIndex::build(metas, *s->communities,
+                                         config.build_jobs));
+    s->build_timings.communities_ms = ms_since(t0);
+  }
   return s;
 }
 
@@ -247,6 +270,27 @@ GeneratedRequest sample_request(Scenario& scenario,
       }
     }
     if (has_live) fns.push_back(fn);
+  }
+  if (fns.size() < k) {
+    // The rejection loop above is bounded; under heavy Zipf skew with a
+    // small catalog it can exhaust its guard with nearly every draw
+    // landing on an already-chosen function. Deterministic fallback:
+    // scan the catalog in ascending id order for unused live functions.
+    // No RNG draws happen here, so whenever the loop succeeds on its own
+    // the stream is untouched and sampling is bit-for-bit the historical
+    // behaviour.
+    for (service::FunctionId fn = 0;
+         fns.size() < k && fn < service::FunctionId(catalog_size); ++fn) {
+      if (std::find(fns.begin(), fns.end(), fn) != fns.end()) continue;
+      bool has_live = false;
+      for (service::ComponentId id : deployment.replicas_oracle(fn)) {
+        if (deployment.component_alive(id)) {
+          has_live = true;
+          break;
+        }
+      }
+      if (has_live) fns.push_back(fn);
+    }
   }
   SPIDER_REQUIRE_MSG(fns.size() == k, "not enough live functions");
 

@@ -16,6 +16,7 @@
 #include "core/allocator.hpp"
 #include "core/deployment.hpp"
 #include "core/evaluator.hpp"
+#include "discovery/community_index.hpp"
 #include "net/generator.hpp"
 #include "net/planetlab.hpp"
 #include "net/router.hpp"
@@ -36,6 +37,7 @@ struct Scenario {
     double estimator_ms = 0.0;
     double dht_ms = 0.0;
     double deploy_ms = 0.0;
+    double communities_ms = 0.0;
   };
 
   Rng rng{1};
@@ -48,6 +50,11 @@ struct Scenario {
   std::unique_ptr<core::Deployment> deployment;
   std::unique_ptr<core::AllocationManager> alloc;
   std::unique_ptr<core::GraphEvaluator> evaluator;
+  // Community partition + per-community discovery index (null unless
+  // SimScenarioConfig::use_communities; attach to a BcpEngine via
+  // set_communities to switch it to two-tier probing).
+  std::unique_ptr<overlay::CommunityMap> communities;
+  std::unique_ptr<discovery::CommunityIndex> community_index;
 };
 
 /// §6.1-style simulation testbed.
@@ -98,6 +105,12 @@ struct SimScenarioConfig {
   /// for candidate service graphs.
   bool use_latency_estimator = false;
   std::size_t landmark_count = 16;
+  /// Community partitioning (§5l). Off by default: flat BCP, bit-for-bit
+  /// the historical outputs. On, the builder partitions the overlay into
+  /// `community_count` latency communities after deployment and indexes
+  /// replicas per community; engines opt in via BcpEngine::set_communities.
+  bool use_communities = false;
+  std::size_t community_count = 8;
   /// World-construction parallelism (§5k): landmark SSSP columns, overlay
   /// link pricing, the DHT bulk load and component registration spread
   /// over this many workers. Output is identical at any value — component

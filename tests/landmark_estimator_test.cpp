@@ -188,6 +188,44 @@ TEST(LandmarkEstimator, ScenarioKnobBuildsEstimatedWorld) {
   }
 }
 
+TEST(LandmarkEstimator, HintsAreChurnObliviousWhileRoutesStayLivenessExact) {
+  // Regression for the §5l staleness invariant: landmark columns are
+  // built once over the full overlay and never refreshed on churn, so
+  // estimated_delay_ms must keep answering the build-time delay for dead
+  // peers (hints only order/time things, they never admit a candidate).
+  // Anything that matters — actual paths — must go through route(),
+  // which IS liveness-exact and must detour or fail around the corpse.
+  World w = make_world(17, OverlayKind::kNearestMesh, /*estimated=*/false);
+  OverlayNetwork& ov = *w.ov;
+  ov.build_estimator(8);
+  ASSERT_TRUE(ov.has_estimator());
+
+  const PeerId victim = 5;
+  std::vector<double> before;
+  for (PeerId v = 0; v < ov.peer_count(); ++v) {
+    before.push_back(ov.estimated_delay_ms(victim, v));
+  }
+  const double exact_before = ov.route(0, victim)->valid
+                                  ? ov.route(0, victim)->delay_ms
+                                  : kInf;
+  ASSERT_LT(exact_before, kInf);
+
+  ov.set_alive(victim, false);
+  for (PeerId v = 0; v < ov.peer_count(); ++v) {
+    // Hint column is byte-identical: churn-oblivious by design.
+    EXPECT_EQ(ov.estimated_delay_ms(victim, v), before[v]) << "v=" << v;
+  }
+  // The exact layer disagrees on purpose: no live path ends at a corpse.
+  EXPECT_FALSE(ov.route(0, victim)->valid);
+
+  ov.set_alive(victim, true);
+  for (PeerId v = 0; v < ov.peer_count(); ++v) {
+    EXPECT_EQ(ov.estimated_delay_ms(victim, v), before[v]) << "v=" << v;
+  }
+  EXPECT_TRUE(ov.route(0, victim)->valid);
+  EXPECT_DOUBLE_EQ(ov.route(0, victim)->delay_ms, exact_before);
+}
+
 TEST(LandmarkEstimator, IpLandmarkThroughMetricsAreConsistent) {
   Rng rng(31);
   net::Topology topo = net::power_law(300, 2, rng);

@@ -353,6 +353,68 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(2, 5, 64),
                        ::testing::Values(0.0, 0.15)));
 
+// Two-tier variant: with a community map attached, β is conserved
+// *across* the coarse and fine tiers — coarse probes are paid out of the
+// same budget the fine tier seeds from, so coarse + arrived can never
+// exceed β, and each coarse probe adds exactly two transmissions
+// (summary request + reply) on top of the fine-tier message bound.
+// Tiny budgets (β < 4) run flat by design, so those cells double as the
+// degenerate-β equivalence check.
+TEST_P(BudgetProperty, BetaIsConservedAcrossCoarseAndFineTiers) {
+  const auto [seed, beta, loss] = GetParam();
+  workload::SimScenarioConfig scfg;
+  scfg.seed = std::uint64_t(seed);
+  scfg.ip_nodes = 300;
+  scfg.peers = 48;
+  scfg.function_count = 12;
+  scfg.overlay_degree = 4;
+  scfg.use_communities = true;
+  scfg.community_count = 6;
+  auto s = workload::build_sim_scenario(scfg);
+
+  core::BcpConfig config;
+  config.probing_budget = beta;
+  core::BcpEngine bcp(*s->deployment, *s->alloc, *s->evaluator, s->sim,
+                      config);
+  bcp.set_communities(s->communities.get(), s->community_index.get());
+  const fault::LinkFaultModel faults =
+      fault::LinkFaultModel::uniform_loss(loss, std::uint64_t(seed));
+  if (loss > 0.0) bcp.set_fault_model(&faults);
+
+  workload::RequestProfile profile;
+  profile.min_functions = 4;
+  profile.max_functions = 6;
+  profile.dag_probability = 0.7;
+  profile.commutation_probability = 1.0;
+
+  for (int round = 0; round < 6; ++round) {
+    auto gen = workload::sample_request(*s, profile);
+    const std::uint64_t legs = gen.request.graph.node_count() + 1;
+    core::ComposeResult r = bcp.compose(gen.request, s->rng);
+
+    EXPECT_LE(r.stats.coarse_probes, std::uint64_t(beta)) << "round " << round;
+    EXPECT_LE(r.stats.coarse_probes + r.stats.probes_arrived,
+              std::uint64_t(beta))
+        << "round " << round << ": the two tiers overspent β";
+    if (beta < 4) {
+      EXPECT_EQ(r.stats.coarse_probes, 0u) << "tiny budgets must run flat";
+    }
+    EXPECT_LE(r.stats.communities_pruned, r.stats.coarse_probes);
+    EXPECT_LE(r.stats.probes_spawned, std::uint64_t(beta) * legs)
+        << "round " << round;
+    const std::uint64_t attempts = 1 + std::uint64_t(config.probe_retx_limit);
+    EXPECT_LE(r.stats.probe_messages,
+              attempts * std::uint64_t(beta + 1) * legs +
+                  2 * r.stats.coarse_probes)
+        << "round " << round;
+    EXPECT_EQ(r.stats.probes_spawned,
+              r.stats.probes_arrived + r.stats.probes_dropped_total() +
+                  r.stats.probes_forwarded);
+    for (core::HoldId h : r.best_holds) s->alloc->release_hold(h);
+    EXPECT_EQ(s->alloc->active_holds(), 0u);
+  }
+}
+
 // --------------------------------------------------------------------- BCP
 
 class BcpProperty : public ::testing::TestWithParam<int> {};

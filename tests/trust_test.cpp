@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/bcp.hpp"
+#include "obs/metrics.hpp"
 #include "test_scenario.hpp"
 #include "trust/trust.hpp"
 
@@ -78,6 +79,52 @@ TEST_F(TrustTest, CacheHonorsTtl) {
   cached.report(1, 4, true);  // report invalidates the cache
   const double after = cached.trust(0, 4);
   EXPECT_GT(after, before);
+}
+
+TEST_F(TrustTest, ExpiredCacheEntriesAreErasedNotJustBypassed) {
+  // Regression: expired entries used to be checked but never erased, so
+  // the cache map grew monotonically (the PR 4 discovery-cache family).
+  // Touched subjects must be evicted on lookup and untouched ones by
+  // sweep_expired(), shrinking the map, with each TTL lapse counted.
+  TrustConfig config;
+  config.cache_ttl = 100.0;
+  TrustManager cached(*scenario_->deployment, scenario_->sim, config);
+  for (PeerId subject = 3; subject < 11; ++subject) {
+    cached.trust(0, subject);
+  }
+  EXPECT_EQ(cached.cache_size(), 8u);
+  EXPECT_EQ(cached.cache_evictions(), 0u);
+
+  scenario_->sim.run_until(scenario_->sim.now() + 101.0);
+  // Touch one expired subject: evicted on lookup, then re-cached fresh.
+  cached.trust(0, 3);
+  EXPECT_EQ(cached.cache_evictions(), 1u);
+  EXPECT_EQ(cached.cache_size(), 8u);  // 7 stale + the re-fetched one
+
+  // The other 7 are never queried again; the sweep must reclaim them.
+  EXPECT_EQ(cached.sweep_expired(), 7u);
+  EXPECT_EQ(cached.cache_size(), 1u);
+  EXPECT_EQ(cached.cache_evictions(), 8u);
+
+  // Fresh entries survive a sweep untouched.
+  EXPECT_EQ(cached.sweep_expired(), 0u);
+  EXPECT_EQ(cached.cache_size(), 1u);
+}
+
+TEST_F(TrustTest, CacheEvictionCounterIsLazilyRegistered) {
+  obs::MetricsRegistry metrics;
+  TrustConfig config;
+  config.cache_ttl = 50.0;
+  TrustManager cached(*scenario_->deployment, scenario_->sim, config);
+  cached.set_metrics(&metrics);
+  cached.trust(0, 5);
+  // No eviction yet: the counter must not exist (cache-free runs keep
+  // their exact metric exports).
+  EXPECT_EQ(metrics.find_counter("trust.cache_evictions"), nullptr);
+  scenario_->sim.run_until(scenario_->sim.now() + 51.0);
+  cached.trust(0, 5);
+  ASSERT_NE(metrics.find_counter("trust.cache_evictions"), nullptr);
+  EXPECT_EQ(metrics.find_counter("trust.cache_evictions")->value(), 1u);
 }
 
 TEST_F(TrustTest, BcpSteersAwayFromDistrustedPeers) {

@@ -186,6 +186,32 @@ TEST(MultiConstraint, TightJitterBoundRejectsGraphs) {
   EXPECT_FALSE(r.success);
 }
 
+TEST(RequestGenerator, DegenerateZipfSkewStillYieldsDistinctFunctions) {
+  // Regression: under extreme Zipf skew with a tiny catalog, nearly every
+  // draw lands on function 0, so the bounded rejection loop exhausts its
+  // guard with fewer than k distinct functions collected and sampling
+  // died on the "not enough live functions" requirement. The
+  // deterministic fallback scan must complete the set instead.
+  SimScenarioConfig config;
+  config.ip_nodes = 300;
+  config.peers = 40;
+  config.function_count = 4;
+  auto s = build_sim_scenario(config);
+  RequestProfile profile;
+  profile.min_functions = 4;
+  profile.max_functions = 4;
+  profile.function_zipf_s = 30.0;  // P(fn != 0) is ~2^-30 per draw
+  for (int i = 0; i < 10; ++i) {
+    GeneratedRequest gen = sample_request(*s, profile);
+    std::set<service::FunctionId> uniq;
+    for (service::FnNode n = 0; n < gen.request.graph.node_count(); ++n) {
+      uniq.insert(gen.request.graph.function(n));
+    }
+    EXPECT_EQ(uniq.size(), 4u);
+    EXPECT_EQ(gen.request.graph.node_count(), 4u);
+  }
+}
+
 TEST(RequestGenerator, FunctionsAreDistinctWithinRequest) {
   SimScenarioConfig config;
   config.ip_nodes = 300;

@@ -10,11 +10,14 @@
 # A third scale pass re-runs the quick tier with --build-jobs
 # $SPIDER_SMOKE_JOBS (parallel world construction, DESIGN.md §5k) and
 # byte-diffs its stdout against the serial build.
-# The serving bench (bench_serve --quick) runs last, serial and --jobs,
+# The serving bench (bench_serve --quick) runs next, serial and --jobs,
 # with the same byte-diff discipline; every counter a serve_rows baseline
 # row pins (arrivals/established/rejected, plus retries/retry_gaveups on
 # the closed-loop cell) is compared exactly and its BENCH_serve.json
-# lands at $SPIDER_SERVE_JSON_OUT.
+# lands at $SPIDER_SERVE_JSON_OUT. The community-partitioned two-tier
+# sweep (bench_communities --quick) runs last — serial, --jobs, and
+# --build-jobs byte-diffed — with its per-row counters pinned against
+# communities_rows and its JSON at $SPIDER_COMMUNITIES_JSON_OUT.
 #
 #   tools/bench_smoke.sh                 # uses ./build
 #   SPIDER_BUILD_DIR=build-ci tools/bench_smoke.sh
@@ -42,11 +45,12 @@ out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
 scale_json="${SPIDER_SCALE_JSON_OUT:-$out_dir/BENCH_scale.json}"
 serve_json="${SPIDER_SERVE_JSON_OUT:-$out_dir/BENCH_serve.json}"
+communities_json="${SPIDER_COMMUNITIES_JSON_OUT:-$out_dir/BENCH_communities.json}"
 smoke_xl="${SPIDER_SMOKE_XL:-0}"
 scale_xl_json="${SPIDER_SCALE_XL_JSON_OUT:-$out_dir/BENCH_scale_xl.json}"
 
 for bench in bench_fig8_success_ratio bench_fig9_failure_recovery \
-             bench_scale bench_serve; do
+             bench_scale bench_serve bench_communities; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
     echo "error: $build_dir/bench/$bench not built (cmake --build $build_dir)" >&2
     exit 1
@@ -143,6 +147,40 @@ if ! diff -u <(sed "s/jobs=$smoke_jobs/jobs=1/" "$out_dir/serve_jobs/serve.out")
 fi
 echo "ok   stdout byte-identical to serial"
 
+# Community-partitioned two-tier BCP (DESIGN.md §5l): the quick tier is
+# one 1k-peer world whose community maps are rebuilt in-bench per count,
+# so the serial, --jobs, and --build-jobs passes must all produce
+# byte-identical stdout (map fingerprints included — partition
+# determinism at any parallelism). The binary self-asserts the C=1
+# flat-equivalence oracle; the per-row counters are pinned exactly
+# against the communities_rows baseline below.
+echo "== communities (quick) =="
+mkdir -p "$out_dir/comm_serial" "$out_dir/comm_jobs" "$out_dir/comm_build_jobs"
+(cd "$out_dir/comm_serial" && "$build_dir/bench/bench_communities" \
+  --quick --seed 42 --json-out BENCH_communities.json > comm.out)
+tail -n +4 "$out_dir/comm_serial/comm.out" | head -n 8
+cp "$out_dir/comm_serial/BENCH_communities.json" "$communities_json"
+(cd "$out_dir/comm_jobs" && "$build_dir/bench/bench_communities" \
+  --quick --seed 42 --jobs "$smoke_jobs" \
+  --json-out BENCH_communities.json > comm.out)
+if ! diff -u <(sed "s/jobs=$smoke_jobs/jobs=1/" "$out_dir/comm_jobs/comm.out") \
+             "$out_dir/comm_serial/comm.out"; then
+  echo "FAIL: bench_communities stdout differs between --jobs 1 and" \
+       "--jobs $smoke_jobs" >&2
+  exit 1
+fi
+(cd "$out_dir/comm_build_jobs" && "$build_dir/bench/bench_communities" \
+  --quick --seed 42 --build-jobs "$smoke_jobs" \
+  --json-out BENCH_communities.json > comm.out)
+if ! diff -u <(sed "s/build-jobs=$smoke_jobs/build-jobs=1/" \
+               "$out_dir/comm_build_jobs/comm.out") \
+             "$out_dir/comm_serial/comm.out"; then
+  echo "FAIL: bench_communities stdout differs between --build-jobs 1 and" \
+       "--build-jobs $smoke_jobs" >&2
+  exit 1
+fi
+echo "ok   stdout byte-identical across --jobs and --build-jobs"
+
 # Optional 500k-peer xl row: the landmark-estimated build path, with the
 # RSS / wall-clock budget assertion enforced by bench_scale itself.
 if [[ "$smoke_xl" == "1" ]]; then
@@ -156,13 +194,14 @@ else
 fi
 
 python3 - "$repo_root/bench/baselines.json" "$out_dir" "$scale_json" \
-    "$serve_json" "$scale_xl_json" <<'PY'
+    "$serve_json" "$communities_json" "$scale_xl_json" <<'PY'
 import json
 import sys
 
 baselines_path, out_dir, scale_json = sys.argv[1], sys.argv[2], sys.argv[3]
 serve_json = sys.argv[4]
-scale_xl_json = sys.argv[5] if len(sys.argv) > 5 else ""
+communities_json = sys.argv[5]
+scale_xl_json = sys.argv[6] if len(sys.argv) > 6 else ""
 with open(baselines_path) as f:
     baselines = json.load(f)
 
@@ -227,6 +266,30 @@ for expect in baselines.get("serve_rows", []):
               f"expected={expect[field]}")
         if actual != expect[field]:
             failures += 1
+# Exact per-(peers, communities) counters for the two-tier quick tier:
+# every integer a communities_rows baseline row pins (successes, probe /
+# discovery messages, coarse probes, pruned communities) is compared
+# exactly — drift means the partitioning or the coarse-tier selection
+# changed and the baseline must be updated deliberately.
+with open(communities_json) as f:
+    comm_rows = {(r["peers"], r["communities"]): r
+                 for r in json.load(f)["rows"]}
+for expect in baselines.get("communities_rows", []):
+    key = (expect["peers"], expect["communities"])
+    row = comm_rows.get(key)
+    if row is None:
+        print(f"FAIL communities:{key}: row missing from "
+              "BENCH_communities.json")
+        failures += 1
+        continue
+    for field in sorted(k for k in expect if k not in ("peers", "communities")):
+        actual = row[field]
+        status = "ok  " if actual == expect[field] else "FAIL"
+        print(f"{status} communities:peers={key[0]},C={key[1]}: "
+              f"{field}={actual} expected={expect[field]}")
+        if actual != expect[field]:
+            failures += 1
+
 for check in baselines["checks"]:
     bench = check["bench"]
     if bench not in metrics:
